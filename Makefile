@@ -1,0 +1,30 @@
+# Convenience targets for the repro repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full experiments experiments-full examples lint-docs all
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# The paper's exact evaluation scale (n = 100..500, 100 instances/point).
+bench-full:
+	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) benchmarks/generate_experiments_md.py --instances 30
+
+experiments-full:
+	$(PYTHON) benchmarks/generate_experiments_md.py --full
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f > /dev/null || exit 1; done; \
+	echo "all examples ran clean"
+
+all: test bench examples

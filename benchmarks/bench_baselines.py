@@ -1,0 +1,141 @@
+"""Baseline comparisons (Section II.D positioning).
+
+1. **Nuglets vs VCG** — the fixed-price scheme's inescapable trade-off:
+   sweep the nuglet price and record blocking probability vs overpayment;
+   VCG sits at zero blocking with a small ratio simultaneously.
+2. **Ad hoc-VCG bound** — the measured Figure-3-style ratios sit far
+   below the Anderegg-Eidenbenz ``1 + 2 c_max/c_min`` spread bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.adhoc_vcg import eidenbenz_overpayment_bound
+from repro.baselines.nuglets import nuglet_network_summary
+from repro.core.link_vcg import all_sources_link_payments
+from repro.core.overpayment import overpayment_summary
+from repro.core.vcg_unicast import vcg_unicast_payments
+from repro.graph import generators as gen
+from repro.utils.tables import ascii_table
+from repro.wireless.deployment import sample_udg_deployment
+
+from conftest import emit
+
+
+def test_nuglet_tradeoff_vs_vcg(benchmark, scale):
+    g = gen.random_biconnected_graph(40, extra_edge_prob=0.12, seed=404)
+    prices = (1.0, 2.0, 4.0, 8.0, 12.0)
+    rows = []
+    benchmark.pedantic(
+        lambda: nuglet_network_summary(g, price=prices[0]), rounds=1, iterations=1
+    )
+    for price in prices:
+        s = nuglet_network_summary(g, price=price)
+        rows.append(
+            [price, s.blocking_probability, s.overpayment_ratio]
+        )
+    # VCG on the same instance: no blocking, per-node prices
+    payments = []
+    for i in range(1, g.n):
+        payments.append(vcg_unicast_payments(g, i, 0, on_monopoly="inf"))
+    vcg = overpayment_summary(payments)
+    rows.append(["VCG", 0.0, vcg.tor])
+    emit(
+        ascii_table(
+            ["price", "blocking", "payment/cost"],
+            rows,
+            title="nuglet fixed price vs VCG (40-node instance)",
+        )
+    )
+    # the paper's point: any price either blocks sessions or overpays
+    # relative to VCG's simultaneous (no blocking, small ratio) point.
+    blocked = [r[1] for r in rows[:-1]]
+    ratios = [r[2] for r in rows[:-1] if np.isfinite(r[2])]
+    assert blocked[0] > 0.0  # cheap price blocks someone
+    assert max(ratios) > vcg.tor  # expensive price overpays vs VCG
+    assert vcg.tor >= 1.0
+
+
+def test_measured_ratio_far_below_spread_bound(benchmark, scale):
+    dep = sample_udg_deployment(100 if not scale.full else 300, seed=55)
+    table = benchmark.pedantic(
+        lambda: all_sources_link_payments(dep.digraph, root=0),
+        rounds=1,
+        iterations=1,
+    )
+    summary = overpayment_summary(table)
+    bound = eidenbenz_overpayment_bound(dep.digraph)
+    emit(
+        "measured TOR vs Anderegg-Eidenbenz spread bound:\n"
+        f"  TOR {summary.tor:.3f} vs bound {bound.ratio_bound:.1f} "
+        f"(spread {bound.spread:.1f})"
+    )
+    assert summary.tor < bound.ratio_bound
+    # and not marginally: the empirical story is a wide gap
+    assert summary.tor < 0.5 * bound.ratio_bound
+
+
+def test_nuglet_summary_speed(benchmark):
+    g = gen.random_biconnected_graph(60, extra_edge_prob=0.1, seed=405)
+    benchmark(lambda: nuglet_network_summary(g, price=5.0))
+
+
+def test_edge_agents_vs_node_agents(benchmark, scale):
+    """Positioning vs Nisan-Ronen (II.D): pricing *devices* (node agents)
+    is never cheaper than pricing *wires* (edge agents) on the same
+    instance, because removing a node severs all its edges at once — the
+    node-agent detour is at least as long as any single-edge detour."""
+    from repro.baselines.nisan_ronen import nisan_ronen_payments
+    from repro.core.fast_link_payment import fast_link_vcg_payments
+    from repro.graph.link_graph import LinkWeightedDigraph
+    from repro.utils.rng import as_rng
+
+    def build(seed):
+        rng = as_rng(seed)
+        n = 24
+        perm = rng.permutation(n)
+        edges = {}
+        for i in range(n):
+            u, v = int(perm[i]), int(perm[(i + 1) % n])
+            edges[(min(u, v), max(u, v))] = float(rng.uniform(1, 10))
+        iu, ju = np.triu_indices(n, k=1)
+        pick = rng.random(iu.shape[0]) < 0.15
+        for u, v in zip(iu[pick].tolist(), ju[pick].tolist()):
+            edges.setdefault((u, v), float(rng.uniform(1, 10)))
+        return LinkWeightedDigraph.from_undirected(
+            n, [(u, v, w) for (u, v), w in edges.items()]
+        )
+
+    def run():
+        rows = []
+        dominance_checked = 0
+        for seed in range(10):
+            dg = build(seed)
+            s, t = 5, 0
+            edge = nisan_ronen_payments(dg, s, t, on_monopoly="inf")
+            node = fast_link_vcg_payments(dg, s, t, on_monopoly="inf")
+            path = node.path
+            rows.append((seed, edge.total_payment, node.total_payment))
+            # per-relay dominance: removing relay k severs a superset of
+            # the single edge (k, next), so the k-avoiding detour is at
+            # least the edge-avoiding one and p_node(k) >= p_edge(k, next).
+            for idx in range(1, len(path) - 1):
+                k, nxt = path[idx], path[idx + 1]
+                p_node = node.payment(k)
+                p_edge = edge.payment(k, nxt)
+                if np.isfinite(p_node) and np.isfinite(p_edge):
+                    assert p_node >= p_edge - 1e-9, (seed, k)
+                    dominance_checked += 1
+        return rows, dominance_checked
+
+    rows, dominance_checked = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "edge-agent (Nisan-Ronen) vs node-agent (paper) total payments\n"
+        "(edge totals include the source's own first link; node payments\n"
+        " go to relays only — the per-relay dominance is the theorem):\n"
+        + "\n".join(
+            f"  seed {s}: edges {e:8.3f}  nodes {n:8.3f}" for s, e, n in rows
+        )
+        + f"\n  per-relay dominance checks passed: {dominance_checked}"
+    )
+    assert dominance_checked > 0

@@ -1,0 +1,107 @@
+"""Ablation: what the Section III.E collusion resistance costs.
+
+The neighbour scheme pays ``||P_{-N(v_k)}||``-based premiums instead of
+``||P_{-v_k}||``-based ones, so it is strictly more expensive for the
+source. This bench quantifies the premium over random instances — the
+price of robustness against neighbouring colluders — and times both
+schemes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.collusion import neighbor_collusion_payments
+from repro.core.vcg_unicast import vcg_unicast_payments
+from repro.graph import generators as gen
+
+from conftest import emit
+
+
+def _instances(count: int, n: int = 16):
+    return [gen.random_neighbor_safe_graph(n, seed=500 + i) for i in range(count)]
+
+
+def test_vcg_payment_speed(benchmark):
+    g = _instances(1, n=40)[0]
+    benchmark(lambda: vcg_unicast_payments(g, 20, 0))
+
+
+def test_neighbor_scheme_speed(benchmark):
+    g = _instances(1, n=40)[0]
+    benchmark(lambda: neighbor_collusion_payments(g, 20, 0))
+
+
+def test_collusion_premium(benchmark, scale):
+    count = 10 if not scale.full else 100
+    premiums = []
+    warm = _instances(1)[0]
+    benchmark.pedantic(
+        lambda: neighbor_collusion_payments(warm, warm.n // 2, 0),
+        rounds=1,
+        iterations=1,
+    )
+    for g in _instances(count):
+        plain = vcg_unicast_payments(g, g.n // 2, 0)
+        guarded = neighbor_collusion_payments(g, g.n // 2, 0)
+        if plain.lcp_cost <= 0:
+            continue
+        # the guarded scheme pays every relay at least as much ...
+        for k in plain.relays:
+            assert guarded.payment(k) >= plain.payment(k) - 1e-9
+        # ... plus possibly positive side payments to off-path neighbours
+        premiums.append(
+            (guarded.total_payment - plain.total_payment) / plain.total_payment
+        )
+    premiums = np.asarray(premiums)
+    emit(
+        "neighbour-collusion premium over plain VCG (fraction of payment):\n"
+        f"  mean {premiums.mean():.3f}, median {np.median(premiums):.3f}, "
+        f"max {premiums.max():.3f} over {premiums.size} instances"
+    )
+    assert (premiums >= -1e-9).all()
+    assert premiums.mean() > 0.0  # robustness is never free on these graphs
+
+
+def test_premium_vs_collusion_radius(benchmark, scale):
+    """Generalized Q(v_k) ablation: the premium grows with the radius of
+    the coalition the scheme must deter (Section III.E's generalized
+    scheme with Q = k-hop balls). Radius 0 is plain VCG."""
+    from repro.core.collusion import group_collusion_payments
+
+    count = 6 if not scale.full else 30
+    radii = (0, 1, 2)
+    instances = [
+        gen.random_neighbor_safe_graph(18, seed=700 + i) for i in range(count)
+    ]
+
+    def run():
+        totals = {r: [] for r in radii}
+        for g in instances:
+            src = g.n // 2
+            for r in radii:
+                groups = {
+                    k: g.k_hop_neighborhood(k, r) for k in range(g.n)
+                }
+                try:
+                    out = group_collusion_payments(
+                        g, src, 0, groups=groups, on_monopoly="raise"
+                    )
+                except Exception:
+                    continue  # wider balls may disconnect: skip instance
+                totals[r].append(out.total_payment)
+        return totals
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    means = {
+        r: float(np.mean(v)) for r, v in totals.items() if v
+    }
+    emit(
+        "total payment vs collusion radius (Q = k-hop balls):\n"
+        + "\n".join(
+            f"  radius {r}: mean total payment {m:.3f} "
+            f"({len(totals[r])} instances)"
+            for r, m in sorted(means.items())
+        )
+    )
+    # deterring wider coalitions costs weakly more
+    assert means[1] >= means[0] - 1e-9

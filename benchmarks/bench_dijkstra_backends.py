@@ -1,0 +1,60 @@
+"""Backend ablation: pure-Python reference vs compiled scipy Dijkstra.
+
+Per the HPC guides ("use compiled code" as the last step after the
+algorithmic work), the evaluation sweeps run on the scipy backend. This
+bench quantifies the gap and re-checks exact agreement on the bench
+instances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.dijkstra import link_weighted_spt, node_weighted_spt
+
+
+@pytest.fixture(scope="module")
+def node_instance():
+    return gen.random_biconnected_graph(400, extra_edge_prob=0.02, seed=321)
+
+
+@pytest.fixture(scope="module")
+def link_instance():
+    return gen.random_robust_digraph(400, extra_arc_prob=0.02, seed=321)
+
+
+def test_node_spt_python(benchmark, node_instance):
+    spt = benchmark(lambda: node_weighted_spt(node_instance, 0, backend="python"))
+    assert np.isfinite(spt.dist).all()
+
+
+def test_node_spt_scipy(benchmark, node_instance):
+    spt = benchmark(lambda: node_weighted_spt(node_instance, 0, backend="scipy"))
+    assert np.isfinite(spt.dist).all()
+
+
+def test_link_spt_python(benchmark, link_instance):
+    spt = benchmark(
+        lambda: link_weighted_spt(link_instance, 0, direction="to", backend="python")
+    )
+    assert np.isfinite(spt.dist).all()
+
+
+def test_link_spt_scipy(benchmark, link_instance):
+    spt = benchmark(
+        lambda: link_weighted_spt(link_instance, 0, direction="to", backend="scipy")
+    )
+    assert np.isfinite(spt.dist).all()
+
+
+def test_backends_agree_on_bench_instances(benchmark, node_instance, link_instance):
+    a = benchmark.pedantic(
+        lambda: node_weighted_spt(node_instance, 0, backend="python"),
+        rounds=1,
+        iterations=1,
+    )
+    b = node_weighted_spt(node_instance, 0, backend="scipy")
+    assert np.allclose(a.dist, b.dist)
+    c = link_weighted_spt(link_instance, 0, direction="to", backend="python")
+    d = link_weighted_spt(link_instance, 0, direction="to", backend="scipy")
+    assert np.allclose(c.dist, d.dist)

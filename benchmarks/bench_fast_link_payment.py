@@ -1,0 +1,81 @@
+"""Section III.F's final claim: Algorithm 1 carries over to the link model.
+
+Times the symmetric-link fast payment computation against the per-relay
+removal method on UDG-style instances, and asserts exact agreement.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.fast_link_payment import fast_link_vcg_payments
+from repro.core.link_vcg import link_vcg_payments
+from repro.graph.link_graph import LinkWeightedDigraph
+from repro.utils.rng import as_rng
+
+from conftest import emit
+
+
+def _symmetric_sparse(n: int, seed: int = 3) -> tuple[LinkWeightedDigraph, int, int]:
+    """Near-cycle symmetric instance with endpoints half a cycle apart,
+    so the LCP has Theta(n) relays (the naive method's worst regime)."""
+    rng = as_rng(seed)
+    perm = rng.permutation(n)
+    edges = {}
+    for i in range(n):
+        u, v = int(perm[i]), int(perm[(i + 1) % n])
+        edges[(min(u, v), max(u, v))] = float(rng.uniform(1, 10))
+    iu, ju = np.triu_indices(n, k=1)
+    pick = rng.random(iu.shape[0]) < (0.5 / n)
+    for u, v in zip(iu[pick].tolist(), ju[pick].tolist()):
+        edges.setdefault((u, v), float(rng.uniform(1, 10)))
+    dg = LinkWeightedDigraph.from_undirected(
+        n, [(u, v, w) for (u, v), w in edges.items()]
+    )
+    return dg, int(perm[0]), int(perm[n // 2])
+
+
+@pytest.mark.parametrize("n", [100, 300])
+def test_fast_link_payment_speed(benchmark, n):
+    dg, s, t = _symmetric_sparse(n)
+    result = benchmark(lambda: fast_link_vcg_payments(dg, s, t))
+    assert result.total_payment >= result.lcp_cost - 1e-9
+
+
+def test_fast_link_matches_and_beats_naive(benchmark, scale):
+    sizes = (200, 400) if not scale.full else (200, 400, 800)
+    # warm-up
+    dg0, s0, t0 = _symmetric_sparse(40)
+    fast_link_vcg_payments(dg0, s0, t0)
+    link_vcg_payments(dg0, s0, t0)
+    rows = []
+    for n in sizes:
+        dg, s, t = _symmetric_sparse(n)
+        fast = fast_link_vcg_payments(dg, s, t, on_monopoly="inf")
+        naive = link_vcg_payments(dg, s, t, on_monopoly="inf")
+        for k in naive.relays:
+            assert fast.payment(k) == pytest.approx(naive.payment(k), abs=1e-6)
+        t0 = time.perf_counter()
+        fast_link_vcg_payments(dg, s, t, on_monopoly="inf")
+        t_fast = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        link_vcg_payments(dg, s, t, on_monopoly="inf")
+        t_naive = time.perf_counter() - t0
+        rows.append((n, len(fast.relays), t_fast, t_naive, t_naive / t_fast))
+    emit(
+        "fast vs per-removal link-model payments (symmetric, near-cycle)\n"
+        + "\n".join(
+            f"  n={n:5d} relays={r:3d} fast={tf * 1e3:8.2f} ms "
+            f"naive={tn * 1e3:9.2f} ms speedup={sp:6.1f}x"
+            for n, r, tf, tn, sp in rows
+        )
+    )
+    benchmark.pedantic(
+        lambda: fast_link_vcg_payments(
+            *_symmetric_sparse(sizes[-1]), on_monopoly="inf"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert rows[-1][4] > 2.0

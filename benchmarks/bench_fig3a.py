@@ -1,0 +1,34 @@
+"""Figure 3(a): IOR vs TOR on UDG topologies with kappa = 2.
+
+Paper claim (Section III.G): "these two metrics are almost the same and
+both of them are stable when the number of nodes increases", with values
+"around 1.5".
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig3a
+
+from conftest import emit
+
+
+def _build(scale):
+    return fig3a(n_values=scale.n_values, instances=scale.instances, seed=2004)
+
+
+def test_fig3a_reproduction(benchmark, scale):
+    series = benchmark.pedantic(_build, args=(scale,), rounds=1, iterations=1)
+    emit(series.render())
+
+    ior = np.asarray(series.series["IOR"])
+    tor = np.asarray(series.series["TOR"])
+    # sane, finite, VCG-consistent ratios
+    assert np.isfinite(ior).all() and np.isfinite(tor).all()
+    assert (ior >= 1.0).all() and (tor >= 1.0).all()
+    # (1) IOR and TOR nearly coincide
+    assert np.all(np.abs(ior - tor) / tor < 0.30)
+    # (2) both stable in n: no order-of-magnitude drift across the sweep
+    assert ior.max() / ior.min() < 2.5
+    assert tor.max() / tor.min() < 2.5
+    # (3) in the paper's ballpark ("around 1.5"): small single digits
+    assert ior.mean() < 4.0

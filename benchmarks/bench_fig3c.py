@@ -1,0 +1,40 @@
+"""Figure 3(c): average and worst overpayment ratio, UDG, kappa = 2.5.
+
+Same shape as 3(b) at the steeper path-loss exponent; the paper shows the
+ratios remain in the same small band — steeper attenuation changes link
+costs but not the relative detour structure much.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig3b, fig3c
+
+from conftest import emit
+
+
+def _build(scale):
+    return fig3c(n_values=scale.n_values, instances=scale.instances, seed=2004)
+
+
+def test_fig3c_reproduction(benchmark, scale):
+    series = benchmark.pedantic(_build, args=(scale,), rounds=1, iterations=1)
+    emit(series.render())
+
+    avg = np.asarray(series.series["avg ratio (IOR)"])
+    worst_avg = np.asarray(series.series["avg worst ratio"])
+    assert (avg >= 1.0).all()
+    assert (worst_avg >= avg - 1e-9).all()
+    assert avg.max() / avg.min() < 2.5
+
+
+def test_fig3c_vs_fig3b_same_band(benchmark, scale):
+    """Cross-panel shape: kappa = 2.5 stays in the same small band as
+    kappa = 2 (the paper plots them on identical axes)."""
+    b = benchmark.pedantic(
+        fig3b,
+        kwargs=dict(n_values=scale.n_values[:2], instances=scale.instances, seed=2004),
+        rounds=1, iterations=1,
+    )
+    c = fig3c(n_values=scale.n_values[:2], instances=scale.instances, seed=2004)
+    for vb, vc in zip(b.series["avg ratio (IOR)"], c.series["avg ratio (IOR)"]):
+        assert vc < 3.0 * vb and vb < 3.0 * vc

@@ -1,0 +1,39 @@
+"""Figure 3(d): overpayment ratio versus hop distance to the source.
+
+Paper shape: "The average overpayment ratio of a node stays almost stable
+regardless of the hop distance to the source. The maximum overpayment
+ratio decreases when the hop distance increases" — long paths smooth out
+the oscillation of the relay-cost difference.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig3d
+
+from conftest import emit
+
+
+def _build(scale):
+    return fig3d(n=scale.fig3d_n, instances=scale.instances, seed=2004)
+
+
+def test_fig3d_reproduction(benchmark, scale):
+    series = benchmark.pedantic(_build, args=(scale,), rounds=1, iterations=1)
+    emit(series.render())
+
+    hops = np.asarray(series.x)
+    mean = np.asarray(series.series["avg ratio"])
+    mx = np.asarray(series.series["max ratio"])
+    count = np.asarray(series.series["sources"])
+    assert (mx >= mean - 1e-9).all()
+
+    # Restrict the shape tests to well-populated buckets (tails are noise).
+    solid = count >= max(3, count.max() // 10)
+    if solid.sum() >= 4:
+        h, m, x = hops[solid], mean[solid], mx[solid]
+        third = max(1, len(h) // 3)
+        near, far = slice(0, third), slice(len(h) - third, len(h))
+        # (1) the average stays within a modest band across hop distances
+        assert m[far].mean() < 2.0 * m[near].mean() + 1e-9
+        # (2) the maximum decreases with hop distance
+        assert x[far].mean() <= x[near].mean() + 1e-9

@@ -1,0 +1,26 @@
+"""Figure 3(f): heterogeneous-range "random graph", kappa = 2.5.
+
+Same as 3(e) with the steeper path-loss exponent.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig3f
+
+from conftest import emit
+
+
+def _build(scale):
+    return fig3f(n_values=scale.n_values, instances=scale.instances, seed=2004)
+
+
+def test_fig3f_reproduction(benchmark, scale):
+    series = benchmark.pedantic(_build, args=(scale,), rounds=1, iterations=1)
+    emit(series.render())
+
+    avg = np.asarray(series.series["avg ratio (IOR)"])
+    worst_avg = np.asarray(series.series["avg worst ratio"])
+    assert np.isfinite(avg).all()
+    assert (avg >= 1.0).all()
+    assert (worst_avg >= avg - 1e-9).all()
+    assert avg.mean() < 6.0

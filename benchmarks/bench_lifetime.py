@@ -1,0 +1,85 @@
+"""The introduction's argument, quantified: cooperation regimes compared.
+
+"If he accepts all relay requests, he might run out of energy
+prematurely. ... he might decide to reject all relay requests. If every
+user argues in this fashion, then the throughput ... will drop
+dramatically. ... a stimulation mechanism is required."
+
+This bench runs the same workload under four regimes and prints the
+resulting delivery ratios and death counts:
+
+* altruist (always relay, unpaid) — high throughput, burned-out relays;
+* selfish (never relay, unpaid) — throughput collapse;
+* rational + VCG (the paper) — cooperation restored, energy compensated;
+* GTFT balance heuristic [1] — partial cooperation without money.
+"""
+
+import numpy as np
+
+from repro.accounting.sessions import uniform_workload
+from repro.graph import generators as gen
+from repro.lifetime import (
+    AlwaysRelay,
+    GtftRelay,
+    NeverRelay,
+    PaidRelay,
+    simulate_lifetime,
+)
+from repro.utils.tables import ascii_table
+
+from conftest import emit
+
+
+def _run_regimes(n_sessions: int, seed: int = 5):
+    g = gen.random_biconnected_graph(30, extra_edge_prob=0.12, seed=seed)
+    regimes = [
+        ("altruist/none", AlwaysRelay, "none", {}),
+        ("selfish/none", NeverRelay, "none", {}),
+        ("rational/vcg", PaidRelay, "vcg", {}),
+        ("gtft/none", lambda: GtftRelay(generosity=20.0), "none", {}),
+    ]
+    results = {}
+    for name, factory, pricing, kw in regimes:
+        workload = list(
+            uniform_workload(g.n, n_sessions, seed=9, packet_range=(1, 5))
+        )
+        policies = [factory() for _ in range(g.n)]
+        results[name] = simulate_lifetime(
+            g, workload, policies, 500.0, pricing=pricing, **kw
+        )
+    return results
+
+
+def test_cooperation_regimes(benchmark, scale):
+    n_sessions = 300 if not scale.full else 1500
+    results = benchmark.pedantic(
+        _run_regimes, args=(n_sessions,), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            name,
+            f"{res.delivery_ratio:.1%}",
+            res.deaths,
+            res.first_death_session if res.first_death_session is not None else "-",
+            round(res.total_payments, 1),
+        ]
+        for name, res in results.items()
+    ]
+    emit(
+        ascii_table(
+            ["regime", "delivered", "deaths", "first death", "payments"],
+            rows,
+            title=f"cooperation regimes over {n_sessions} sessions "
+            "(30 nodes, battery 500)",
+        )
+    )
+    selfish = results["selfish/none"]
+    vcg = results["rational/vcg"]
+    altruist = results["altruist/none"]
+    gtft = results["gtft/none"]
+    # the paper's argument, as assertions:
+    assert selfish.delivery_ratio < 0.5 * altruist.delivery_ratio
+    assert vcg.delivery_ratio > 2 * selfish.delivery_ratio
+    assert vcg.delivery_ratio > 0.9 * altruist.delivery_ratio
+    assert gtft.delivery_ratio < vcg.delivery_ratio  # heuristic, unpaid
+    assert vcg.total_payments > 0 and selfish.total_payments == 0

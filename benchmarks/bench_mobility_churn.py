@@ -1,0 +1,55 @@
+"""Ablation: pricing churn under mobility (static-network assumption).
+
+Section III.C's convergence argument assumes a static network. This bench
+sweeps the drift intensity and reports how much of the pricing state
+survives an epoch — quantifying how often the distributed protocol would
+have to re-run in a mobile deployment. (Extension experiment; see
+DESIGN.md and `repro.analysis.churn`.)
+"""
+
+import numpy as np
+
+from repro.analysis.churn import mobility_churn_experiment
+from repro.utils.tables import ascii_table
+from repro.wireless.geometry import PAPER_REGION
+from repro.wireless.mobility import GaussianDrift
+
+from conftest import emit
+
+
+def test_churn_vs_drift(benchmark, scale):
+    sigmas = (10.0, 40.0, 160.0)
+    n = 80 if not scale.full else 200
+    epochs = 3 if not scale.full else 8
+
+    def run_all():
+        return [
+            mobility_churn_experiment(
+                GaussianDrift(PAPER_REGION, sigma=s), n=n, epochs=epochs, seed=7
+            )
+            for s in sigmas
+        ]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        [
+            s,
+            f"{r.mean('route_churn'):.1%}",
+            f"{r.mean('next_hop_churn'):.1%}",
+            f"{r.mean('repriced_fraction'):.1%}",
+        ]
+        for s, r in zip(sigmas, results)
+    ]
+    emit(
+        ascii_table(
+            ["drift m/epoch", "route churn", "next-hop churn", "repriced"],
+            rows,
+            title=f"pricing churn under Gaussian drift (n={n}, {epochs} epochs)",
+        )
+    )
+    route = [r.mean("route_churn") for r in results]
+    repriced = [r.mean("repriced_fraction") for r in results]
+    # monotone-ish: more motion, more churn; repricing dominates rerouting
+    assert route[-1] >= route[0] - 1e-9
+    for rt, rp in zip(route, repriced):
+        assert rp >= rt - 1e-9

@@ -1,0 +1,50 @@
+"""Ablation: overpayment vs network density (transmission range sweep).
+
+The paper fixes the UDG range at 300 m; this bench varies it and checks
+the alternatives intuition — denser networks have tighter detours, hence
+smaller incentive premiums, while sparse networks approach the monopoly
+cliff the biconnectivity assumption exists to avoid.
+"""
+
+import numpy as np
+
+from repro.analysis.sensitivity import range_sensitivity
+from repro.utils.tables import ascii_table
+
+from conftest import emit
+
+
+def test_range_sweep(benchmark, scale):
+    ranges = (250.0, 350.0, 500.0)
+    instances = 4 if not scale.full else 20
+    points = benchmark.pedantic(
+        range_sensitivity,
+        args=(ranges,),
+        kwargs=dict(n=120, instances=instances),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        ascii_table(
+            ["range (m)", "mean degree", "IOR", "TOR", "monopolized"],
+            [
+                [
+                    p.range_m,
+                    round(p.mean_degree.mean, 1),
+                    round(p.ior.mean, 3),
+                    round(p.tor.mean, 3),
+                    f"{p.monopoly_fraction.mean:.1%}",
+                ]
+                for p in points
+            ],
+            title=f"overpayment vs transmission range (n=120, {instances} instances)",
+        )
+    )
+    # density up -> degree up, overpayment down, monopolies vanish
+    degrees = [p.mean_degree.mean for p in points]
+    iors = [p.ior.mean for p in points]
+    monos = [p.monopoly_fraction.mean for p in points]
+    assert degrees == sorted(degrees)
+    assert iors[-1] <= iors[0] + 1e-9
+    assert monos[-1] <= monos[0] + 1e-9
+    assert all(i >= 1.0 for i in iors)

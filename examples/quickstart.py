@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: price one unicast request with the paper's VCG mechanism.
+
+Builds a random biconnected network of selfish nodes, routes a packet
+from a source to the access point over the least cost path, and computes
+the strategyproof payment to every relay (Section III.A) — then shows
+why lying does not pay.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import generators, relay_utility, vcg_unicast_payments
+
+
+def main() -> None:
+    # 1. A 30-node network; node 0 is the access point. Every node has a
+    #    private relaying cost drawn uniformly from [1, 10].
+    g = generators.random_biconnected_graph(30, extra_edge_prob=0.15, seed=7)
+    source, access_point = 17, 0
+
+    # 2. Everyone declares a cost (here: truthfully) and the mechanism
+    #    computes the least cost path and the VCG payments.
+    result = vcg_unicast_payments(g, source, access_point)
+    print(result.describe())
+    print(f"route relays and payments (payment >= declared cost, always):")
+    for relay in result.relays:
+        print(
+            f"  relay {relay:2d}: cost {g.costs[relay]:6.3f}  "
+            f"paid {result.payment(relay):6.3f}  "
+            f"profit {relay_utility(result, g.costs, relay):6.3f}"
+        )
+    print(
+        f"source pays {result.total_payment:.3f} for a path costing "
+        f"{result.lcp_cost:.3f} -> overpayment ratio "
+        f"{result.overpayment_ratio:.3f}"
+    )
+
+    # 3. Strategyproofness in action: the first relay tries inflating and
+    #    shading its declared cost. Its *true* utility never improves.
+    relay = result.relays[0]
+    truthful_utility = relay_utility(result, g.costs, relay)
+    print(f"\nrelay {relay} experiments with false declarations:")
+    for factor in (0.0, 0.5, 2.0, 10.0):
+        declared = float(g.costs[relay]) * factor
+        outcome = vcg_unicast_payments(
+            g.with_declaration(relay, declared), source, access_point
+        )
+        utility = relay_utility(outcome, g.costs, relay)
+        verdict = "no gain" if utility <= truthful_utility + 1e-9 else "GAIN?!"
+        print(
+            f"  declares {declared:7.3f} (x{factor:4.1f}) -> "
+            f"utility {utility:6.3f}  [{verdict}]"
+        )
+    print(
+        f"  truthful utility {truthful_utility:.3f} is optimal — "
+        "declaring the true cost is a dominant strategy."
+    )
+
+
+if __name__ == "__main__":
+    main()

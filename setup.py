@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+the package installs in fully offline environments where the ``wheel``
+package is unavailable and PEP-517 editable installs therefore fail:
+
+    python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,87 @@
+"""repro — reproduction of *Truthful Low-Cost Unicast in Selfish Wireless
+Networks* (Wang & Li, IPPS 2004).
+
+A wireless ad hoc network of selfish nodes will not relay packets for
+free; this library implements the paper's answer — a VCG-based,
+strategyproof pricing mechanism for unicast toward an access point — and
+everything around it:
+
+* both network models (scalar node costs, Section II; link-cost vectors
+  with power control, Section III.F);
+* the payment scheme and the O(n log n + m) Algorithm 1 for computing
+  all relay payments at once (Section III.B);
+* the distributed two-stage protocol, including the secured Algorithm 2
+  with cheating detection (Sections III.C-III.D);
+* the collusion analysis: Theorem-7 witnesses, the neighbour-collusion
+  scheme, resale-the-path detection (Sections III.E, III.H);
+* the evaluation: overpayment ratio sweeps regenerating every panel of
+  Figure 3 (Section III.G), plus the baselines of Section II.D.
+
+Quickstart::
+
+    from repro import generators, vcg_unicast_payments
+
+    g = generators.random_biconnected_graph(50, seed=7)
+    result = vcg_unicast_payments(g, source=13, target=0)
+    print(result.describe())
+    for relay in result.relays:
+        print(f"  relay {relay}: cost {g.costs[relay]:.3g}, "
+              f"paid {result.payment(relay):.3g}")
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+figure reproductions.
+"""
+
+from repro.errors import (
+    CheatingDetectedError,
+    DisconnectedError,
+    GraphError,
+    InvalidGraphError,
+    MechanismError,
+    MonopolyError,
+    ProtocolError,
+    ReproError,
+)
+from repro.graph import generators
+from repro.graph.link_graph import LinkWeightedDigraph
+from repro.graph.node_graph import NodeWeightedGraph
+from repro.core.mechanism import UnicastPayment, relay_utility
+from repro.core.vcg_unicast import vcg_unicast_payments
+from repro.core.fast_payment import fast_vcg_payments
+from repro.core.link_vcg import all_sources_link_payments, link_vcg_payments
+from repro.core.collusion import (
+    find_two_agent_collusion,
+    group_collusion_payments,
+    neighbor_collusion_payments,
+)
+from repro.core.overpayment import overpayment_summary, per_hop_breakdown
+from repro.core.resale import find_resale_opportunities
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "InvalidGraphError",
+    "DisconnectedError",
+    "MonopolyError",
+    "MechanismError",
+    "ProtocolError",
+    "CheatingDetectedError",
+    "generators",
+    "NodeWeightedGraph",
+    "LinkWeightedDigraph",
+    "UnicastPayment",
+    "relay_utility",
+    "vcg_unicast_payments",
+    "fast_vcg_payments",
+    "link_vcg_payments",
+    "all_sources_link_payments",
+    "neighbor_collusion_payments",
+    "group_collusion_payments",
+    "find_two_agent_collusion",
+    "overpayment_summary",
+    "per_hop_breakdown",
+    "find_resale_opportunities",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Payment clearing at the access point (Section III.H, "Where to pay").
+
+The mechanism says *how much* each relay is owed; this package is the
+substrate that actually moves the money:
+
+* :mod:`~repro.accounting.ledger` — every node holds a secure account at
+  the access point; sessions are charged to the initiator and credited to
+  the relays, with the paper's safeguards: an initiation must carry the
+  source's signature (so a node cannot repudiate traffic it originated)
+  and a relay is credited only after the destination's signed
+  acknowledgment arrives (so free riders cannot consume relaying without
+  a payable session).
+
+* :mod:`~repro.accounting.sessions` — per-packet vs per-session cost
+  accounting (Section II.C: a source sending ``s`` packets pays
+  ``s * p_i^k`` to each relay) and workload generation.
+
+Cryptographic signatures are modelled as unforgeable provenance tokens
+issued by the substrate (consistent with how the distributed simulator
+stamps message provenance).
+"""
+
+from repro.accounting.ledger import (
+    AccessPointLedger,
+    Account,
+    SettlementRecord,
+    RepudiationError,
+    UnacknowledgedError,
+)
+from repro.accounting.sessions import (
+    Session,
+    SessionBilling,
+    bill_session,
+    uniform_workload,
+    hotspot_workload,
+)
+
+__all__ = [
+    "AccessPointLedger",
+    "Account",
+    "SettlementRecord",
+    "RepudiationError",
+    "UnacknowledgedError",
+    "Session",
+    "SessionBilling",
+    "bill_session",
+    "uniform_workload",
+    "hotspot_workload",
+]

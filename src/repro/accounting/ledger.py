@@ -1,0 +1,192 @@
+"""The access point's ledger (Section III.H, "Where to pay").
+
+"All payment transactions are conducted at the access point v_0. Each
+node v_i has a secure account at node v_0." The ledger enforces the two
+safeguards the paper describes against the two attacks it lists:
+
+* **Repudiation** ("a node may refuse to pay by claiming that he did not
+  initiate some communication"): a settlement requires the *initiator's
+  signature* over the session. Unsigned or mis-signed submissions raise
+  :class:`RepudiationError`.
+
+* **Free riding** ("a relay node may attempt to piggyback data ... with
+  the goal of not having to pay"): relays are credited only when the
+  settlement carries the *destination's signed acknowledgment*; without
+  it nothing is credited and the submission raises
+  :class:`UnacknowledgedError` — piggybacked bytes buy nothing.
+
+Signatures are modelled as substrate-issued capability tokens: only the
+ledger can mint a token for a principal, and tokens cannot be forged by
+constructing them (they are opaque objects compared by identity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.accounting.sessions import SessionBilling
+from repro.errors import ReproError
+
+__all__ = [
+    "Account",
+    "AccessPointLedger",
+    "SettlementRecord",
+    "Signature",
+    "RepudiationError",
+    "UnacknowledgedError",
+]
+
+
+class RepudiationError(ReproError):
+    """Settlement rejected: the initiator's signature is missing/invalid."""
+
+
+class UnacknowledgedError(ReproError):
+    """Settlement rejected: no valid destination acknowledgment."""
+
+
+@dataclass(frozen=True, eq=False)
+class Signature:
+    """An unforgeable token binding a principal to a session payload.
+
+    Only :meth:`AccessPointLedger.sign` creates instances; equality is
+    identity, so holding a *different* Signature object with identical
+    fields does not verify (that is the unforgeability model).
+    """
+
+    principal: int
+    payload: object
+
+
+@dataclass
+class Account:
+    """One node's balance and traffic counters at the access point."""
+
+    node: int
+    balance: float = 0.0
+    sessions_initiated: int = 0
+    sessions_relayed: int = 0
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"node {self.node}: balance {self.balance:+.3f} "
+            f"({self.sessions_initiated} initiated, "
+            f"{self.sessions_relayed} relayed)"
+        )
+
+
+@dataclass(frozen=True)
+class SettlementRecord:
+    """An immutable audit-log entry for one settled session."""
+
+    billing: SessionBilling
+    sequence: int
+
+
+class AccessPointLedger:
+    """Account book + settlement rules at ``v_0``.
+
+    Typical flow (see ``examples``/``tests``)::
+
+        ledger = AccessPointLedger(n)
+        init_sig = ledger.sign(source, session)        # source's radio signs
+        ...   # packets flow source -> relays -> AP
+        ack_sig = ledger.sign(ledger.ap, session)      # AP acknowledges
+        ledger.settle(billing, init_sig, ack_sig)
+
+    Accounts may go negative (the AP extends credit and settles with the
+    operator out of band); what the ledger guarantees is conservation —
+    the sum of all balances is always 0 — plus the two safeguards.
+    """
+
+    def __init__(self, n: int, ap: int = 0) -> None:
+        if n < 1:
+            raise ValueError(f"need at least one node, got {n}")
+        if not 0 <= ap < n:
+            raise ValueError(f"access point {ap} out of range for {n} nodes")
+        self.n = int(n)
+        self.ap = int(ap)
+        self.accounts = {i: Account(node=i) for i in range(n)}
+        self.log: list[SettlementRecord] = []
+        self._minted: set[int] = set()
+
+    # -- signatures -----------------------------------------------------------
+
+    def sign(self, principal: int, payload: object) -> Signature:
+        """Mint a signature of ``principal`` over ``payload``.
+
+        In a deployment this is the node's private key at work; here the
+        substrate mints the token (and remembers it) so that possession
+        of a *ledger-minted* token is the only way to verify.
+        """
+        if not 0 <= principal < self.n:
+            raise ValueError(f"unknown principal {principal}")
+        sig = Signature(principal=principal, payload=payload)
+        self._minted.add(id(sig))
+        return sig
+
+    def _verify(self, sig: object, principal: int, payload: object) -> bool:
+        return (
+            isinstance(sig, Signature)
+            and id(sig) in self._minted
+            and sig.principal == principal
+            and sig.payload == payload
+        )
+
+    # -- settlement -----------------------------------------------------------
+
+    def settle(
+        self,
+        billing: SessionBilling,
+        initiation_sig: object,
+        ack_sig: object,
+    ) -> SettlementRecord:
+        """Apply one session's charges/credits, enforcing the safeguards."""
+        session = billing.session
+        if not self._verify(initiation_sig, session.source, session):
+            raise RepudiationError(
+                f"session from node {session.source} lacks a valid "
+                "initiator signature — charge refused"
+            )
+        if not self._verify(ack_sig, self.ap, session):
+            raise UnacknowledgedError(
+                f"session from node {session.source} lacks the access "
+                "point's signed acknowledgment — nothing is credited"
+            )
+        if not billing.is_balanced():
+            raise ValueError(
+                f"unbalanced billing: charge {billing.charge} != "
+                f"credits {billing.total_credit}"
+            )
+        src = self.accounts[session.source]
+        src.balance -= billing.charge
+        src.sessions_initiated += 1
+        for relay, credit in billing.credits.items():
+            acct = self.accounts[relay]
+            acct.balance += credit
+            acct.sessions_relayed += 1
+        record = SettlementRecord(billing=billing, sequence=len(self.log))
+        self.log.append(record)
+        return record
+
+    # -- reporting -----------------------------------------------------------
+
+    def balance(self, node: int) -> float:
+        """Current account balance (ledger) / energy balance (policy)."""
+        return self.accounts[node].balance
+
+    def total_balance(self) -> float:
+        """Conservation check: always 0 (the AP only moves money)."""
+        return float(sum(a.balance for a in self.accounts.values()))
+
+    def top_earners(self, k: int = 5) -> list[Account]:
+        """Accounts sorted by balance, best first."""
+        return sorted(
+            self.accounts.values(), key=lambda a: -a.balance
+        )[:k]
+
+    def statement(self) -> Mapping[int, float]:
+        """Balances of every account, keyed by node id."""
+        return {i: a.balance for i, a in sorted(self.accounts.items())}

@@ -1,0 +1,141 @@
+"""Sessions and per-packet billing (Sections II.C and III.H).
+
+The mechanism prices a *unit* of relaying; a connection-oriented session
+carrying ``s`` packets multiplies every payment by ``s`` ("the actual
+payment of v_i to a node v_k will be s * p_i^k"). :func:`bill_session`
+turns a priced route into the concrete ledger entries for one session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.core.mechanism import UnicastPayment
+from repro.utils.rng import as_rng
+
+__all__ = ["Session", "SessionBilling", "bill_session", "uniform_workload", "hotspot_workload"]
+
+
+@dataclass(frozen=True)
+class Session:
+    """One connection-oriented transfer from ``source`` toward the AP."""
+
+    source: int
+    packets: int
+
+    def __post_init__(self) -> None:
+        if self.packets < 1:
+            raise ValueError(f"a session carries at least 1 packet, got {self.packets}")
+
+
+@dataclass(frozen=True)
+class SessionBilling:
+    """The money movement of one session: charge + per-relay credits."""
+
+    session: Session
+    route: tuple[int, ...]
+    charge: float  # debited from the source
+    credits: Mapping[int, float]  # credited per relay
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "credits", {int(k): float(v) for k, v in dict(self.credits).items()}
+        )
+
+    @property
+    def total_credit(self) -> float:
+        """Sum of all relay credits of this billing."""
+        return float(sum(self.credits.values()))
+
+    def is_balanced(self, tol: float = 1e-9) -> bool:
+        """The AP neither mints nor destroys money on a session."""
+        return abs(self.charge - self.total_credit) <= tol
+
+
+def bill_session(payment: UnicastPayment, session: Session) -> SessionBilling:
+    """Scale a unit-payment result by the session's packet count.
+
+    The source is charged ``s * p_i`` and each relay credited
+    ``s * p_i^k``; the AP's books balance by construction.
+    """
+    if session.source != payment.source:
+        raise ValueError(
+            f"session source {session.source} does not match payment "
+            f"source {payment.source}"
+        )
+    if any(not np.isfinite(v) for v in payment.payments.values()):
+        raise ValueError("cannot bill a monopolized route (infinite payment)")
+    s = session.packets
+    credits = {k: s * v for k, v in payment.payments.items()}
+    return SessionBilling(
+        session=session,
+        route=payment.path,
+        charge=s * payment.total_payment,
+        credits=credits,
+    )
+
+
+def uniform_workload(
+    n: int,
+    sessions: int,
+    root: int = 0,
+    packet_range: tuple[int, int] = (1, 20),
+    seed=None,
+) -> Iterator[Session]:
+    """Random sessions: uniform sources (excluding the AP), uniform sizes.
+
+    The simple workload used by the accounting examples and benches; the
+    paper's traffic model is per-session unicast toward the AP.
+    """
+    if n < 2:
+        raise ValueError(f"need at least 2 nodes, got {n}")
+    lo, hi = packet_range
+    if not 1 <= lo <= hi:
+        raise ValueError(f"invalid packet range {packet_range}")
+    rng = as_rng(seed)
+    for _ in range(sessions):
+        source = int(rng.integers(0, n - 1))
+        if source >= root:
+            source += 1  # skip the AP
+        yield Session(source=source, packets=int(rng.integers(lo, hi + 1)))
+
+
+def hotspot_workload(
+    n: int,
+    sessions: int,
+    root: int = 0,
+    hotspot_fraction: float = 0.2,
+    hotspot_weight: float = 0.8,
+    packet_range: tuple[int, int] = (1, 20),
+    seed=None,
+) -> Iterator[Session]:
+    """Skewed sessions: a few heavy users generate most of the traffic.
+
+    A fraction ``hotspot_fraction`` of the nodes (chosen at random)
+    originates a ``hotspot_weight`` share of the sessions — the realistic
+    regime for the campus story, and the one where the economy questions
+    (who subsidizes whom, which relays burn out) become sharp. Reduces to
+    :func:`uniform_workload` as ``hotspot_weight -> hotspot_fraction``.
+    """
+    if n < 2:
+        raise ValueError(f"need at least 2 nodes, got {n}")
+    if not 0 < hotspot_fraction < 1:
+        raise ValueError(f"hotspot_fraction must be in (0, 1), got {hotspot_fraction}")
+    if not 0 <= hotspot_weight <= 1:
+        raise ValueError(f"hotspot_weight must be in [0, 1], got {hotspot_weight}")
+    lo, hi = packet_range
+    if not 1 <= lo <= hi:
+        raise ValueError(f"invalid packet range {packet_range}")
+    rng = as_rng(seed)
+    population = [i for i in range(n) if i != root]
+    k = max(1, int(round(hotspot_fraction * len(population))))
+    hot_idx = rng.choice(len(population), size=k, replace=False)
+    hot = [population[int(i)] for i in hot_idx]
+    cold = [v for v in population if v not in set(hot)] or hot
+    for _ in range(sessions):
+        pool = hot if rng.random() < hotspot_weight else cold
+        source = pool[int(rng.integers(len(pool)))]
+        yield Session(source=source, packets=int(rng.integers(lo, hi + 1)))

@@ -1,0 +1,63 @@
+"""Experiment harness: sweeps, aggregation, figure series, reporting.
+
+The evaluation (Section III.G / Figure 3) is a family of parameter sweeps
+over random wireless instances. :mod:`~repro.analysis.experiments` runs
+one (deployment kind, n, kappa) point over many seeded instances;
+:mod:`~repro.analysis.figures` assembles the exact series each Figure-3
+panel plots; :mod:`~repro.analysis.reporting` renders them as text/markdown
+tables (the repository's substitute for the paper's plots).
+"""
+
+from repro.analysis.stats import Stats, aggregate
+from repro.analysis.experiments import (
+    InstanceMetrics,
+    SweepPoint,
+    SweepResult,
+    run_overpayment_instance,
+    sweep_overpayment,
+)
+from repro.analysis.figures import (
+    FigureSeries,
+    fig3a,
+    fig3b,
+    fig3c,
+    fig3d,
+    fig3e,
+    fig3f,
+    ALL_FIGURES,
+)
+from repro.analysis.reporting import render_ascii, render_markdown
+from repro.analysis.churn import ChurnResult, mobility_churn_experiment
+from repro.analysis.sensitivity import RangePoint, range_sensitivity
+from repro.analysis.diagnostics import (
+    frugality_summary,
+    gap_by_hops,
+    relay_gaps,
+)
+
+__all__ = [
+    "Stats",
+    "aggregate",
+    "InstanceMetrics",
+    "SweepPoint",
+    "SweepResult",
+    "run_overpayment_instance",
+    "sweep_overpayment",
+    "FigureSeries",
+    "fig3a",
+    "fig3b",
+    "fig3c",
+    "fig3d",
+    "fig3e",
+    "fig3f",
+    "ALL_FIGURES",
+    "render_ascii",
+    "render_markdown",
+    "ChurnResult",
+    "mobility_churn_experiment",
+    "frugality_summary",
+    "gap_by_hops",
+    "relay_gaps",
+    "RangePoint",
+    "range_sensitivity",
+]

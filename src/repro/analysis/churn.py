@@ -1,0 +1,138 @@
+"""Pricing churn under mobility (extension experiment).
+
+The distributed protocol converges on a *static* network (Section III.C);
+under mobility the routing tree and every payment may change each epoch.
+This experiment quantifies that: it advances a mobility model over a UDG
+deployment and measures, per epoch transition,
+
+* **route churn** — the fraction of sources whose next hop or full route
+  changed;
+* **payment churn** — the mean relative change of per-source total
+  payments (over sources priced in both epochs);
+* **repriced fraction** — sources whose payment changed at all (they
+  need a fresh stage-2 run even if their route survived, because a
+  *detour* moved).
+
+The takeaway mirrors ad hoc networking folklore: even modest motion
+forces near-global repricing, because VCG payments depend on the best
+*alternative* paths, which are more fragile than the routes themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.link_vcg import all_sources_link_payments
+from repro.utils.rng import as_rng
+from repro.wireless.energy import PowerModel
+from repro.wireless.geometry import PAPER_REGION, Region, pairwise_distances, uniform_points
+from repro.wireless.mobility import mobility_trace
+from repro.wireless.topology import build_link_digraph, udg_adjacency
+
+__all__ = ["EpochTransition", "ChurnResult", "mobility_churn_experiment"]
+
+
+@dataclass(frozen=True)
+class EpochTransition:
+    """Churn metrics between two consecutive epochs."""
+
+    epoch: int
+    sources_compared: int
+    route_churn: float
+    next_hop_churn: float
+    payment_churn: float  # mean |delta p| / p over compared sources
+    repriced_fraction: float
+
+
+@dataclass(frozen=True)
+class ChurnResult:
+    """Churn metrics across all epoch transitions of one run."""
+    transitions: tuple[EpochTransition, ...]
+
+    def mean(self, field: str) -> float:
+        """Mean of one transition metric across all transitions."""
+        vals = [getattr(t, field) for t in self.transitions]
+        return float(np.mean(vals)) if vals else float("nan")
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{len(self.transitions)} transitions: route churn "
+            f"{self.mean('route_churn'):.2%}, next-hop churn "
+            f"{self.mean('next_hop_churn'):.2%}, payment churn "
+            f"{self.mean('payment_churn'):.2%}, repriced "
+            f"{self.mean('repriced_fraction'):.2%}"
+        )
+
+
+def _price_epoch(points: np.ndarray, range_m: float, kappa: float):
+    dist = pairwise_distances(points)
+    adj = udg_adjacency(dist, range_m)
+    model = PowerModel(alpha=0.0, beta=1.0, kappa=kappa)
+    dg = build_link_digraph(points, model, adj)
+    return all_sources_link_payments(dg, root=0)
+
+
+def mobility_churn_experiment(
+    model,
+    n: int = 120,
+    epochs: int = 5,
+    range_m: float = 300.0,
+    kappa: float = 2.0,
+    region: Region = PAPER_REGION,
+    seed=None,
+) -> ChurnResult:
+    """Run the churn experiment; see the module docstring for metrics.
+
+    Sources unreachable (or monopolized) in either epoch of a transition
+    are excluded from that transition's comparison.
+    """
+    rng = as_rng(seed)
+    points0 = uniform_points(region, n, seed=rng)
+    transitions = []
+    prev_table = None
+    for epoch, pts in enumerate(
+        mobility_trace(model, points0, epochs, seed=rng)
+    ):
+        table = _price_epoch(pts, range_m, kappa)
+        if prev_table is not None:
+            transitions.append(
+                _compare(epoch, prev_table, table)
+            )
+        prev_table = table
+    return ChurnResult(transitions=tuple(transitions))
+
+
+def _compare(epoch: int, old, new) -> EpochTransition:
+    compared = 0
+    route_changed = 0
+    hop_changed = 0
+    repriced = 0
+    rel_deltas = []
+    common = set(old.sources()) & set(new.sources())
+    for i in common:
+        p_old = old.total_payment(i)
+        p_new = new.total_payment(i)
+        if not (np.isfinite(p_old) and np.isfinite(p_new)) or p_old <= 0:
+            continue
+        compared += 1
+        if old.path(i) != new.path(i):
+            route_changed += 1
+        if int(old.parent[i]) != int(new.parent[i]):
+            hop_changed += 1
+        if abs(p_new - p_old) > 1e-9:
+            repriced += 1
+            rel_deltas.append(abs(p_new - p_old) / p_old)
+        else:
+            rel_deltas.append(0.0)
+    denom = max(compared, 1)
+    return EpochTransition(
+        epoch=epoch,
+        sources_compared=compared,
+        route_churn=route_changed / denom,
+        next_hop_churn=hop_changed / denom,
+        payment_churn=float(np.mean(rel_deltas)) if rel_deltas else 0.0,
+        repriced_fraction=repriced / denom,
+    )

@@ -1,0 +1,182 @@
+"""Overpayment sweeps over random wireless instances (Section III.G).
+
+One *instance* = one seeded deployment + the all-sources VCG payment
+table + the TOR/IOR/worst metrics (and optionally the per-hop buckets for
+Figure 3(d)). One *sweep point* = many instances at a fixed
+``(kind, n, kappa)``. One *sweep* = a list of points over growing ``n``.
+
+Seeds are derived per (experiment label, n, instance index) with
+:func:`repro.utils.rng.derive_seed`, so any single instance of any sweep
+can be regenerated in isolation for debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.link_vcg import all_sources_link_payments
+from repro.core.overpayment import (
+    HopBucket,
+    OverpaymentSummary,
+    overpayment_summary,
+    per_hop_breakdown,
+)
+from repro.analysis.stats import Stats, aggregate
+from repro.utils.rng import derive_seed
+from repro.wireless.deployment import sample_deployment
+
+__all__ = [
+    "InstanceMetrics",
+    "SweepPoint",
+    "SweepResult",
+    "run_overpayment_instance",
+    "sweep_overpayment",
+]
+
+
+@dataclass(frozen=True)
+class InstanceMetrics:
+    """Metrics of a single random instance."""
+
+    kind: str
+    n: int
+    kappa: float
+    seed: int
+    summary: OverpaymentSummary
+    hop_buckets: tuple[HopBucket, ...] = ()
+    resamples: int = 0
+    dropped: int = 0
+
+    @property
+    def ior(self) -> float:
+        """Individual overpayment ratio of this instance."""
+        return self.summary.ior
+
+    @property
+    def tor(self) -> float:
+        """Total overpayment ratio of this instance."""
+        return self.summary.tor
+
+    @property
+    def worst(self) -> float:
+        """Worst per-source overpayment ratio of this instance."""
+        return self.summary.worst
+
+
+def run_overpayment_instance(
+    kind: str,
+    n: int,
+    kappa: float,
+    seed: int,
+    collect_hops: bool = False,
+    **deploy_kwargs,
+) -> InstanceMetrics:
+    """Generate one deployment, price every source, compute the metrics.
+
+    ``kind`` is ``"udg"`` (first simulation) or ``"heterogeneous"``
+    (second simulation); extra ``deploy_kwargs`` go to the sampler
+    (e.g. ``range_m`` for UDG).
+    """
+    deployment = sample_deployment(kind, n, kappa=kappa, seed=seed, **deploy_kwargs)
+    table = all_sources_link_payments(deployment.digraph, root=0)
+    summary = overpayment_summary(table)
+    buckets = tuple(per_hop_breakdown(table)) if collect_hops else ()
+    return InstanceMetrics(
+        kind=kind,
+        n=n,
+        kappa=kappa,
+        seed=seed,
+        summary=summary,
+        hop_buckets=buckets,
+        resamples=deployment.resamples,
+        dropped=deployment.dropped,
+    )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """All instances at one (kind, n, kappa) parameter point."""
+
+    kind: str
+    n: int
+    kappa: float
+    instances: tuple[InstanceMetrics, ...]
+
+    def stat(self, metric: str) -> Stats:
+        """Aggregate one of ``"ior"``, ``"tor"``, ``"worst"``."""
+        return aggregate(getattr(m, metric) for m in self.instances)
+
+    def merged_hop_buckets(self) -> list[HopBucket]:
+        """Pool the per-hop ratios of every instance (Figure 3(d) style).
+
+        Buckets are merged by hop count; the mean is weighted by each
+        instance bucket's source count and the max is the overall max.
+        """
+        acc: Mapping[int, list[tuple[float, float, int]]] = {}
+        for m in self.instances:
+            for b in m.hop_buckets:
+                acc.setdefault(b.hops, []).append(
+                    (b.mean_ratio, b.max_ratio, b.count)
+                )
+        out = []
+        for hops in sorted(acc):
+            entries = acc[hops]
+            total = sum(c for _, _, c in entries)
+            mean = sum(m * c for m, _, c in entries) / total
+            mx = max(x for _, x, _ in entries)
+            out.append(
+                HopBucket(hops=hops, count=total, mean_ratio=mean, max_ratio=mx)
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full sweep over ``n`` at fixed kind/kappa."""
+
+    label: str
+    kind: str
+    kappa: float
+    points: tuple[SweepPoint, ...] = field(default_factory=tuple)
+
+    @property
+    def n_values(self) -> list[int]:
+        """The sweep's node counts, in order."""
+        return [p.n for p in self.points]
+
+    def series(self, metric: str, reducer: str = "mean") -> list[float]:
+        """Extract a plottable series: ``reducer`` of ``metric`` per n."""
+        return [getattr(p.stat(metric), reducer) for p in self.points]
+
+
+def sweep_overpayment(
+    label: str,
+    kind: str,
+    n_values: Sequence[int],
+    kappa: float,
+    instances: int,
+    base_seed: int = 2004,
+    collect_hops: bool = False,
+    **deploy_kwargs,
+) -> SweepResult:
+    """Run the full sweep; the workhorse behind every Figure-3 panel."""
+    if instances < 1:
+        raise ValueError(f"need at least one instance, got {instances}")
+    points = []
+    for n in n_values:
+        metrics = []
+        for idx in range(instances):
+            seed = derive_seed(base_seed, label, kind, n, kappa, idx)
+            metrics.append(
+                run_overpayment_instance(
+                    kind, int(n), float(kappa), seed,
+                    collect_hops=collect_hops, **deploy_kwargs,
+                )
+            )
+        points.append(
+            SweepPoint(kind=kind, n=int(n), kappa=float(kappa), instances=tuple(metrics))
+        )
+    return SweepResult(label=label, kind=kind, kappa=float(kappa), points=tuple(points))

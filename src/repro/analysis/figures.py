@@ -1,0 +1,237 @@
+"""Series builders for every panel of Figure 3.
+
+Each ``fig3x`` function regenerates the data behind one panel of the
+paper's Figure 3 and returns a :class:`FigureSeries` — x values plus the
+named curves the panel plots. Defaults follow the paper (nodes 100..500
+step 50, range 300 m, 100 instances) but the benchmarks scale them down
+via arguments for CI-friendly runtimes.
+
+Panel map (paper, Section III.G):
+
+=======  ==================================================================
+ panel    content
+=======  ==================================================================
+ 3(a)     IOR vs TOR, UDG, kappa = 2 (the two are nearly identical)
+ 3(b)     average + worst overpayment ratio, UDG, kappa = 2
+ 3(c)     same as (b) with kappa = 2.5
+ 3(d)     overpayment ratio vs hop distance to the source (UDG, kappa = 2)
+ 3(e)     average + worst ratio, heterogeneous "random graph", kappa = 2
+ 3(f)     same as (e) with kappa = 2.5
+=======  ==================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.analysis.experiments import SweepResult, sweep_overpayment
+from repro.utils.tables import series_table
+
+__all__ = [
+    "FigureSeries",
+    "fig3a",
+    "fig3b",
+    "fig3c",
+    "fig3d",
+    "fig3e",
+    "fig3f",
+    "ALL_FIGURES",
+    "PAPER_N_VALUES",
+]
+
+#: The node counts of the paper's sweeps ("100, 150, 200, ..., 500").
+PAPER_N_VALUES: tuple[int, ...] = tuple(range(100, 501, 50))
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """The data behind one figure panel."""
+
+    figure: str
+    title: str
+    x_name: str
+    x: tuple
+    series: Mapping[str, tuple]
+    notes: tuple[str, ...] = field(default_factory=tuple)
+    sweep: SweepResult | None = None
+
+    def render(self, digits: int = 4) -> str:
+        """Render the series as an aligned text table."""
+        body = series_table(
+            self.x_name,
+            list(self.x),
+            {k: list(v) for k, v in self.series.items()},
+            title=f"{self.figure}: {self.title}",
+            digits=digits,
+        )
+        if self.notes:
+            body += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return body
+
+
+def _ratio_sweep_figure(
+    figure: str,
+    title: str,
+    kind: str,
+    kappa: float,
+    n_values: Sequence[int],
+    instances: int,
+    seed: int,
+    include_tor: bool,
+    **deploy_kwargs,
+) -> FigureSeries:
+    sweep = sweep_overpayment(
+        label=figure,
+        kind=kind,
+        n_values=n_values,
+        kappa=kappa,
+        instances=instances,
+        base_seed=seed,
+        **deploy_kwargs,
+    )
+    series: dict[str, tuple] = {}
+    if include_tor:
+        series["IOR"] = tuple(sweep.series("ior", "mean"))
+        series["TOR"] = tuple(sweep.series("tor", "mean"))
+    else:
+        series["avg ratio (IOR)"] = tuple(sweep.series("ior", "mean"))
+        series["avg worst ratio"] = tuple(sweep.series("worst", "mean"))
+        series["max worst ratio"] = tuple(sweep.series("worst", "max"))
+    notes = (
+        f"{instances} instances per point, kind={kind}, kappa={kappa}",
+        "ratios exclude one-hop sources and monopolized sources "
+        "(see repro.core.overpayment)",
+    )
+    return FigureSeries(
+        figure=figure,
+        title=title,
+        x_name="nodes",
+        x=tuple(int(n) for n in n_values),
+        series=series,
+        notes=notes,
+        sweep=sweep,
+    )
+
+
+def fig3a(
+    n_values: Sequence[int] = PAPER_N_VALUES,
+    instances: int = 100,
+    seed: int = 2004,
+    range_m: float = 300.0,
+) -> FigureSeries:
+    """Figure 3(a): IOR vs TOR on UDG with kappa = 2.
+
+    The paper's observation: "these two metrics are almost the same and
+    both of them are stable when the number of nodes increases" — the
+    benchmark asserts exactly that shape.
+    """
+    return _ratio_sweep_figure(
+        "fig3a", "IOR vs TOR (UDG, kappa=2)", "udg", 2.0,
+        n_values, instances, seed, include_tor=True, range_m=range_m,
+    )
+
+
+def fig3b(
+    n_values: Sequence[int] = PAPER_N_VALUES,
+    instances: int = 100,
+    seed: int = 2004,
+    range_m: float = 300.0,
+) -> FigureSeries:
+    """Figure 3(b): average and worst overpayment ratio (UDG, kappa = 2)."""
+    return _ratio_sweep_figure(
+        "fig3b", "overpayment ratios (UDG, kappa=2)", "udg", 2.0,
+        n_values, instances, seed, include_tor=False, range_m=range_m,
+    )
+
+
+def fig3c(
+    n_values: Sequence[int] = PAPER_N_VALUES,
+    instances: int = 100,
+    seed: int = 2004,
+    range_m: float = 300.0,
+) -> FigureSeries:
+    """Figure 3(c): average and worst overpayment ratio (UDG, kappa = 2.5)."""
+    return _ratio_sweep_figure(
+        "fig3c", "overpayment ratios (UDG, kappa=2.5)", "udg", 2.5,
+        n_values, instances, seed, include_tor=False, range_m=range_m,
+    )
+
+
+def fig3d(
+    n: int = 300,
+    instances: int = 100,
+    seed: int = 2004,
+    range_m: float = 300.0,
+    kappa: float = 2.0,
+) -> FigureSeries:
+    """Figure 3(d): overpayment ratio vs hop distance to the source.
+
+    The paper's observation: the *average* per-hop ratio stays flat while
+    the *maximum* decreases with hop distance (long paths smooth out the
+    oscillation of the relay-cost difference).
+    """
+    sweep = sweep_overpayment(
+        label="fig3d",
+        kind="udg",
+        n_values=[n],
+        kappa=kappa,
+        instances=instances,
+        base_seed=seed,
+        collect_hops=True,
+        range_m=range_m,
+    )
+    buckets = sweep.points[0].merged_hop_buckets()
+    return FigureSeries(
+        figure="fig3d",
+        title=f"overpayment vs hop distance (UDG, n={n}, kappa={kappa})",
+        x_name="hops",
+        x=tuple(b.hops for b in buckets),
+        series={
+            "avg ratio": tuple(b.mean_ratio for b in buckets),
+            "max ratio": tuple(b.max_ratio for b in buckets),
+            "sources": tuple(b.count for b in buckets),
+        },
+        notes=(f"{instances} instances pooled at n={n}",),
+        sweep=sweep,
+    )
+
+
+def fig3e(
+    n_values: Sequence[int] = PAPER_N_VALUES,
+    instances: int = 100,
+    seed: int = 2004,
+) -> FigureSeries:
+    """Figure 3(e): heterogeneous-range "random graph", kappa = 2.
+
+    Per-node ranges U[100, 500] m and link costs ``c1 + c2 d^kappa`` with
+    ``c1 ~ U[300, 500]``, ``c2 ~ U[10, 50]`` (the paper's 2 Mbps power
+    figures).
+    """
+    return _ratio_sweep_figure(
+        "fig3e", "overpayment ratios (random graph, kappa=2)",
+        "heterogeneous", 2.0, n_values, instances, seed, include_tor=False,
+    )
+
+
+def fig3f(
+    n_values: Sequence[int] = PAPER_N_VALUES,
+    instances: int = 100,
+    seed: int = 2004,
+) -> FigureSeries:
+    """Figure 3(f): heterogeneous-range "random graph", kappa = 2.5."""
+    return _ratio_sweep_figure(
+        "fig3f", "overpayment ratios (random graph, kappa=2.5)",
+        "heterogeneous", 2.5, n_values, instances, seed, include_tor=False,
+    )
+
+
+#: Figure id -> builder, for the CLI and the reporting script.
+ALL_FIGURES = {
+    "fig3a": fig3a,
+    "fig3b": fig3b,
+    "fig3c": fig3c,
+    "fig3d": fig3d,
+    "fig3e": fig3e,
+    "fig3f": fig3f,
+}

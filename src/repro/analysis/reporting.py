@@ -1,0 +1,41 @@
+"""Rendering figure series for humans and for EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.figures import FigureSeries
+from repro.utils.tables import markdown_table
+
+__all__ = ["render_ascii", "render_markdown", "render_experiments_section"]
+
+
+def render_ascii(series: FigureSeries, digits: int = 4) -> str:
+    """Aligned plain-text table (what the benchmarks print)."""
+    return series.render(digits=digits)
+
+
+def render_markdown(series: FigureSeries, digits: int = 4) -> str:
+    """GitHub-flavoured Markdown block for EXPERIMENTS.md."""
+    names = list(series.series)
+    rows = [
+        [x] + [series.series[name][i] for name in names]
+        for i, x in enumerate(series.x)
+    ]
+    table = markdown_table([series.x_name] + names, rows, digits=digits)
+    lines = [f"### {series.figure}: {series.title}", "", table]
+    if series.notes:
+        lines.append("")
+        lines.extend(f"*{note}*  " for note in series.notes)
+    return "\n".join(lines)
+
+
+def render_experiments_section(
+    all_series: Iterable[FigureSeries], header: str | None = None
+) -> str:
+    """Concatenate markdown blocks for a batch of figures."""
+    blocks = []
+    if header:
+        blocks.append(header)
+    blocks.extend(render_markdown(s) for s in all_series)
+    return "\n\n".join(blocks) + "\n"

@@ -1,0 +1,73 @@
+"""Aggregation across random instances.
+
+The paper reports "the average and the maximum ... taken over 100 random
+instances"; :class:`Stats` carries those plus dispersion so benches can
+also print confidence intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["Stats", "aggregate"]
+
+
+@dataclass(frozen=True)
+class Stats:
+    """Summary statistics of one metric over instances (NaNs dropped)."""
+
+    n: int
+    mean: float
+    std: float
+    min: float
+    max: float
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        if self.n <= 1:
+            return float("nan")
+        return self.std / np.sqrt(self.n)
+
+    def ci95(self) -> tuple[float, float]:
+        """Normal-approximation 95% confidence interval for the mean."""
+        half = 1.96 * self.sem
+        return (self.mean - half, self.mean + half)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"mean {self.mean:.4g} +- {self.sem:.2g} "
+            f"(min {self.min:.4g}, max {self.max:.4g}, n={self.n})"
+        )
+
+
+_EMPTY = Stats(n=0, mean=float("nan"), std=float("nan"), min=float("nan"), max=float("nan"))
+
+
+def aggregate(values: Iterable[float]) -> Stats:
+    """Aggregate a metric over instances, ignoring NaNs.
+
+    Infinite values are kept (they surface as an infinite mean — a
+    monopoly slipping into a metric should be loud, not averaged away).
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    arr = arr[~np.isnan(arr)]
+    if arr.size == 0:
+        return _EMPTY
+    if np.isinf(arr).any():
+        # A monopoly leaked into the metric: keep it loud in mean/max but
+        # leave dispersion undefined rather than warn on inf - inf.
+        std = float("nan")
+    else:
+        std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return Stats(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=std,
+        min=float(arr.min()),
+        max=float(arr.max()),
+    )

@@ -1,0 +1,52 @@
+"""Baseline mechanisms the paper positions itself against (Section II.D).
+
+* :mod:`~repro.baselines.nisan_ronen` — the original edge-agent VCG
+  routing mechanism [8]: every *edge* is an agent; payments go to edges.
+* :mod:`~repro.baselines.nuglets` — the fixed-price "nuglet" forwarding
+  economy [2][3][5][6]: every relay earns one fixed-value nuglet per
+  packet, regardless of its cost. Simple, but relays whose true cost
+  exceeds the nuglet value rationally refuse, blocking sessions.
+* :mod:`~repro.baselines.adhoc_vcg` — Anderegg & Eidenbenz's Ad hoc-VCG
+  [16]: link-weighted VCG with power control, plus their overpayment
+  bound in terms of ``max c / min c``.
+* :mod:`~repro.baselines.nuglet_counters` — the tamper-resistant
+  counter protocol of [2][6] with its jump-start and imbalance
+  dynamics.
+* :mod:`~repro.baselines.watchdog` — Watchdog/Pathrater [4], the
+  reputation approach, including the paper's wrongful-labelling
+  critique.
+
+All baselines speak the same :class:`~repro.core.mechanism.UnicastPayment`
+protocol as the paper's schemes so the benchmark harness can compare them
+directly.
+"""
+
+from repro.baselines.nisan_ronen import nisan_ronen_payments, EdgePayment
+from repro.baselines.nuglets import (
+    NugletOutcome,
+    nuglet_outcome,
+    nuglet_network_summary,
+)
+from repro.baselines.adhoc_vcg import (
+    adhoc_vcg_payments,
+    eidenbenz_overpayment_bound,
+)
+from repro.baselines.nuglet_counters import (
+    NugletCounterResult,
+    simulate_nuglet_counters,
+)
+from repro.baselines.watchdog import ReputationReport, WatchdogNetwork
+
+__all__ = [
+    "nisan_ronen_payments",
+    "EdgePayment",
+    "NugletOutcome",
+    "nuglet_outcome",
+    "nuglet_network_summary",
+    "adhoc_vcg_payments",
+    "eidenbenz_overpayment_bound",
+    "NugletCounterResult",
+    "simulate_nuglet_counters",
+    "ReputationReport",
+    "WatchdogNetwork",
+]

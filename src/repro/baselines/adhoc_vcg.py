@@ -1,0 +1,86 @@
+"""Ad hoc-VCG (Anderegg & Eidenbenz, MobiCom '03) comparator.
+
+Their mechanism is, in our terms, the link-weighted per-node-agent VCG of
+Section III.F — the same payment rule on the same model — so
+:func:`adhoc_vcg_payments` simply delegates to
+:func:`repro.core.link_vcg.link_vcg_payments`. What this module adds is
+their headline analytical result: with power control, the **total**
+payment is bounded by a constant multiple of the true least path cost,
+
+.. math::
+
+    p_i \\le \\left(1 + 2\\,\\frac{c_{max}}{c_{min}}\\right) \\cdot
+    ||P(v_i, v_0, c)||
+
+style bounds driven by the cost-coefficient spread ``c_max / c_min``
+(the paper states the factor is "bounded by a constant factor of
+``max c_i / min c_i``"). :func:`eidenbenz_overpayment_bound` computes the
+spread-based bound for an instance and the benchmarks check where the
+measured Figure-3 ratios sit relative to it — far below, which is the
+empirical story of Section III.G.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.link_vcg import link_vcg_payments
+from repro.core.mechanism import UnicastPayment
+from repro.graph.link_graph import LinkWeightedDigraph
+
+__all__ = ["adhoc_vcg_payments", "eidenbenz_overpayment_bound", "SpreadBound"]
+
+
+def adhoc_vcg_payments(
+    dg: LinkWeightedDigraph, source: int, target: int, **kwargs
+) -> UnicastPayment:
+    """Ad hoc-VCG payment = the Section III.F link VCG payment."""
+    result = link_vcg_payments(dg, source, target, **kwargs)
+    return UnicastPayment(
+        result.source,
+        result.target,
+        result.path,
+        result.lcp_cost,
+        dict(result.payments),
+        scheme="adhoc-vcg",
+    )
+
+
+@dataclass(frozen=True)
+class SpreadBound:
+    """The coefficient-spread overpayment bound for one instance."""
+
+    c_min: float
+    c_max: float
+
+    @property
+    def spread(self) -> float:
+        """The cost spread ``c_max / c_min``."""
+        return self.c_max / self.c_min if self.c_min > 0 else float("inf")
+
+    @property
+    def ratio_bound(self) -> float:
+        """Anderegg-Eidenbenz-style bound on ``total payment / path cost``.
+
+        The MobiCom paper's constant-factor statement instantiated in the
+        simplest sufficient form: every relay's detour replaces at most
+        two links, each at most ``c_max``-weighted per unit of the
+        ``c_min``-weighted link it displaces, giving
+        ``1 + 2 * c_max / c_min``.
+        """
+        return 1.0 + 2.0 * self.spread
+
+
+def eidenbenz_overpayment_bound(dg: LinkWeightedDigraph) -> SpreadBound:
+    """Compute the cost spread over the instance's *finite* link costs.
+
+    Zero-cost links are excluded from ``c_min`` (a free link cannot be
+    displaced at positive cost), and an instance with no positive-cost
+    link gets an infinite spread.
+    """
+    weights = dg.weights[np.isfinite(dg.weights) & (dg.weights > 0)]
+    if weights.size == 0:
+        return SpreadBound(c_min=0.0, c_max=0.0)
+    return SpreadBound(c_min=float(weights.min()), c_max=float(weights.max()))

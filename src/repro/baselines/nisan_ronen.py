@@ -1,0 +1,117 @@
+"""Nisan-Ronen edge-agent VCG routing (STOC '99), the original baseline.
+
+Model: an undirected graph where each **edge** ``e`` is a selfish agent
+with private cost ``t^e``; the mechanism buys a least cost ``x -> y``
+path and pays every edge on it
+
+.. math::
+
+    p^e = D_{G - e}(x, y) - (D_G(x, y) - t^e)
+
+(0 off-path). The graph must be 2-edge-connected between the endpoints
+(else an edge monopoly makes the payment unbounded).
+
+We host the instance on a symmetric
+:class:`~repro.graph.link_graph.LinkWeightedDigraph` (both orientations
+carrying the same declared edge cost). The comparison the benchmarks
+draw: on wireless topologies the paper's node/link-agent model prices
+*devices*, Nisan-Ronen prices *wires* — the overpayment characteristics
+differ because a node removal severs all its edges at once, so the
+node-agent detour is never shorter and node payments are never smaller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import DisconnectedError, MonopolyError
+from repro.graph.dijkstra import link_weighted_spt
+from repro.graph.link_graph import LinkWeightedDigraph
+from repro.utils.validation import check_node_index
+
+__all__ = ["EdgePayment", "nisan_ronen_payments"]
+
+
+@dataclass(frozen=True)
+class EdgePayment:
+    """Outcome of the edge-agent VCG mechanism for one request."""
+
+    source: int
+    target: int
+    path: tuple[int, ...]
+    lcp_cost: float
+    payments: Mapping[tuple[int, int], float]  # keyed by (u, v) with u < v
+
+    @property
+    def total_payment(self) -> float:
+        """Total payment across all relays."""
+        return float(sum(self.payments.values()))
+
+    @property
+    def overpayment_ratio(self) -> float:
+        """Total payment divided by the corresponding true cost."""
+        if self.lcp_cost <= 0:
+            return float("nan")
+        return self.total_payment / self.lcp_cost
+
+    def payment(self, u: int, v: int) -> float:
+        """Payment to one participant (0 when unpaid)."""
+        return float(self.payments.get((min(u, v), max(u, v)), 0.0))
+
+
+def _without_edge(dg: LinkWeightedDigraph, u: int, v: int) -> LinkWeightedDigraph:
+    keep = [
+        (a, b, w)
+        for a, b, w in dg.arc_iter()
+        if {a, b} != {u, v}
+    ]
+    return LinkWeightedDigraph(dg.n, keep)
+
+
+def nisan_ronen_payments(
+    dg: LinkWeightedDigraph,
+    source: int,
+    target: int,
+    on_monopoly: str = "raise",
+) -> EdgePayment:
+    """Run the edge-agent VCG mechanism.
+
+    ``dg`` must be symmetric (each undirected edge present in both
+    orientations with equal weight); asymmetric instances are rejected
+    because an "edge agent" owns both directions.
+    """
+    source = check_node_index(source, dg.n)
+    target = check_node_index(target, dg.n)
+    if on_monopoly not in ("raise", "inf"):
+        raise ValueError(
+            f"on_monopoly must be 'raise' or 'inf', got {on_monopoly!r}"
+        )
+    if source == target:
+        return EdgePayment(source, target, (), 0.0, {})
+    spt = link_weighted_spt(dg, source, direction="from")
+    if not spt.reachable(target):
+        raise DisconnectedError(source, target)
+    path = spt.path_from_root(target)
+    lcp = float(spt.dist[target])
+    payments: dict[tuple[int, int], float] = {}
+    for a, b in zip(path, path[1:]):
+        w_ab = dg.arc_weight(a, b)
+        w_ba = dg.arc_weight(b, a)
+        if not np.isfinite(w_ba) or abs(w_ab - w_ba) > 1e-9:
+            raise ValueError(
+                f"edge ({a}, {b}) is not symmetric; the Nisan-Ronen model "
+                "requires undirected edge agents"
+            )
+        reduced = _without_edge(dg, a, b)
+        spt2 = link_weighted_spt(reduced, source, direction="from")
+        detour = float(spt2.dist[target])
+        if not np.isfinite(detour):
+            if on_monopoly == "raise":
+                raise MonopolyError(source, target, (a, b))
+            payments[(min(a, b), max(a, b))] = float("inf")
+            continue
+        payments[(min(a, b), max(a, b))] = detour - (lcp - w_ab)
+    return EdgePayment(source, target, tuple(path), lcp, payments)

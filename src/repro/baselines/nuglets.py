@@ -1,0 +1,180 @@
+"""The nuglet fixed-price forwarding economy (Buttyan-Hubaux line of work).
+
+Section II.D's critique, operationalized: "For a selected path ... each
+node on such path is paid *one* nuglet ... If the nuglet reflects actual
+monetary value, then a node may still refuse to relay the packet if its
+actual cost is higher than the monetary value of the nuglet."
+
+Model implemented here:
+
+* every relay on a session's path earns the fixed price ``price``;
+* a **rational** relay participates only if ``price >= c_k`` (otherwise
+  relaying loses money and it opts out);
+* the source therefore routes over the subgraph of willing relays,
+  minimizing hops (each hop costs one nuglet);
+* if no willing path exists, the session is **blocked**.
+
+The comparison against VCG quantifies the paper's point: a price high
+enough to never block pays every relay like the most expensive one, a
+low price blocks sessions — VCG's per-node prices avoid both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.graph.node_graph import NodeWeightedGraph
+from repro.utils.validation import check_node_index, check_non_negative
+
+__all__ = ["NugletOutcome", "nuglet_outcome", "nuglet_network_summary"]
+
+
+@dataclass(frozen=True)
+class NugletOutcome:
+    """One session under the fixed-price scheme."""
+
+    source: int
+    target: int
+    price: float
+    path: tuple[int, ...]  # empty when blocked
+    blocked: bool
+
+    @property
+    def hops(self) -> int:
+        """Edge count of the session's route."""
+        return max(len(self.path) - 1, 0)
+
+    @property
+    def relay_count(self) -> int:
+        """Number of paid relays on the route."""
+        return max(len(self.path) - 2, 0)
+
+    @property
+    def total_payment(self) -> float:
+        """What the source is charged: one ``price`` per relay."""
+        return self.relay_count * self.price
+
+    def true_relay_cost(self, g: NodeWeightedGraph) -> float:
+        """Actual energy the relays spend on this session."""
+        if self.blocked or self.relay_count == 0:
+            return 0.0
+        return float(sum(g.costs[k] for k in self.path[1:-1]))
+
+
+def _min_hop_path(
+    g: NodeWeightedGraph, source: int, target: int, willing: np.ndarray
+) -> tuple[int, ...]:
+    """BFS min-hop path using only willing relays (endpoints always pass)."""
+    from collections import deque
+
+    prev = np.full(g.n, -2, dtype=np.int64)
+    prev[source] = -1
+    q = deque([source])
+    while q:
+        u = q.popleft()
+        if u == target:
+            break
+        for w in g.neighbors(u):
+            w = int(w)
+            if prev[w] != -2:
+                continue
+            if w != target and not willing[w]:
+                continue
+            prev[w] = u
+            q.append(w)
+    if prev[target] == -2:
+        return ()
+    out = [target]
+    while out[-1] != source:
+        out.append(int(prev[out[-1]]))
+    return tuple(reversed(out))
+
+
+def nuglet_outcome(
+    g: NodeWeightedGraph,
+    source: int,
+    target: int,
+    price: float,
+) -> NugletOutcome:
+    """Route one session under per-relay fixed price ``price``.
+
+    Relays with true cost above ``price`` opt out (rationality); among
+    willing relays the source takes a minimum-hop path (each hop costs
+    one fixed payment, so fewer hops = cheaper).
+    """
+    source = check_node_index(source, g.n)
+    target = check_node_index(target, g.n)
+    check_non_negative(price, "price")
+    willing = g.costs <= price + 1e-12
+    path = _min_hop_path(g, source, target, willing)
+    return NugletOutcome(
+        source=source,
+        target=target,
+        price=float(price),
+        path=path,
+        blocked=not path,
+    )
+
+
+@dataclass(frozen=True)
+class NugletNetworkSummary:
+    """Fixed-price scheme over all sources toward the access point."""
+
+    price: float
+    sessions: int
+    blocked: int
+    total_payment: float
+    total_true_cost: float
+    underpaid_relays: int  # relay slots where price < true cost (only 0
+    # when rationality filtering is active, kept for the naive variant)
+
+    @property
+    def blocking_probability(self) -> float:
+        """Blocked sessions as a fraction of attempts."""
+        if self.sessions == 0:
+            return float("nan")
+        return self.blocked / self.sessions
+
+    @property
+    def overpayment_ratio(self) -> float:
+        """Total payment divided by the corresponding true cost."""
+        if self.total_true_cost <= 0:
+            return float("nan")
+        return self.total_payment / self.total_true_cost
+
+
+def nuglet_network_summary(
+    g: NodeWeightedGraph,
+    price: float,
+    root: int = 0,
+    sources: Iterable[int] | None = None,
+) -> NugletNetworkSummary:
+    """Run every source's session to the access point at one price level.
+
+    The benchmark sweeps ``price`` to trace the blocking-vs-overpayment
+    trade-off the paper argues fixed prices cannot escape.
+    """
+    if sources is None:
+        sources = [i for i in range(g.n) if i != root]
+    sessions = blocked = underpaid = 0
+    total_payment = total_cost = 0.0
+    for s in sources:
+        out = nuglet_outcome(g, s, root, price)
+        sessions += 1
+        if out.blocked:
+            blocked += 1
+            continue
+        total_payment += out.total_payment
+        total_cost += out.true_relay_cost(g)
+        underpaid += sum(1 for k in out.path[1:-1] if g.costs[k] > price + 1e-12)
+    return NugletNetworkSummary(
+        price=float(price),
+        sessions=sessions,
+        blocked=blocked,
+        total_payment=total_payment,
+        total_true_cost=total_cost,
+        underpaid_relays=underpaid,
+    )

@@ -1,0 +1,187 @@
+"""Watchdog / Pathrater (Marti et al. [4]), the reputation baseline.
+
+Section II.D's summary: "Watchdog ... runs on every node keeping track of
+how the other nodes behave; [Pathrater] uses this information to
+calculate the route with the highest reliability." And the critique this
+module exists to demonstrate: "this method ignores the reason why a node
+refused to relay ... A node will be wrongfully labelled as misbehaving
+when its battery power cannot support many relay requests."
+
+Model implemented:
+
+* every node has a *behaviour*: the probability it actually forwards a
+  packet it accepted (1.0 = honest; < 1 = dropper). A node may also be
+  *depleted*: it refuses because relaying would kill its battery — to a
+  watchdog this is indistinguishable from malice;
+* watchdogs observe forwarding attempts on links they overhear and keep
+  per-neighbour drop counts;
+* the pathrater scores each node ``r_k in (0, 1]`` from the pooled
+  observations and routes over the most *reliable* path — the one
+  maximizing the product of relay ratings (equivalently, minimizing the
+  sum of ``-log r_k``, a node-weighted shortest path!);
+* no payments exist, so nothing compensates the honest-but-poor node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import DisconnectedError
+from repro.graph.dijkstra import node_weighted_spt
+from repro.graph.node_graph import NodeWeightedGraph
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_node_index, check_probability
+
+__all__ = ["WatchdogNetwork", "ReputationReport"]
+
+#: Laplace smoothing of the drop-rate estimate (successes + 1)/(trials + 2).
+_PRIOR_SUCCESS = 1.0
+_PRIOR_TRIALS = 2.0
+
+#: Ratings below this make a node effectively unroutable (Pathrater's
+#: "avoid misbehaving nodes" threshold).
+MISBEHAVIOR_THRESHOLD = 0.5
+
+
+@dataclass
+class ReputationReport:
+    """Summary of a watchdog campaign."""
+
+    sessions: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    ratings: Mapping[int, float] = field(default_factory=dict)
+    flagged: tuple[int, ...] = ()
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered sessions as a fraction of attempts."""
+        if self.sessions == 0:
+            return float("nan")
+        return self.delivered / self.sessions
+
+
+class WatchdogNetwork:
+    """A network of forwarding behaviours observed by watchdogs.
+
+    Parameters
+    ----------
+    g:
+        Topology + true relaying costs (costs matter only for the
+        depletion behaviour).
+    forwarding_prob:
+        Per-node probability of forwarding an accepted packet.
+    refuses:
+        Nodes that *refuse* relay requests outright (the depleted-battery
+        case of the paper's critique). A refusal is observed by the
+        upstream watchdog exactly like a drop.
+    """
+
+    def __init__(
+        self,
+        g: NodeWeightedGraph,
+        forwarding_prob: Sequence[float] | None = None,
+        refuses: Sequence[int] = (),
+        seed=None,
+    ) -> None:
+        self.g = g
+        probs = (
+            np.ones(g.n)
+            if forwarding_prob is None
+            else np.asarray(forwarding_prob, dtype=np.float64)
+        )
+        if probs.shape != (g.n,):
+            raise ValueError(f"need {g.n} forwarding probabilities")
+        for p in probs:
+            check_probability(float(p), "forwarding probability")
+        self.forwarding_prob = probs
+        self.refuses = {check_node_index(v, g.n) for v in refuses}
+        self.rng = as_rng(seed)
+        # pooled observations: per node, (successes, trials)
+        self.successes = np.zeros(g.n)
+        self.trials = np.zeros(g.n)
+
+    # -- reputation --------------------------------------------------------
+
+    def rating(self, node: int) -> float:
+        """Smoothed estimated forwarding reliability of ``node``."""
+        return float(
+            (self.successes[node] + _PRIOR_SUCCESS)
+            / (self.trials[node] + _PRIOR_TRIALS)
+        )
+
+    def ratings(self) -> dict[int, float]:
+        """Current smoothed reliability estimate of every node."""
+        return {i: self.rating(i) for i in range(self.g.n)}
+
+    def flagged(self) -> tuple[int, ...]:
+        """Nodes Pathrater would avoid entirely."""
+        return tuple(
+            i for i in range(self.g.n)
+            if self.rating(i) < MISBEHAVIOR_THRESHOLD
+        )
+
+    # -- routing --------------------------------------------------------
+
+    def most_reliable_path(self, source: int, target: int) -> list[int]:
+        """Pathrater's route: maximize the product of relay ratings.
+
+        Computed as a node-weighted shortest path with weights
+        ``-log rating`` (flagged nodes get an effectively infinite
+        weight via a huge constant — Pathrater refuses to use them).
+        """
+        weights = np.empty(self.g.n)
+        for i in range(self.g.n):
+            r = self.rating(i)
+            weights[i] = 1e9 if r < MISBEHAVIOR_THRESHOLD else -np.log(r)
+        rated = self.g.with_costs(weights)
+        spt = node_weighted_spt(rated, source, backend="python")
+        if not spt.reachable(target):
+            raise DisconnectedError(source, target)
+        return spt.path_from_root(target)
+
+    # -- simulation --------------------------------------------------------
+
+    def run_session(self, source: int, target: int) -> bool:
+        """Route one packet, record watchdog observations, return success."""
+        path = self.most_reliable_path(source, target)
+        for k in path[1:-1]:
+            self.trials[k] += 1
+            if k in self.refuses:
+                forwarded = False  # depleted: refuses, looks like a drop
+            else:
+                forwarded = bool(self.rng.random() < self.forwarding_prob[k])
+            if forwarded:
+                self.successes[k] += 1
+            else:
+                return False  # packet lost at k; downstream unobserved
+        return True
+
+    def run_campaign(
+        self, sessions: int, target: int = 0, sources: Sequence[int] | None = None
+    ) -> ReputationReport:
+        """Run many sessions from rotating sources; report reputations."""
+        if sessions < 0:
+            raise ValueError(f"sessions must be non-negative, got {sessions}")
+        pool = (
+            [i for i in range(self.g.n) if i != target]
+            if sources is None
+            else [check_node_index(s, self.g.n) for s in sources]
+        )
+        delivered = dropped = 0
+        for i in range(sessions):
+            source = pool[i % len(pool)]
+            if self.run_session(source, target):
+                delivered += 1
+            else:
+                dropped += 1
+        return ReputationReport(
+            sessions=sessions,
+            delivered=delivered,
+            dropped=dropped,
+            ratings=self.ratings(),
+            flagged=self.flagged(),
+        )

@@ -1,0 +1,258 @@
+"""Command-line interface: ``repro-unicast`` / ``python -m repro.cli``.
+
+Subcommands:
+
+* ``demo`` — price one unicast request on a random instance and print the
+  route, the payments and the truthfulness check.
+* ``fig3a`` .. ``fig3f`` — regenerate one panel of the paper's Figure 3
+  and print the series as a table (``--full`` uses the paper's scale:
+  n = 100..500, 100 instances).
+* ``collusion`` — hunt for a Theorem-7 collusion witness on a random
+  instance and show the neighbour scheme's premium.
+* ``distributed`` — run the two-stage distributed protocol and diff it
+  against the centralized payments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_SMALL_N = (40, 70, 100)
+_SMALL_INSTANCES = 5
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-unicast",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="price one unicast request")
+    demo.add_argument("--nodes", type=int, default=30)
+    demo.add_argument("--source", type=int, default=None)
+    demo.add_argument("--seed", type=int, default=7)
+
+    for fig in ("fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f"):
+        p = sub.add_parser(fig, help=f"regenerate {fig} of the paper")
+        p.add_argument("--instances", type=int, default=None)
+        p.add_argument("--seed", type=int, default=2004)
+        p.add_argument(
+            "--full",
+            action="store_true",
+            help="paper scale: n=100..500 step 50, 100 instances",
+        )
+        if fig == "fig3d":
+            p.add_argument("--nodes", type=int, default=None)
+        else:
+            p.add_argument(
+                "--nodes",
+                type=int,
+                nargs="+",
+                default=None,
+                help="node counts for the sweep",
+            )
+
+    coll = sub.add_parser("collusion", help="find a Theorem-7 witness")
+    coll.add_argument("--nodes", type=int, default=16)
+    coll.add_argument("--seed", type=int, default=0)
+
+    dist = sub.add_parser("distributed", help="run the two-stage protocol")
+    dist.add_argument("--nodes", type=int, default=25)
+    dist.add_argument("--seed", type=int, default=3)
+    dist.add_argument("--secure", action="store_true")
+
+    econ = sub.add_parser(
+        "economy", help="all-pairs traffic: incomes, spends, profits"
+    )
+    econ.add_argument("--nodes", type=int, default=20)
+    econ.add_argument("--seed", type=int, default=0)
+    econ.add_argument("--intensity", type=float, default=1.0)
+
+    churn = sub.add_parser(
+        "churn", help="pricing churn under mobility (extension experiment)"
+    )
+    churn.add_argument("--nodes", type=int, default=100)
+    churn.add_argument("--epochs", type=int, default=4)
+    churn.add_argument("--sigma", type=float, default=60.0)
+    churn.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_demo(args) -> int:
+    from repro import generators, relay_utility, vcg_unicast_payments
+
+    g = generators.random_biconnected_graph(args.nodes, seed=args.seed)
+    source = args.source
+    if source is None:
+        source = args.nodes // 2
+    result = vcg_unicast_payments(g, source, 0)
+    print(result.describe())
+    for k in result.relays:
+        print(
+            f"  relay {k}: declared cost {g.costs[k]:.4g}, "
+            f"paid {result.payment(k):.4g}, "
+            f"utility {relay_utility(result, g.costs, k):.4g}"
+        )
+    print(
+        f"total payment {result.total_payment:.4g} for a path of cost "
+        f"{result.lcp_cost:.4g} (overpayment ratio "
+        f"{result.overpayment_ratio:.4g})"
+    )
+    return 0
+
+
+def _cmd_figure(fig: str, args) -> int:
+    from repro.analysis.figures import ALL_FIGURES, PAPER_N_VALUES
+
+    builder = ALL_FIGURES[fig]
+    kwargs: dict = {"seed": args.seed}
+    instances = args.instances
+    if fig == "fig3d":
+        if args.full:
+            kwargs["n"] = args.nodes or 300
+            kwargs["instances"] = instances or 100
+        else:
+            kwargs["n"] = args.nodes or 120
+            kwargs["instances"] = instances or _SMALL_INSTANCES
+    else:
+        if args.full:
+            kwargs["n_values"] = tuple(args.nodes) if args.nodes else PAPER_N_VALUES
+            kwargs["instances"] = instances or 100
+        else:
+            kwargs["n_values"] = tuple(args.nodes) if args.nodes else _SMALL_N
+            kwargs["instances"] = instances or _SMALL_INSTANCES
+    start = time.perf_counter()
+    series = builder(**kwargs)
+    elapsed = time.perf_counter() - start
+    print(series.render())
+    print(f"  ({elapsed:.1f}s)")
+    return 0
+
+
+def _cmd_collusion(args) -> int:
+    from repro import find_two_agent_collusion, generators, vcg_unicast_payments
+    from repro.core.collusion import neighbor_collusion_payments
+
+    g = generators.random_neighbor_safe_graph(args.nodes, seed=args.seed)
+    source, target = args.nodes // 2, 0
+    witness = find_two_agent_collusion(g, source, target)
+    if witness is None:
+        print("no collusion witness found on the deviation grid")
+    else:
+        print(
+            f"Theorem-7 witness: node {witness.liar} declares "
+            f"{witness.declared_cost:.4g}, coalition with node "
+            f"{witness.beneficiary} gains {witness.gain:.4g}"
+        )
+    plain = vcg_unicast_payments(g, source, target)
+    guarded = neighbor_collusion_payments(g, source, target)
+    print(
+        f"plain VCG total payment:      {plain.total_payment:.4g}\n"
+        f"neighbour-scheme total:       {guarded.total_payment:.4g} "
+        f"(premium {guarded.total_payment - plain.total_payment:.4g})"
+    )
+    return 0
+
+
+def _cmd_distributed(args) -> int:
+    from repro import generators, vcg_unicast_payments
+    from repro.distributed import run_distributed_payments
+    from repro.distributed.secure import run_secure_distributed_payments
+
+    g = generators.random_biconnected_graph(args.nodes, seed=args.seed)
+    if args.secure:
+        result, reports = run_secure_distributed_payments(g, root=0)
+        print(f"secure run: {len(reports)} audit findings")
+    else:
+        result = run_distributed_payments(g, root=0)
+    stats = result.stats
+    print(
+        f"converged in {stats.rounds} rounds, "
+        f"{stats.broadcasts} broadcasts, {stats.unicasts} unicasts"
+    )
+    worst = 0.0
+    for i in range(1, g.n):
+        cent = vcg_unicast_payments(g, i, 0, on_monopoly="inf")
+        for k in cent.relays:
+            worst = max(worst, abs(result.payment(i, k) - cent.payment(k)))
+    print(f"max |distributed - centralized| payment difference: {worst:.3g}")
+    return 0
+
+
+def _cmd_economy(args) -> int:
+    from repro import generators
+    from repro.core.allpairs import TrafficMatrix, network_economy
+    from repro.utils.tables import ascii_table
+
+    g = generators.random_biconnected_graph(args.nodes, seed=args.seed)
+    econ = network_economy(
+        g, TrafficMatrix.uniform(g.n, intensity=args.intensity)
+    )
+    rows = [
+        [e.node, round(e.packets_relayed), round(e.income, 2),
+         round(e.spend, 2), round(e.profit, 2)]
+        for e in sorted(econ.nodes, key=lambda e: -e.profit)
+    ]
+    print(
+        ascii_table(
+            ["node", "pkts relayed", "income", "spend", "profit"],
+            rows,
+            title=f"uniform all-to-all traffic on {g.n} nodes",
+        )
+    )
+    print(
+        f"overpayment ratio {econ.overpayment_ratio:.4f}; "
+        f"income Gini {econ.gini_income():.4f}; "
+        f"{len(econ.blocked_pairs)} blocked pairs"
+    )
+    return 0
+
+
+def _cmd_churn(args) -> int:
+    from repro.analysis.churn import mobility_churn_experiment
+    from repro.wireless.geometry import PAPER_REGION
+    from repro.wireless.mobility import GaussianDrift
+
+    model = GaussianDrift(PAPER_REGION, sigma=args.sigma)
+    result = mobility_churn_experiment(
+        model, n=args.nodes, epochs=args.epochs, seed=args.seed
+    )
+    print(result.describe())
+    for t in result.transitions:
+        print(
+            f"  epoch {t.epoch}: {t.sources_compared} sources, route churn "
+            f"{t.route_churn:.1%}, repriced {t.repriced_fraction:.1%}"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(precision=4, suppress=True)
+    if args.command == "demo":
+        return _cmd_demo(args)
+    if args.command in ("fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f"):
+        return _cmd_figure(args.command, args)
+    if args.command == "collusion":
+        return _cmd_collusion(args)
+    if args.command == "distributed":
+        return _cmd_distributed(args)
+    if args.command == "economy":
+        return _cmd_economy(args)
+    if args.command == "churn":
+        return _cmd_churn(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,203 @@
+"""Algorithm 1 adapted to the link-cost model (Section III.F, last claim).
+
+The paper: "the fast payment scheme based on Algorithm 1 can be modified
+to compute the payment in time O(n log n + m) when each node is an agent
+in a link-weighted directed network". This module implements that
+modification for **symmetric** link costs (the paper's first simulation:
+UDG with cost ``d^kappa`` is symmetric by construction). The machinery is
+the same as :mod:`repro.core.fast_payment` with edge weights instead of
+node-cost accounting:
+
+* levels come from the source-rooted SPT exactly as before (Lemmas 1-2
+  hold verbatim for undirected edge-weighted graphs — their proofs only
+  use path-swap cost inequalities);
+* a crossing edge ``(u, v)`` with ``level(u) < l < level(v)`` contributes
+  ``L(u) + w(u, v) + R(v)``;
+* the per-level boundary Dijkstra closes through ``w(x, y) + R(y)`` of
+  higher-level neighbours ``y``.
+
+For genuinely *asymmetric* digraphs (the heterogeneous second-simulation
+topologies) the replacement-path lemmas do not carry over one-to-one; use
+:func:`repro.core.link_vcg.link_vcg_payments` (per-relay removal) or the
+batch :func:`~repro.core.link_vcg.all_sources_link_payments` there. The
+constructor rejects asymmetric inputs rather than silently miscomputing.
+
+Property-tested against the per-removal oracle in
+``tests/test_fast_link_payment.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.mechanism import UnicastPayment
+from repro.errors import DisconnectedError, InvalidGraphError, MonopolyError
+from repro.graph.dijkstra import link_weighted_spt
+from repro.graph.link_graph import LinkWeightedDigraph
+from repro.utils.heap import LazyMinHeap
+from repro.utils.validation import check_node_index
+
+__all__ = ["fast_link_vcg_payments", "check_symmetric"]
+
+
+def check_symmetric(dg: LinkWeightedDigraph, tol: float = 1e-12) -> None:
+    """Raise unless every arc has an equal-weight reverse arc."""
+    rev = dg.reverse()
+    if not (
+        np.array_equal(dg.indptr, rev.indptr)
+        and np.array_equal(dg.indices, rev.indices)
+        and np.allclose(dg.weights, rev.weights, atol=tol, rtol=0.0)
+    ):
+        raise InvalidGraphError(
+            "fast link payments require symmetric link costs; this digraph "
+            "is asymmetric — use link_vcg_payments instead"
+        )
+
+
+def fast_link_vcg_payments(
+    dg: LinkWeightedDigraph,
+    source: int,
+    target: int,
+    on_monopoly: str = "raise",
+    backend: str = "auto",
+) -> UnicastPayment:
+    """All relay payments of one request in O(n log n + m), link model.
+
+    Returns the same :class:`UnicastPayment` as
+    :func:`~repro.core.link_vcg.link_vcg_payments` (relay-cost
+    convention), computed without per-relay Dijkstras.
+    """
+    source = check_node_index(source, dg.n)
+    target = check_node_index(target, dg.n)
+    if on_monopoly not in ("raise", "inf"):
+        raise ValueError(
+            f"on_monopoly must be 'raise' or 'inf', got {on_monopoly!r}"
+        )
+    check_symmetric(dg)
+    if source == target:
+        return UnicastPayment(source, target, (), 0.0, {}, scheme="link-vcg")
+
+    spt_i = link_weighted_spt(dg, source, direction="from", backend=backend)
+    if not spt_i.reachable(target):
+        raise DisconnectedError(source, target)
+    spt_j = link_weighted_spt(dg, target, direction="from", backend=backend)
+    path = spt_i.path_from_root(target)
+    s = len(path) - 1
+    lcp = float(spt_i.dist[target])
+    relay_cost = lcp - dg.arc_weight(path[0], path[1])
+    if s <= 1:
+        return UnicastPayment(
+            source, target, tuple(path), relay_cost, {}, scheme="link-vcg"
+        )
+
+    L = spt_i.dist  # distance from source (symmetric weights)
+    R = spt_j.dist  # distance to target
+    levels = spt_i.branch_labels(path)
+    on_path = np.zeros(dg.n, dtype=bool)
+    on_path[np.asarray(path, dtype=np.int64)] = True
+
+    # per-level regions (steps 3-4)
+    region_nodes: dict[int, list[int]] = {}
+    for x in range(dg.n):
+        lx = int(levels[x])
+        if 1 <= lx <= s - 1 and not on_path[x]:
+            region_nodes.setdefault(lx, []).append(x)
+    c_minus = np.full(s, np.inf)
+    for l, members in region_nodes.items():
+        c_minus[l] = _region_candidate(dg, members, l, levels, L, R)
+
+    # crossing-edge sweep (step 5)
+    by_start: dict[int, list[tuple[float, int]]] = {}
+    seen_pairs: set[tuple[int, int]] = set()
+    for u, v, w in dg.arc_iter():
+        if u > v:
+            continue  # each undirected edge once
+        lu, lv = int(levels[u]), int(levels[v])
+        if lu < 0 or lv < 0:
+            continue
+        if lu > lv:
+            u, v, lu, lv = v, u, lv, lu
+        if lv - lu < 2 or (u, v) in seen_pairs:
+            continue
+        seen_pairs.add((u, v))
+        value = float(L[u] + w + R[v])
+        if np.isfinite(value):
+            by_start.setdefault(lu + 1, []).append((value, lv))
+
+    heap = LazyMinHeap()
+    payments: dict[int, float] = {}
+    for l in range(1, s):
+        for value, lv in by_start.get(l, ()):
+            heap.push(value, lv)
+        entry = heap.peek_valid(lambda lv, _l=l: lv > _l)
+        best = entry[0] if entry is not None else np.inf
+        avoid = min(best, float(c_minus[l]))
+        r_l, nxt = path[l], path[l + 1]
+        if not np.isfinite(avoid):
+            if on_monopoly == "raise":
+                raise MonopolyError(source, target, r_l)
+            payments[r_l] = float("inf")
+            continue
+        # Section III.F payment: used-link cost + detour improvement.
+        payments[r_l] = dg.arc_weight(r_l, nxt) + (avoid - lcp)
+    return UnicastPayment(
+        source, target, tuple(path), relay_cost, payments, scheme="link-vcg"
+    )
+
+
+def _region_candidate(
+    dg: LinkWeightedDigraph,
+    members: list[int],
+    l: int,
+    levels: np.ndarray,
+    L: np.ndarray,
+    R: np.ndarray,
+) -> float:
+    """Boundary Dijkstra over one level-``l`` region, edge-weighted.
+
+    ``D(x)`` = cheapest continuation ``x -> target`` avoiding ``r_l``
+    through levels ``>= l`` (closure via ``R`` at the first higher-level
+    neighbour). Returns ``min L(u) + w(u, x) + D(x)`` over region members
+    ``x`` and their lower-level neighbours ``u``.
+    """
+    in_region = set(members)
+    dist: dict[int, float] = {}
+    pq: list[tuple[float, int]] = []
+    for x in members:
+        heads, wts = dg.out_neighbors(x)
+        best = np.inf
+        for y, w in zip(heads, wts):
+            if levels[y] > l:
+                cand = w + R[y]
+                if cand < best:
+                    best = cand
+        if np.isfinite(best):
+            dist[x] = float(best)
+            heapq.heappush(pq, (float(best), x))
+
+    settled: set[int] = set()
+    while pq:
+        dx, x = heapq.heappop(pq)
+        if x in settled or dx > dist.get(x, np.inf):
+            continue
+        settled.add(x)
+        heads, wts = dg.out_neighbors(x)
+        for z, w in zip(heads, wts):
+            z = int(z)
+            if z in in_region and z not in settled:
+                cand = dx + float(w)
+                if cand < dist.get(z, np.inf):
+                    dist[z] = cand
+                    heapq.heappush(pq, (cand, z))
+
+    best = np.inf
+    for x, dx in dist.items():
+        heads, wts = dg.out_neighbors(x)
+        for u, w in zip(heads, wts):
+            if 0 <= levels[u] < l:
+                cand = float(L[u]) + float(w) + dx
+                if cand < best:
+                    best = cand
+    return float(best)

@@ -1,0 +1,237 @@
+"""The Section III.F mechanism: node agents with link-cost vector types.
+
+With power-controlled radios, node ``v_k``'s private type is the vector of
+its outgoing link costs. The mechanism computes the least cost *directed*
+path ``P(v_i, v_0, d)`` and pays each relay ``v_k`` on it
+
+.. math::
+
+    p_i^k(d) = d_{k, next(k)} + \\Delta_{i,k}, \\qquad
+    \\Delta_{i,k} = ||P(v_i, v_0, d |^k \\infty)|| - ||P(v_i, v_0, d)||
+
+where ``d |^k inf`` removes all of ``v_k``'s links (the node-avoiding
+path). The scheme is VCG, hence truthful even though types are vectors —
+a node's valuation depends only on which of its own links the output uses.
+
+Two entry points:
+
+* :func:`link_vcg_payments` — one source, with explicit per-relay
+  avoiding-path Dijkstras. Clear, used for small cases and as the oracle.
+* :func:`all_sources_link_payments` — every source toward one access
+  point at once. The avoiding distances for *all* sources under the
+  removal of ``v_k`` come from a single reverse Dijkstra, so the whole
+  table costs one compiled Dijkstra per interior tree node. This is the
+  engine behind the Figure-3 sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.core.mechanism import UnicastPayment
+from repro.errors import DisconnectedError, MonopolyError
+from repro.graph.avoiding import (
+    all_sources_removal_distances,
+    avoiding_distance,
+)
+from repro.graph.dijkstra import link_weighted_spt
+from repro.graph.link_graph import LinkWeightedDigraph
+from repro.utils.validation import check_node_index
+
+__all__ = [
+    "link_vcg_payments",
+    "all_sources_link_payments",
+    "LinkPaymentTable",
+    "relay_link_utility",
+]
+
+
+def link_vcg_payments(
+    dg: LinkWeightedDigraph,
+    source: int,
+    target: int,
+    on_monopoly: str = "raise",
+    backend: str = "auto",
+) -> UnicastPayment:
+    """VCG outcome for one source in the link-cost model.
+
+    ``lcp_cost`` in the returned :class:`UnicastPayment` is the **relay
+    cost** of the route — the path weight minus the source's own first
+    transmission — mirroring the node model's internal-cost convention
+    (payments compensate relays; the source's own radio energy is not
+    something it pays anyone for).
+    """
+    source = check_node_index(source, dg.n)
+    target = check_node_index(target, dg.n)
+    if on_monopoly not in ("raise", "inf"):
+        raise ValueError(
+            f"on_monopoly must be 'raise' or 'inf', got {on_monopoly!r}"
+        )
+    if source == target:
+        return UnicastPayment(source, target, (), 0.0, {}, scheme="link-vcg")
+    spt = link_weighted_spt(dg, source, direction="from", backend=backend)
+    if not spt.reachable(target):
+        raise DisconnectedError(source, target)
+    path = spt.path_from_root(target)
+    full_cost = float(spt.dist[target])
+    payments: dict[int, float] = {}
+    for idx in range(1, len(path) - 1):
+        k = path[idx]
+        nxt = path[idx + 1]
+        detour = avoiding_distance(dg, source, target, k, backend=backend)
+        if not np.isfinite(detour):
+            if on_monopoly == "raise":
+                raise MonopolyError(source, target, k)
+            payments[k] = float("inf")
+            continue
+        payments[k] = dg.arc_weight(k, nxt) + (detour - full_cost)
+    relay_cost = full_cost - dg.arc_weight(path[0], path[1])
+    return UnicastPayment(
+        source, target, tuple(path), relay_cost, payments, scheme="link-vcg"
+    )
+
+
+def relay_link_utility(
+    dg_true: LinkWeightedDigraph, result: UnicastPayment, node: int
+) -> float:
+    """Utility of relay ``node``: payment minus the *true* cost of the arc
+    the route uses at ``node`` (0 for off-path nodes)."""
+    node = int(node)
+    path = result.path
+    if node not in path[1:-1]:
+        return result.payment(node)
+    idx = path.index(node)
+    return result.payment(node) - dg_true.arc_weight(node, path[idx + 1])
+
+
+@dataclass(frozen=True)
+class LinkPaymentTable:
+    """All-sources VCG payments toward one access point.
+
+    Attributes
+    ----------
+    root:
+        The access point ``v_0``.
+    dist:
+        ``dist[i]`` = weight of ``P(v_i, v_0, d)`` (``inf`` when ``i``
+        cannot reach the root at all).
+    first_hop_cost:
+        ``first_hop_cost[i]`` = the source's own transmission cost on its
+        route (0 for the root; ``inf`` when unreachable).
+    payments:
+        ``payments[i]`` = mapping relay -> payment for source ``i``.
+        Entries may be ``inf`` when a relay is a monopoly for that source.
+    parent:
+        Next hop toward the root per source (-1 for root/unreachable) —
+        the routing table the distributed protocol would install.
+    """
+
+    root: int
+    dist: np.ndarray
+    first_hop_cost: np.ndarray
+    payments: tuple[Mapping[int, float], ...]
+    parent: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return int(self.dist.shape[0])
+
+    def path(self, i: int) -> list[int]:
+        """Route of source ``i``: ``i, ..., root``."""
+        check_node_index(i, self.n)
+        if not np.isfinite(self.dist[i]):
+            raise DisconnectedError(i, self.root)
+        out = [int(i)]
+        while out[-1] != self.root:
+            nxt = int(self.parent[out[-1]])
+            if nxt < 0 or len(out) > self.n:  # pragma: no cover
+                raise DisconnectedError(i, self.root)
+            out.append(nxt)
+        return out
+
+    def relay_cost(self, i: int) -> float:
+        """Relay cost of source ``i``'s route (path weight minus its own
+        first transmission) — the denominator of the overpayment ratio."""
+        return float(self.dist[i] - self.first_hop_cost[i])
+
+    def total_payment(self, i: int) -> float:
+        """Total payment across all relays."""
+        return float(sum(self.payments[i].values()))
+
+    def is_monopolized(self, i: int) -> bool:
+        """True when some relay of ``i`` has an infinite payment."""
+        return any(not np.isfinite(p) for p in self.payments[i].values())
+
+    def payment_result(self, i: int) -> UnicastPayment:
+        """Per-source view as a :class:`UnicastPayment`."""
+        return UnicastPayment(
+            int(i),
+            self.root,
+            tuple(self.path(i)),
+            self.relay_cost(i),
+            dict(self.payments[i]),
+            scheme="link-vcg",
+        )
+
+    def sources(self) -> Iterator[int]:
+        """All nodes with a finite route to the root, except the root."""
+        for i in range(self.n):
+            if i != self.root and np.isfinite(self.dist[i]):
+                yield i
+
+
+def all_sources_link_payments(
+    dg: LinkWeightedDigraph, root: int = 0
+) -> LinkPaymentTable:
+    """VCG payments of every source toward ``root`` in one batch.
+
+    The routes form the shortest path tree toward the root, so the set of
+    relays that ever needs an avoiding distance is exactly the set of
+    interior tree nodes; one reverse Dijkstra per such node (on a masked
+    arc list, compiled) yields the avoiding distances of *all* sources
+    simultaneously. Total cost: O(#interior · Dijkstra) instead of
+    O(#sources · #relays · Dijkstra).
+    """
+    root = check_node_index(root, dg.n)
+    spt = link_weighted_spt(dg, root, direction="to")
+    n = dg.n
+    parent = spt.parent.copy()
+
+    # Interior tree nodes = some node's next hop that is not the root.
+    relays_needed = sorted(
+        {
+            int(parent[i])
+            for i in range(n)
+            if i != root and np.isfinite(spt.dist[i]) and int(parent[i]) != root
+        }
+    )
+    removal = all_sources_removal_distances(dg, root, removed_nodes=relays_needed)
+    removal_row = {k: removal[k] for k in relays_needed}
+
+    first_hop_cost = np.full(n, np.inf)
+    first_hop_cost[root] = 0.0
+    payments: list[dict[int, float]] = [dict() for _ in range(n)]
+    for i in range(n):
+        if i == root or not np.isfinite(spt.dist[i]):
+            continue
+        route = spt.path_from_root(i)[::-1]  # i, ..., root
+        first_hop_cost[i] = dg.arc_weight(route[0], route[1])
+        base = float(spt.dist[i])
+        for idx in range(1, len(route) - 1):
+            k = route[idx]
+            nxt = route[idx + 1]
+            detour = float(removal_row[k][i])
+            delta = detour - base  # inf - finite stays inf (monopoly)
+            payments[i][k] = dg.arc_weight(k, nxt) + delta
+
+    return LinkPaymentTable(
+        root=root,
+        dist=spt.dist.copy(),
+        first_hop_cost=first_hop_cost,
+        payments=tuple(payments),
+        parent=parent,
+    )

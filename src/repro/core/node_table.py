@@ -1,0 +1,126 @@
+"""All-sources VCG payments in the node model (batch engine).
+
+The mirror of :func:`repro.core.link_vcg.all_sources_link_payments` for
+the Sections II-III.E scalar-cost model: every source's payments toward
+one access point, computed with one *removal Dijkstra per interior
+routing-tree node* instead of one Algorithm-1 run per source. For the
+"everyone talks to the AP" workload this is the cheapest way to price
+the whole network (the routes share the SPT, so the avoiding distances
+are shared too), and it powers the node-model network-wide analyses
+(resale scans, economies, sensitivity sweeps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.core.mechanism import UnicastPayment
+from repro.errors import DisconnectedError
+from repro.graph.dijkstra import node_weighted_spt
+from repro.graph.node_graph import NodeWeightedGraph
+from repro.utils.validation import check_node_index
+
+__all__ = ["NodePaymentTable", "all_sources_node_payments"]
+
+
+@dataclass(frozen=True)
+class NodePaymentTable:
+    """All-sources payments toward one access point (node model).
+
+    ``dist[i]`` is the internal-node cost of ``i``'s route (the paper's
+    ``c(i, 0)``); ``payments[i]`` maps relay -> payment; ``parent[i]`` is
+    the next hop toward the root.
+    """
+
+    root: int
+    dist: np.ndarray
+    payments: tuple[Mapping[int, float], ...]
+    parent: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return int(self.dist.shape[0])
+
+    def path(self, i: int) -> list[int]:
+        """Route of one source toward the root (source first)."""
+        check_node_index(i, self.n)
+        if not np.isfinite(self.dist[i]):
+            raise DisconnectedError(i, self.root)
+        out = [int(i)]
+        while out[-1] != self.root:
+            nxt = int(self.parent[out[-1]])
+            if nxt < 0 or len(out) > self.n:  # pragma: no cover
+                raise DisconnectedError(i, self.root)
+            out.append(nxt)
+        return out
+
+    def total_payment(self, i: int) -> float:
+        """Total payment across all relays."""
+        return float(sum(self.payments[i].values()))
+
+    def payment_result(self, i: int) -> UnicastPayment:
+        """Per-source view as a :class:`UnicastPayment`."""
+        return UnicastPayment(
+            int(i),
+            self.root,
+            tuple(self.path(i)),
+            float(self.dist[i]),
+            dict(self.payments[i]),
+            scheme="vcg",
+        )
+
+    def sources(self) -> Iterator[int]:
+        """All nodes with a finite route to the root (root excluded)."""
+        for i in range(self.n):
+            if i != self.root and np.isfinite(self.dist[i]):
+                yield i
+
+
+def all_sources_node_payments(
+    g: NodeWeightedGraph, root: int = 0
+) -> NodePaymentTable:
+    """Price every source toward ``root`` in one batch.
+
+    For each interior node ``k`` of the SPT toward the root, one Dijkstra
+    on ``G \\ v_k`` (rooted at the access point — distances are symmetric
+    in the undirected node model) yields ``d_{-k}(i)`` for **all** sources
+    ``i`` simultaneously; the payment is then
+    ``p_i^k = d_k + d_{-k}(i) - d(i)`` for every ``i`` whose route passes
+    through ``k``. Monopoly relays produce infinite entries.
+    """
+    root = check_node_index(root, g.n)
+    spt = node_weighted_spt(g, root, backend="auto")
+    n = g.n
+    parent = spt.parent.copy()
+
+    # Interior tree nodes: some source's relay.
+    kids = spt.children()
+    interior = [
+        k for k in range(n)
+        if k != root and np.isfinite(spt.dist[k]) and kids[k]
+    ]
+    removal: dict[int, np.ndarray] = {}
+    for k in interior:
+        avoid = node_weighted_spt(g, root, forbidden=[k], backend="python")
+        removal[k] = avoid.dist
+
+    payments: list[dict[int, float]] = [dict() for _ in range(n)]
+    for i in range(n):
+        if i == root or not np.isfinite(spt.dist[i]):
+            continue
+        route = spt.path_from_root(i)[::-1]  # i ... root
+        base = float(spt.dist[i])
+        for k in route[1:-1]:
+            detour = float(removal[k][i])
+            payments[i][k] = float(g.costs[k]) + (detour - base)
+
+    return NodePaymentTable(
+        root=root,
+        dist=spt.dist.copy(),
+        payments=tuple(payments),
+        parent=parent,
+    )

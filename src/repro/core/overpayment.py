@@ -1,0 +1,172 @@
+"""Overpayment metrics (Section III.G).
+
+For a source ``v_i`` paying ``p_i`` in total for a route of (relay) cost
+``c(i, 0)``, the evaluation tracks:
+
+* **TOR** (total overpayment ratio): ``sum_i p_i / sum_i c(i, 0)``;
+* **IOR** (individual overpayment ratio): ``mean_i p_i / c(i, 0)``;
+* **worst ratio**: ``max_i p_i / c(i, 0)``;
+
+and, for Figure 3(d), the same ratios bucketed by the source's hop
+distance to the access point.
+
+Sources are excluded (and counted) when the ratio is undefined:
+one-hop sources have no relays (``c(i, 0) = 0``; nothing is paid either),
+and monopolized sources have an infinite payment (ruled out by the
+paper's biconnectivity assumption, but possible in the sparse
+heterogeneous topologies of the second simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.link_vcg import LinkPaymentTable
+from repro.core.mechanism import UnicastPayment
+
+__all__ = [
+    "OverpaymentSummary",
+    "overpayment_summary",
+    "per_hop_breakdown",
+    "HopBucket",
+]
+
+
+@dataclass(frozen=True)
+class OverpaymentSummary:
+    """Aggregate overpayment metrics for one network instance."""
+
+    n_sources: int
+    total_payment: float
+    total_cost: float
+    ior: float
+    worst: float
+    worst_source: int
+    skipped_trivial: int
+    skipped_monopoly: int
+
+    @property
+    def tor(self) -> float:
+        """Total overpayment ratio ``sum p_i / sum c(i, 0)``."""
+        if self.total_cost <= 0:
+            return float("nan")
+        return self.total_payment / self.total_cost
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.n_sources} sources: TOR {self.tor:.4f}, IOR {self.ior:.4f}, "
+            f"worst {self.worst:.4f} (source {self.worst_source}); skipped "
+            f"{self.skipped_trivial} one-hop + {self.skipped_monopoly} monopolized"
+        )
+
+
+def _iter_source_ratios(results: Iterable[UnicastPayment]):
+    for r in results:
+        total = r.total_payment
+        cost = r.lcp_cost
+        yield r.source, total, cost
+
+
+def overpayment_summary(
+    results: Iterable[UnicastPayment] | LinkPaymentTable,
+) -> OverpaymentSummary:
+    """Compute TOR / IOR / worst over per-source payment results.
+
+    Accepts either an iterable of :class:`UnicastPayment` or a whole
+    :class:`~repro.core.link_vcg.LinkPaymentTable`.
+    """
+    if isinstance(results, LinkPaymentTable):
+        table = results
+        results = (table.payment_result(i) for i in table.sources())
+
+    total_payment = 0.0
+    total_cost = 0.0
+    ratios = []
+    sources = []
+    skipped_trivial = 0
+    skipped_monopoly = 0
+    for source, payment, cost in _iter_source_ratios(results):
+        if not np.isfinite(payment):
+            skipped_monopoly += 1
+            continue
+        if cost <= 0:
+            skipped_trivial += 1
+            continue
+        total_payment += payment
+        total_cost += cost
+        ratios.append(payment / cost)
+        sources.append(source)
+    if not ratios:
+        return OverpaymentSummary(
+            n_sources=0,
+            total_payment=0.0,
+            total_cost=0.0,
+            ior=float("nan"),
+            worst=float("nan"),
+            worst_source=-1,
+            skipped_trivial=skipped_trivial,
+            skipped_monopoly=skipped_monopoly,
+        )
+    ratios_arr = np.asarray(ratios)
+    worst_idx = int(np.argmax(ratios_arr))
+    return OverpaymentSummary(
+        n_sources=len(ratios),
+        total_payment=total_payment,
+        total_cost=total_cost,
+        ior=float(ratios_arr.mean()),
+        worst=float(ratios_arr.max()),
+        worst_source=sources[worst_idx],
+        skipped_trivial=skipped_trivial,
+        skipped_monopoly=skipped_monopoly,
+    )
+
+
+@dataclass(frozen=True)
+class HopBucket:
+    """Overpayment statistics for sources at one hop distance."""
+
+    hops: int
+    count: int
+    mean_ratio: float
+    max_ratio: float
+
+
+def per_hop_breakdown(
+    table: LinkPaymentTable | Iterable[UnicastPayment],
+    max_hops: int | None = None,
+) -> list[HopBucket]:
+    """Figure 3(d): overpayment ratio bucketed by hop distance to the root.
+
+    The hop distance of a source is the edge count of its route. Sources
+    with undefined ratios are skipped as in :func:`overpayment_summary`.
+    """
+    if isinstance(table, LinkPaymentTable):
+        results: Iterable[UnicastPayment] = (
+            table.payment_result(i) for i in table.sources()
+        )
+    else:
+        results = table
+    buckets: Mapping[int, list[float]] = {}
+    for r in results:
+        if not np.isfinite(r.total_payment) or r.lcp_cost <= 0:
+            continue
+        hops = len(r.path) - 1
+        if max_hops is not None and hops > max_hops:
+            continue
+        buckets.setdefault(hops, []).append(r.total_payment / r.lcp_cost)
+    out = []
+    for hops in sorted(buckets):
+        vals = np.asarray(buckets[hops])
+        out.append(
+            HopBucket(
+                hops=hops,
+                count=int(vals.shape[0]),
+                mean_ratio=float(vals.mean()),
+                max_ratio=float(vals.max()),
+            )
+        )
+    return out

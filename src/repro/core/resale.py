@@ -1,0 +1,124 @@
+"""Resale-the-path collusion (Section III.H, Figure 4).
+
+Even with truthful *declarations*, a source ``v_i`` and a neighbour
+``v_j`` can collude at the *routing* stage: if ``v_i``'s total payment
+exceeds what it would cost to hand the traffic to ``v_j`` — namely
+``v_j``'s own total payment plus ``max(p_i^j, c_j)`` (the compensation
+``v_j`` forgoes or spends by fronting the traffic) — the pair pockets the
+difference
+
+.. math::
+
+    \\text{savings}(i, j) = p_i - (p_j + \\max(p_i^j, c_j)) > 0.
+
+This module finds every such profitable pair on an instance. It does not
+"fix" the issue (the paper leaves it open); it quantifies how often the
+VCG payments admit resale, which the Figure-4 example and the
+``collusion_and_security`` example script demonstrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.mechanism import UnicastPayment
+from repro.core.vcg_unicast import vcg_unicast_payments
+from repro.graph.node_graph import NodeWeightedGraph
+from repro.utils.validation import check_node_index
+
+__all__ = ["ResaleOpportunity", "find_resale_opportunities", "resale_savings"]
+
+
+@dataclass(frozen=True)
+class ResaleOpportunity:
+    """A profitable resale pair: ``source`` hands traffic to ``reseller``."""
+
+    source: int
+    reseller: int
+    source_payment: float  # p_i: what the source pays going direct
+    reseller_payment: float  # p_j: what the reseller pays for its own route
+    compensation: float  # max(p_i^j, c_j)
+    savings: float  # p_i - (p_j + compensation) > 0
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"source {self.source} resells via {self.reseller}: direct cost "
+            f"{self.source_payment:.6g} vs resale "
+            f"{self.reseller_payment + self.compensation:.6g} "
+            f"(saves {self.savings:.6g})"
+        )
+
+
+def resale_savings(
+    source_result: UnicastPayment,
+    reseller_result: UnicastPayment,
+    reseller_true_cost: float,
+) -> float:
+    """``p_i - (p_j + max(p_i^j, c_j))`` for a concrete pair of outcomes."""
+    p_i = source_result.total_payment
+    p_j = reseller_result.total_payment
+    compensation = max(source_result.payment(reseller_result.source), reseller_true_cost)
+    return p_i - (p_j + compensation)
+
+
+def find_resale_opportunities(
+    g: NodeWeightedGraph,
+    root: int = 0,
+    method: str = "fast",
+    min_savings: float = 1e-9,
+    payments: Mapping[int, UnicastPayment] | None = None,
+) -> list[ResaleOpportunity]:
+    """All profitable resale pairs toward the access point ``root``.
+
+    For every source ``i`` and every neighbour ``j`` of ``i`` (with
+    ``j != root``), check the Section III.H condition. ``payments`` may
+    carry precomputed per-source outcomes (keyed by source) to avoid
+    recomputation across calls; missing sources are computed on demand
+    with :func:`vcg_unicast_payments`.
+
+    Returns opportunities sorted by decreasing savings.
+    """
+    root = check_node_index(root, g.n)
+    cache: dict[int, UnicastPayment] = dict(payments or {})
+
+    def outcome(i: int) -> UnicastPayment:
+        """Mechanism outcome for one source (cached)."""
+        if i not in cache:
+            cache[i] = vcg_unicast_payments(
+                g, i, root, method=method, on_monopoly="inf"
+            )
+        return cache[i]
+
+    found = []
+    for i in range(g.n):
+        if i == root:
+            continue
+        res_i = outcome(i)
+        p_i = res_i.total_payment
+        if not np.isfinite(p_i):
+            continue
+        for j in g.neighbors(i):
+            j = int(j)
+            if j == root or j == i:
+                continue
+            res_j = outcome(j)
+            if not np.isfinite(res_j.total_payment):
+                continue
+            savings = resale_savings(res_i, res_j, float(g.costs[j]))
+            if savings > min_savings:
+                found.append(
+                    ResaleOpportunity(
+                        source=i,
+                        reseller=j,
+                        source_payment=p_i,
+                        reseller_payment=res_j.total_payment,
+                        compensation=max(res_i.payment(j), float(g.costs[j])),
+                        savings=savings,
+                    )
+                )
+    found.sort(key=lambda o: -o.savings)
+    return found

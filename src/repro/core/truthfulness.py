@@ -1,0 +1,307 @@
+"""Empirical verification of mechanism properties (IC, IR, group-IC).
+
+VCG truthfulness is a theorem, not a property of our *code* — an
+implementation bug (an off-by-one in the avoiding path, a wrong sign in
+the payment) silently breaks it. This harness treats any
+:class:`~repro.core.mechanism.MechanismSpec` as a black box and hammers it
+with deviations:
+
+* :func:`check_individual_rationality` — every agent's utility at the
+  truthful profile is non-negative;
+* :func:`check_strategyproof` — no unilateral misdeclaration (grid of
+  scale factors plus targeted values) beats truthtelling;
+* :func:`check_group_strategyproof` — no *joint* deviation by a given
+  coalition raises the coalition's total utility (the paper's k-agents
+  strategyproofness, Definition 1).
+
+The property tests use these against the III.A scheme (must pass IC/IR,
+must FAIL pair-IC per Theorem 7) and the III.E scheme (must also pass
+pair-IC for neighbouring pairs).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.mechanism import MechanismSpec, relay_utility
+from repro.errors import MonopolyError
+from repro.graph.node_graph import NodeWeightedGraph
+
+__all__ = [
+    "DeviationReport",
+    "check_individual_rationality",
+    "check_strategyproof",
+    "check_group_strategyproof",
+    "check_link_strategyproof",
+    "default_deviations",
+]
+
+#: Multiplicative deviations tried per agent, by default: shading down to
+#: free-riding, and inflating up to near-monopoly pricing.
+DEFAULT_SCALE_FACTORS: tuple[float, ...] = (0.0, 0.2, 0.5, 0.9, 1.1, 2.0, 5.0, 50.0)
+
+
+def default_deviations(true_cost: float) -> list[float]:
+    """The declared costs an agent tries instead of ``true_cost``."""
+    out = [true_cost * f for f in DEFAULT_SCALE_FACTORS]
+    out.extend([true_cost + 1.0, max(true_cost - 1.0, 0.0)])
+    return sorted({round(v, 12) for v in out if v >= 0})
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One deviation that (apparently) beat truthtelling."""
+
+    agents: tuple[int, ...]
+    declared: tuple[float, ...]
+    truthful_utility: float
+    deviating_utility: float
+
+    @property
+    def gain(self) -> float:
+        """Utility gained relative to the truthful baseline."""
+        return self.deviating_utility - self.truthful_utility
+
+
+@dataclass(frozen=True)
+class DeviationReport:
+    """Outcome of a deviation sweep."""
+
+    mechanism: str
+    checked: int
+    violations: tuple[Violation, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        """True when no violation was found."""
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        if self.ok:
+            return f"{self.mechanism}: {self.checked} deviations, none profitable"
+        worst = max(self.violations, key=lambda v: v.gain)
+        return (
+            f"{self.mechanism}: {len(self.violations)} / {self.checked} "
+            f"deviations profitable; worst: agents {worst.agents} declare "
+            f"{worst.declared} and gain {worst.gain:.6g}"
+        )
+
+
+def check_individual_rationality(
+    mechanism: MechanismSpec,
+    g_true: NodeWeightedGraph,
+    source: int,
+    target: int,
+    tol: float = 1e-9,
+) -> DeviationReport:
+    """Verify every agent has non-negative utility at the truthful profile."""
+    result = mechanism(g_true, source, target)
+    violations = []
+    for k in range(g_true.n):
+        if k in (source, target):
+            continue
+        u = relay_utility(result, g_true.costs, k)
+        if u < -tol:
+            violations.append(
+                Violation(
+                    agents=(k,),
+                    declared=(float(g_true.costs[k]),),
+                    truthful_utility=u,
+                    deviating_utility=u,
+                )
+            )
+    return DeviationReport(
+        mechanism=f"{mechanism.name} [IR]",
+        checked=g_true.n - 2,
+        violations=tuple(violations),
+    )
+
+
+def check_strategyproof(
+    mechanism: MechanismSpec,
+    g_true: NodeWeightedGraph,
+    source: int,
+    target: int,
+    agents: Iterable[int] | None = None,
+    deviations: Sequence[float] | None = None,
+    tol: float = 1e-7,
+) -> DeviationReport:
+    """Sweep unilateral deviations; report any that beat truthtelling.
+
+    Utilities are always evaluated with **true** costs (an agent cannot
+    change what relaying actually costs it, only what it claims).
+    Deviations that create a monopoly are skipped — the truthful baseline
+    assumed away monopolies, and an infinite payment to a *different*
+    agent is not a deviation gain for this one.
+    """
+    truthful = mechanism(g_true, source, target)
+    base = {
+        k: relay_utility(truthful, g_true.costs, k) for k in range(g_true.n)
+    }
+    if agents is None:
+        agents = [k for k in range(g_true.n) if k not in (source, target)]
+    checked = 0
+    violations = []
+    for k in agents:
+        devs = (
+            deviations
+            if deviations is not None
+            else default_deviations(float(g_true.costs[k]))
+        )
+        for d in devs:
+            if abs(d - g_true.costs[k]) < 1e-12:
+                continue
+            declared_g = g_true.with_declaration(k, d)
+            try:
+                outcome = mechanism(declared_g, source, target)
+            except MonopolyError:
+                continue
+            checked += 1
+            u = relay_utility(outcome, g_true.costs, k)
+            if u > base[k] + tol:
+                violations.append(
+                    Violation(
+                        agents=(k,),
+                        declared=(float(d),),
+                        truthful_utility=base[k],
+                        deviating_utility=u,
+                    )
+                )
+    return DeviationReport(
+        mechanism=f"{mechanism.name} [IC]",
+        checked=checked,
+        violations=tuple(violations),
+    )
+
+
+def check_group_strategyproof(
+    mechanism: MechanismSpec,
+    g_true: NodeWeightedGraph,
+    source: int,
+    target: int,
+    group: Sequence[int],
+    deviations: Sequence[float] | None = None,
+    max_combinations: int = 512,
+    tol: float = 1e-7,
+) -> DeviationReport:
+    """Sweep *joint* deviations of ``group``; compare coalition utility.
+
+    This operationalizes Definition 1 (k-agents strategyproofness): the
+    coalition's summed utility under any joint misdeclaration must not
+    exceed its truthful sum. The deviation grid is the cross product of
+    each member's deviation list, truncated to ``max_combinations``.
+    """
+    group = [int(k) for k in group]
+    for k in group:
+        if k in (source, target):
+            raise ValueError(f"group member {k} is an endpoint")
+    truthful = mechanism(g_true, source, target)
+    base_sum = sum(relay_utility(truthful, g_true.costs, k) for k in group)
+
+    per_agent = [
+        (
+            deviations
+            if deviations is not None
+            else default_deviations(float(g_true.costs[k]))
+        )
+        for k in group
+    ]
+    checked = 0
+    violations = []
+    for combo in itertools.islice(itertools.product(*per_agent), max_combinations):
+        if all(
+            abs(d - g_true.costs[k]) < 1e-12 for d, k in zip(combo, group)
+        ):
+            continue
+        costs = g_true.costs.copy()
+        for k, d in zip(group, combo):
+            costs[k] = d
+        declared_g = g_true.with_costs(costs)
+        try:
+            outcome = mechanism(declared_g, source, target)
+        except MonopolyError:
+            continue
+        checked += 1
+        joint = sum(relay_utility(outcome, g_true.costs, k) for k in group)
+        if joint > base_sum + tol:
+            violations.append(
+                Violation(
+                    agents=tuple(group),
+                    declared=tuple(float(d) for d in combo),
+                    truthful_utility=base_sum,
+                    deviating_utility=joint,
+                )
+            )
+    return DeviationReport(
+        mechanism=f"{mechanism.name} [group-IC {tuple(group)}]",
+        checked=checked,
+        violations=tuple(violations),
+    )
+
+
+def check_link_strategyproof(
+    dg_true,
+    source: int,
+    target: int,
+    agents: Iterable[int] | None = None,
+    scale_factors: Sequence[float] = (0.0, 0.5, 0.9, 1.1, 2.0, 10.0),
+    tol: float = 1e-7,
+) -> DeviationReport:
+    """IC sweep for the Section III.F mechanism (vector types).
+
+    Each agent tries rescaling its entire declared cost *row* by the
+    given factors (per-link deviations are a strict subset of what the
+    VCG argument covers; row rescaling is the canonical family that can
+    steer the output). Utilities use the true arc costs via
+    :func:`repro.core.link_vcg.relay_link_utility`.
+    """
+    import numpy as _np
+
+    from repro.core.link_vcg import link_vcg_payments, relay_link_utility
+    from repro.errors import DisconnectedError
+
+    truthful = link_vcg_payments(dg_true, source, target, on_monopoly="inf")
+    base = {
+        k: relay_link_utility(dg_true, truthful, k) for k in range(dg_true.n)
+    }
+    if agents is None:
+        agents = [k for k in range(dg_true.n) if k not in (source, target)]
+    checked = 0
+    violations = []
+    for k in agents:
+        for factor in scale_factors:
+            if abs(factor - 1.0) < 1e-12:
+                continue
+            row = dg_true.cost_row(k)
+            finite = _np.isfinite(row)
+            row[finite] *= factor
+            row[k] = 0.0
+            lied = dg_true.with_declaration(k, row)
+            try:
+                outcome = link_vcg_payments(lied, source, target, on_monopoly="inf")
+            except DisconnectedError:
+                continue
+            checked += 1
+            u = relay_link_utility(dg_true, outcome, k)
+            if u > base[k] + tol:
+                violations.append(
+                    Violation(
+                        agents=(int(k),),
+                        declared=(float(factor),),
+                        truthful_utility=base[k],
+                        deviating_utility=u,
+                    )
+                )
+    return DeviationReport(
+        mechanism="link-vcg [IC, row rescaling]",
+        checked=checked,
+        violations=tuple(violations),
+    )

@@ -1,0 +1,71 @@
+"""Distributed substrate and the paper's distributed payment protocols.
+
+Wireless ad hoc networks lack a centralized authority (Section III.C), so
+the mechanism must be computed *by the selfish nodes themselves*. This
+package provides:
+
+* :mod:`~repro.distributed.simulator` — a deterministic synchronous
+  round-based message-passing engine. Each node is a
+  :class:`~repro.distributed.node_proc.NodeProcess`; a broadcast sent in
+  round ``r`` is delivered to all neighbours at round ``r + 1``. The
+  engine records message provenance itself — a node cannot forge *who* a
+  message came from, which is exactly the guarantee the paper obtains
+  from digital signatures (Section III.D).
+
+* :mod:`~repro.distributed.spt_protocol` — stage 1: the distributed
+  shortest-path-tree computation (``D``/``FH`` entries of Algorithm 2's
+  first stage, including the contact-and-correct rule).
+
+* :mod:`~repro.distributed.payment_protocol` — stage 2: the iterative
+  price computation of Section III.C (the three min-update rules; the
+  entries decrease monotonically and converge in at most ``n`` rounds).
+
+* :mod:`~repro.distributed.secure` — Algorithm 2's cross-verification:
+  every announcement names the neighbour that triggered it, the trigger
+  re-derives the announcement, and mismatches are flagged for punishment.
+
+* :mod:`~repro.distributed.adversary` — misbehaving node implementations
+  (payment inflation, link hiding, update suppression) used by the
+  failure-injection tests.
+"""
+
+from repro.distributed.simulator import Simulator, SimulationStats, Message
+from repro.distributed.node_proc import NodeProcess, NodeAPI
+from repro.distributed.spt_protocol import SptNode, run_distributed_spt
+from repro.distributed.payment_protocol import (
+    PaymentNode,
+    run_distributed_payments,
+    DistributedPaymentResult,
+)
+from repro.distributed.secure import SecurePaymentNode, CheatingReport
+from repro.distributed.adversary import (
+    PaymentInflatorNode,
+    LinkHiderSptNode,
+    SilentNode,
+)
+from repro.distributed.async_sim import AsyncSimulator
+from repro.distributed.link_protocol import (
+    run_distributed_link_payments,
+    DistributedLinkPaymentResult,
+)
+
+__all__ = [
+    "Simulator",
+    "SimulationStats",
+    "Message",
+    "NodeProcess",
+    "NodeAPI",
+    "SptNode",
+    "run_distributed_spt",
+    "PaymentNode",
+    "run_distributed_payments",
+    "DistributedPaymentResult",
+    "SecurePaymentNode",
+    "CheatingReport",
+    "PaymentInflatorNode",
+    "LinkHiderSptNode",
+    "SilentNode",
+    "AsyncSimulator",
+    "run_distributed_link_payments",
+    "DistributedLinkPaymentResult",
+]

@@ -1,0 +1,102 @@
+"""Misbehaving node implementations for failure-injection tests.
+
+Each adversary deviates from the protocol in a way the paper discusses:
+
+* :class:`PaymentInflatorNode` — runs the stage-2 update rule honestly
+  but *announces* manipulated price entries (scaling its own payments
+  down to underpay, or up to distort downstream sources). Algorithm 2's
+  audit flags it: the claimed trigger re-derives a different value.
+* :class:`LinkHiderSptNode` — pretends a configured neighbour does not
+  exist in stage 1 (the Figure-2 manipulation: hiding a cheap branch can
+  lower the liar's total payment). The hidden neighbour's challenge goes
+  unanswered and the node is flagged.
+* :class:`SilentNode` — crashes/never participates. Not malicious; used
+  to check the protocols converge around dead nodes.
+
+A node *lying about its cost* is deliberately **not** an adversary class:
+cost declarations are strategy, not protocol violation — the mechanism's
+strategyproofness (not detection) handles them, which the truthfulness
+tests demonstrate.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.distributed.node_proc import NodeAPI, NodeProcess
+from repro.distributed.secure import SecurePaymentNode
+from repro.distributed.spt_protocol import SptNode
+
+__all__ = ["PaymentInflatorNode", "LinkHiderSptNode", "SilentNode"]
+
+
+class PaymentInflatorNode(SecurePaymentNode):
+    """Announces its own payment entries scaled by ``scale`` (!= 1).
+
+    ``scale < 1`` is the self-serving direction (the source under-reports
+    what it owes its relays); ``scale > 1`` pollutes downstream entries.
+    Internal state stays honest so the node keeps participating
+    plausibly — only the wire messages lie, exactly the cheating model of
+    Section III.D.
+    """
+
+    #: Per-class manipulation factor; tests subclass or set per instance.
+    scale: float = 0.5
+
+    def __init__(self, *args, scale: float | None = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if scale is not None:
+            self.scale = float(scale)
+        if self.scale == 1.0:
+            raise ValueError("scale must differ from 1 for an inflator")
+
+    def _announcement(self) -> dict:
+        ann = super()._announcement()
+        cheating = {
+            k: (v * self.scale if v != float("inf") else v)
+            for k, v in ann["prices"].items()
+        }
+        ann = dict(ann)
+        ann["prices"] = cheating
+        self.sent = ann  # what it actually said, for symmetric bookkeeping
+        return ann
+
+
+class LinkHiderSptNode(SptNode):
+    """Stage-1 node that ignores everything from ``hidden_neighbor``.
+
+    It cannot stop the radio medium from delivering its broadcasts to the
+    hidden neighbour (omnidirectional antenna), so the neighbour sees the
+    liar announce suboptimal distances, challenges it over the direct
+    channel, gets no answer, and flags it.
+    """
+
+    def __init__(self, node_id: int, declared_cost: float, hidden_neighbor: int,
+                 is_root: bool = False, **kwargs) -> None:
+        super().__init__(node_id, declared_cost, is_root=is_root, **kwargs)
+        self.hidden_neighbor = int(hidden_neighbor)
+
+    def on_message(self, api: NodeAPI, sender: int, payload: Mapping) -> None:
+        """Handle one delivered message (see NodeProcess)."""
+        if sender == self.hidden_neighbor:
+            return  # pretend the link does not exist
+        super().on_message(api, sender, payload)
+
+
+class SilentNode(NodeProcess):
+    """Never sends, never reacts (a crashed or depleted node)."""
+
+    def __init__(self, node_id: int, *args, **kwargs) -> None:
+        super().__init__(node_id)
+
+    def start(self, api: NodeAPI) -> None:
+        """One-time initialization before the first round."""
+        pass
+
+    def on_message(self, api: NodeAPI, sender: int, payload: Mapping) -> None:
+        """Handle one delivered message (see NodeProcess)."""
+        pass
+
+    def on_round_end(self, api: NodeAPI) -> None:
+        """Per-round housekeeping hook (see NodeProcess)."""
+        pass

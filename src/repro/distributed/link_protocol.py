@@ -1,0 +1,267 @@
+"""Distributed payment computation in the link-cost model (III.C x III.F).
+
+The paper presents the distributed two-stage algorithm in the node-cost
+model and the link-cost model only centrally; combining them is routine
+and this module does it:
+
+* **Stage 1** — distance-vector SPT toward the access point over *arc*
+  weights: ``D(v_i) = min over out-neighbours j of w(i, j) + D(v_j)``,
+  with the full route riding along (path-vector, loop-free).
+
+* **Stage 2** — instead of relaxing payments directly, each node relaxes
+  the ``v_k``-avoiding distances ``q_i^k = d_{-k}(i)``:
+
+      ``q_i^k = min over out-neighbours j != k of
+                w(i, j) + (q_j^k  if k on j's route else  D(v_j))``
+
+  which is the Bellman recursion for the avoiding distance (using
+  ``d_{-k}(j) = D(j)`` when ``k`` is not on ``j``'s route). The payment
+  then follows Section III.F's formula locally:
+
+      ``p_i^k = d_{k, next(k)} + q_i^k - D(v_i)``
+
+  where ``next(k)`` and ``d_{k, next(k)}`` are known from the stage-1
+  route. Entries decrease monotonically, so convergence mirrors the
+  node-model protocol (<= n rounds; diameter in practice).
+
+Broadcast domains follow radio reality: a node's announcements are heard
+by its *in*-neighbours (whoever can be reached by it... more precisely,
+whoever would route *through* it needs to hear it — i.e. nodes ``i`` with
+an arc ``i -> announcer``). The runner therefore wires the simulator with
+the **reverse** adjacency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.distributed.node_proc import NodeAPI, NodeProcess
+from repro.distributed.simulator import SimulationStats, Simulator
+from repro.graph.link_graph import LinkWeightedDigraph
+from repro.utils.validation import check_node_index
+
+__all__ = [
+    "LinkSptNode",
+    "LinkPaymentNode",
+    "DistributedLinkPaymentResult",
+    "run_distributed_link_payments",
+]
+
+
+class LinkSptNode(NodeProcess):
+    """Stage 1 participant: distance + route toward the root, arc weights.
+
+    ``out_costs`` maps out-neighbour -> declared arc cost (this node's
+    declared type vector restricted to its links).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        out_costs: Mapping[int, float],
+        is_root: bool = False,
+    ) -> None:
+        super().__init__(node_id)
+        self.out_costs = {int(k): float(v) for k, v in out_costs.items()}
+        self.is_root = bool(is_root)
+        self.dist = 0.0 if is_root else np.inf
+        self.route: tuple[int, ...] = ()  # next hop first, ends at root
+
+    def _announcement(self) -> dict:
+        return {
+            "type": "link-spt",
+            "dist": self.dist,
+            "route": (self.node_id,) + self.route if not self.is_root else (),
+        }
+
+    def start(self, api: NodeAPI) -> None:
+        """One-time initialization before the first round."""
+        api.broadcast(self._announcement())
+
+    def on_message(self, api: NodeAPI, sender: int, payload: Mapping) -> None:
+        """Handle one delivered message (see NodeProcess)."""
+        if payload.get("type") != "link-spt" or self.is_root:
+            return
+        w = self.out_costs.get(sender)
+        if w is None:
+            return  # we cannot transmit to the announcer
+        route = tuple(payload["route"])
+        if self.node_id in route:
+            return  # loop guard
+        cand = w + float(payload["dist"])
+        if cand < self.dist - 1e-12:
+            self.dist = cand
+            # the payload route already starts at the announcer; the root
+            # announces an empty route, in which case it *is* the next hop
+            self.route = route if route else (sender,)
+            api.broadcast(self._announcement())
+
+
+class LinkPaymentNode(NodeProcess):
+    """Stage 2 participant: relaxes avoiding distances ``q_i^k``.
+
+    ``relays`` are the relays on this node's stage-1 route (everything
+    except itself and the root), in route order; the corresponding next
+    hops and used-link costs come along so payments can be emitted
+    locally once the ``q`` entries settle.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        out_costs: Mapping[int, float],
+        dist: float,
+        route: tuple[int, ...],
+        relay_links: Mapping[int, float],
+        is_root: bool = False,
+    ) -> None:
+        super().__init__(node_id)
+        self.out_costs = {int(k): float(v) for k, v in out_costs.items()}
+        self.dist = float(dist)
+        self.route = tuple(int(v) for v in route)
+        self.relays = tuple(k for k in self.route[:-1]) if self.route else ()
+        self.relay_links = {int(k): float(v) for k, v in relay_links.items()}
+        self.is_root = bool(is_root)
+        self.q: dict[int, float] = {k: np.inf for k in self.relays}
+        self._dirty = True
+
+    def _announcement(self) -> dict:
+        return {
+            "type": "link-price",
+            "dist": self.dist,
+            "relays": self.relays,
+            "q": dict(self.q),
+        }
+
+    def start(self, api: NodeAPI) -> None:
+        """One-time initialization before the first round."""
+        api.broadcast(self._announcement())
+        self._dirty = False
+
+    def on_message(self, api: NodeAPI, sender: int, payload: Mapping) -> None:
+        """Handle one delivered message (see NodeProcess)."""
+        if payload.get("type") != "link-price":
+            return
+        if self.is_root or not np.isfinite(self.dist):
+            return
+        w = self.out_costs.get(sender)
+        if w is None:
+            return
+        d_j = float(payload["dist"])
+        if not np.isfinite(d_j):
+            return
+        j_relays = set(payload["relays"])
+        j_q = payload["q"]
+        changed = False
+        for k in self.relays:
+            if sender == k:
+                continue
+            if k in j_relays:
+                tail = float(j_q.get(k, np.inf))
+            else:
+                tail = d_j
+            cand = w + tail
+            if cand < self.q[k] - 1e-12:
+                self.q[k] = cand
+                changed = True
+        if changed:
+            self._dirty = True
+
+    def on_round_end(self, api: NodeAPI) -> None:
+        """Per-round housekeeping hook (see NodeProcess)."""
+        if self._dirty:
+            api.broadcast(self._announcement())
+            self._dirty = False
+
+    def payments(self) -> dict[int, float]:
+        """Section III.F payments from the converged ``q`` entries."""
+        out = {}
+        for k in self.relays:
+            q = self.q[k]
+            if np.isfinite(q):
+                out[k] = self.relay_links[k] + (q - self.dist)
+        return out
+
+
+@dataclass(frozen=True)
+class DistributedLinkPaymentResult:
+    """Converged two-stage link-model output."""
+    root: int
+    dist: np.ndarray
+    routes: tuple[tuple[int, ...], ...]
+    prices: tuple[Mapping[int, float], ...]
+    spt_stats: SimulationStats
+    stats: SimulationStats
+
+    def payment(self, source: int, relay: int) -> float:
+        """Payment to one participant (0 when unpaid)."""
+        return float(self.prices[source].get(int(relay), 0.0))
+
+    def total_payment(self, source: int) -> float:
+        """Total payment across all relays."""
+        return float(sum(self.prices[source].values()))
+
+
+def run_distributed_link_payments(
+    dg: LinkWeightedDigraph, root: int = 0, max_rounds: int = 10_000
+) -> DistributedLinkPaymentResult:
+    """Run both stages on a link-cost digraph; see the module docstring.
+
+    Announcements travel against the arcs (a node that can transmit *to*
+    ``j`` is the one that needs ``j``'s advertisements), so the simulator
+    runs on the reverse adjacency.
+    """
+    root = check_node_index(root, dg.n)
+    rev_adj = [
+        dg.reverse().out_neighbors(i)[0].tolist() for i in range(dg.n)
+    ]
+
+    def out_costs(i: int) -> dict[int, float]:
+        """Declared outgoing arc costs of one node."""
+        heads, wts = dg.out_neighbors(i)
+        return {int(h): float(w) for h, w in zip(heads, wts)}
+
+    spt_procs = [
+        LinkSptNode(i, out_costs(i), is_root=(i == root)) for i in range(dg.n)
+    ]
+    spt_stats = Simulator(rev_adj, spt_procs).run(max_rounds=max_rounds)
+
+    pay_procs = []
+    for i, sp in enumerate(spt_procs):
+        route = sp.route  # next hop first, ends at root (empty for root)
+        # relay k's used link is k -> its successor along the route
+        relay_links = {}
+        chain = (i,) + route
+        for a, b in zip(chain[1:], chain[2:]):
+            relay_links[int(a)] = dg.arc_weight(a, b)
+        pay_procs.append(
+            LinkPaymentNode(
+                i,
+                out_costs(i),
+                0.0 if i == root else float(sp.dist),
+                route,
+                relay_links,
+                is_root=(i == root),
+            )
+        )
+    stats = Simulator(rev_adj, pay_procs).run(max_rounds=max_rounds)
+
+    dist = np.array(
+        [0.0 if i == root else float(spt_procs[i].dist) for i in range(dg.n)]
+    )
+    routes = tuple(
+        ((i,) + spt_procs[i].route if i != root else (root,))
+        for i in range(dg.n)
+    )
+    prices = tuple(p.payments() for p in pay_procs)
+    return DistributedLinkPaymentResult(
+        root=root,
+        dist=dist,
+        routes=routes,
+        prices=prices,
+        spt_stats=spt_stats,
+        stats=stats,
+    )

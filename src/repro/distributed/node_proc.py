@@ -1,0 +1,81 @@
+"""Node process interface for the round-based simulator."""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol, Sequence
+
+__all__ = ["NodeAPI", "NodeProcess"]
+
+
+class NodeAPI(Protocol):
+    """What a node may do during a callback.
+
+    Handed to :meth:`NodeProcess.start` and :meth:`NodeProcess.on_message`
+    by the simulator. Sends are buffered and delivered next round.
+    """
+
+    @property
+    def node_id(self) -> int:
+        """This node's identifier."""
+        ...
+
+    @property
+    def round(self) -> int:
+        """Current engine round (virtual time under async delivery)."""
+        ...
+
+    @property
+    def neighbors(self) -> Sequence[int]:
+        """Ids of the nodes that hear this node's broadcasts."""
+        ...
+
+    def broadcast(self, payload: Mapping) -> None:
+        """Queue ``payload`` for delivery to every neighbour next round.
+
+        A single radio transmission reaches the whole vicinity (the
+        paper's omnidirectional-antenna assumption), so a broadcast
+        counts as one transmission in the statistics.
+        """
+        ...
+
+    def send(self, dest: int, payload: Mapping) -> None:
+        """Queue a unicast to a (not necessarily adjacent) node.
+
+        Models the "contacts ``v_j`` directly using reliable and secure
+        connection" step of Algorithm 2. Non-neighbour sends are counted
+        separately in the statistics (they cost a routed exchange in a
+        real deployment).
+        """
+        ...
+
+    def flag(self, suspect: int, reason: str) -> None:
+        """Report ``suspect`` to the punishment authority (Section III.D:
+        "notifies v_j and other nodes; v_j will then be punished")."""
+        ...
+
+
+class NodeProcess:
+    """Base class for protocol participants.
+
+    Subclasses override :meth:`start` (called once, round 0) and
+    :meth:`on_message` (called for each delivered message). State lives on
+    the instance; the simulator never inspects it — only messages count,
+    which is what lets adversarial subclasses misbehave realistically.
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = int(node_id)
+
+    def start(self, api: NodeAPI) -> None:  # pragma: no cover - default no-op
+        """One-time initialization before round 0 messages are exchanged."""
+
+    def on_message(self, api: NodeAPI, sender: int, payload: Mapping) -> None:
+        """Handle a message delivered this round.
+
+        ``sender`` is supplied by the *engine* (provenance cannot be
+        forged — the signature substitute).
+        """
+        raise NotImplementedError
+
+    def on_round_end(self, api: NodeAPI) -> None:  # pragma: no cover
+        """Hook after all of this round's messages were handled."""

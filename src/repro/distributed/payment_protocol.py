@@ -1,0 +1,225 @@
+"""Stage 2: distributed computation of the VCG payments (Section III.C).
+
+After stage 1, every node ``v_i`` knows its distance ``c(i, 0)``, its
+first hop, and the relays on its LCP. It must now compute the payment
+``p_i^k`` it owes each of those relays. The paper adapts the
+Feigenbaum-Papadimitriou-Sami-Shenker iterative scheme: entries start at
+infinity and are relaxed through neighbours' entries with the update rule
+(the paper's rule 3; rules 1-2 are the tree-adjacent special cases):
+
+    for each relay ``k`` of mine, on hearing neighbour ``j`` (``j != k``):
+
+    * if ``k`` is a relay of ``j``:
+      ``p_i^k <- min(p_i^k, p_j^k + c_j + c(j,0) - c(i,0))``
+    * else:
+      ``p_i^k <- min(p_i^k, c_k + c_j + c(j,0) - c(i,0))``
+
+Why this converges to the VCG payment: writing ``p_i^k = c_k +
+d_{-k}(i) - d(i)``, the rule is exactly the Bellman relaxation of the
+``k``-avoiding distance ``d_{-k}(i) = min_{j ~ i, j != k} (c_j +
+d_{-k}(j))``, using ``d_{-k}(j) = d(j)`` when ``k`` is not on ``j``'s LCP.
+Entries decrease monotonically, so the network is quiescent after at most
+``n`` rounds (Section III.C).
+
+The honest protocol trusts every announcement; the secure variant that
+cross-verifies announcements (Algorithm 2, second stage) lives in
+:mod:`repro.distributed.secure`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.distributed.node_proc import NodeAPI, NodeProcess
+from repro.distributed.simulator import SimulationStats, Simulator
+from repro.distributed.spt_protocol import (
+    DistributedSptResult,
+    run_distributed_spt,
+)
+from repro.graph.node_graph import NodeWeightedGraph
+
+__all__ = [
+    "PaymentNode",
+    "DistributedPaymentResult",
+    "run_distributed_payments",
+]
+
+
+class PaymentNode(NodeProcess):
+    """Honest stage-2 participant.
+
+    Parameters
+    ----------
+    node_id:
+        This node's id.
+    declared_cost:
+        ``c_j`` as declared in stage 1 (rides along in announcements so
+        neighbours can apply the update rule).
+    dist:
+        ``c(i, 0)`` from stage 1 (``inf`` when unreachable).
+    relays:
+        The relays of this node's LCP, nearest first (excluding the
+        root), with their declared costs aligned in ``relay_costs``.
+    is_root:
+        The access point owns no entries and only relays information.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        declared_cost: float,
+        dist: float,
+        relays: Sequence[int],
+        relay_costs: Sequence[float],
+        is_root: bool = False,
+    ) -> None:
+        super().__init__(node_id)
+        self.declared_cost = float(declared_cost)
+        self.dist = float(dist)
+        self.is_root = bool(is_root)
+        self.relays = tuple(int(k) for k in relays)
+        self.relay_cost = {
+            int(k): float(c) for k, c in zip(relays, relay_costs)
+        }
+        self.prices: dict[int, float] = {k: np.inf for k in self.relays}
+        # Which neighbour's announcement last lowered each entry — the
+        # provenance Algorithm 2's verification consumes.
+        self.triggers: dict[int, int] = {}
+        self._dirty = True
+
+    # -- announcements --------------------------------------------------------
+
+    def _announcement(self) -> dict:
+        return {
+            "type": "price",
+            "cost": self.declared_cost,
+            "dist": self.dist,
+            "relays": self.relays,
+            "prices": dict(self.prices),
+            "triggers": dict(self.triggers),
+        }
+
+    def start(self, api: NodeAPI) -> None:
+        """One-time initialization before the first round."""
+        api.broadcast(self._announcement())
+        self._dirty = False
+
+    # -- updates --------------------------------------------------------
+
+    def on_message(self, api: NodeAPI, sender: int, payload: Mapping) -> None:
+        """Handle one delivered message (see NodeProcess)."""
+        if payload.get("type") != "price":
+            return
+        if self.is_root or not np.isfinite(self.dist):
+            return
+        changed = self._apply_update(sender, payload)
+        if changed:
+            self._dirty = True
+
+    def _apply_update(self, sender: int, payload: Mapping) -> bool:
+        """The paper's update rule against one neighbour announcement."""
+        c_j = float(payload["cost"])
+        d_j = float(payload["dist"])
+        if not np.isfinite(d_j):
+            return False
+        j_relays = set(payload["relays"])
+        j_prices = payload["prices"]
+        changed = False
+        base = c_j + d_j - self.dist
+        for k in self.relays:
+            if sender == k:
+                continue  # the k-avoiding path cannot start through k
+            if k in j_relays:
+                pk = float(j_prices.get(k, np.inf))
+                cand = pk + base
+            else:
+                cand = self.relay_cost[k] + base
+            if cand < self.prices[k] - 1e-12:
+                self.prices[k] = cand
+                self.triggers[k] = sender
+                changed = True
+        return changed
+
+    def on_round_end(self, api: NodeAPI) -> None:
+        """Per-round housekeeping hook (see NodeProcess)."""
+        if self._dirty:
+            api.broadcast(self._announcement())
+            self._dirty = False
+
+
+@dataclass(frozen=True)
+class DistributedPaymentResult:
+    """Converged two-stage output, aligned with the centralized mechanism."""
+
+    root: int
+    spt: DistributedSptResult
+    prices: tuple[Mapping[int, float], ...]
+    stats: SimulationStats
+    procs: tuple[NodeProcess, ...] = ()
+
+    def payment(self, source: int, relay: int) -> float:
+        """Payment to one participant (0 when unpaid)."""
+        return float(self.prices[source].get(int(relay), 0.0))
+
+    def total_payment(self, source: int) -> float:
+        """Total payment across all relays."""
+        return float(sum(self.prices[source].values()))
+
+    @property
+    def all_flags(self):
+        """Flags raised in either stage (stage 1 flags live on the SPT
+        stats, stage 2 flags on this run's stats)."""
+        return list(self.spt.stats.flags) + list(self.stats.flags)
+
+
+def run_distributed_payments(
+    g: NodeWeightedGraph,
+    root: int = 0,
+    declared_costs=None,
+    spt_processes: Mapping[int, NodeProcess] | None = None,
+    payment_node_factory=None,
+    max_rounds: int = 10_000,
+) -> DistributedPaymentResult:
+    """Run both stages to quiescence and collect every node's entries.
+
+    ``payment_node_factory(node_id, declared_cost, dist, relays,
+    relay_costs, is_root)`` may substitute adversarial stage-2 nodes
+    (default: honest :class:`PaymentNode`). Stage-1 substitution goes
+    through ``spt_processes``.
+    """
+    declared = g.costs if declared_costs is None else np.asarray(declared_costs, float)
+    spt = run_distributed_spt(
+        g, root=root, declared_costs=declared, processes=spt_processes,
+        max_rounds=max_rounds,
+    )
+    factory = payment_node_factory or PaymentNode
+    procs: list[NodeProcess] = []
+    for i in range(g.n):
+        relays = spt.relays(i)
+        relay_costs = spt.route_costs[i][: len(relays)]
+        procs.append(
+            factory(
+                i,
+                float(declared[i]),
+                float(spt.dist[i]) if i != root else 0.0,
+                relays,
+                relay_costs,
+                is_root=(i == root),
+            )
+        )
+    sim = Simulator.from_graph(g, procs)
+    stats = sim.run(max_rounds=max_rounds)
+    prices = tuple(
+        {
+            int(k): float(v)
+            for k, v in getattr(p, "prices", {}).items()
+            if np.isfinite(v)
+        }
+        for p in procs
+    )
+    return DistributedPaymentResult(
+        root=root, spt=spt, prices=prices, stats=stats, procs=tuple(procs)
+    )

@@ -1,0 +1,320 @@
+"""Stage 1: distributed shortest-path-tree construction (Algorithm 2).
+
+Every node maintains two entries (paper notation): ``D(v_i)`` — the cost
+of its current best path to the access point ``v_0``, counting the
+declared costs of the *relays* strictly between ``v_i`` and ``v_0`` — and
+``FH(v_i)`` — the first hop of that path. Nodes broadcast
+``(declared cost, D, route)`` whenever their state improves; receiving a
+neighbour's announcement triggers the relaxation
+``D(v_i) = min(D(v_i), D(v_j) + c_j)``.
+
+The route (relay ids + declared costs) rides along with the announcement
+— stage 2 needs each source to know exactly which relays it must price.
+
+**Algorithm 2's correction rule.** A selfish node may ignore profitable
+links (Figure 2: hiding an edge can lower the source's total payment).
+The countermeasure: when ``v_i`` hears ``v_j`` announce a distance worse
+than what ``v_i`` offers (``D_j > D_i + c_i``), it *challenges* ``v_j``
+over the reliable direct channel; an honest ``v_j`` must adopt the offer
+(or prove it already has something at least as good) and rebroadcast.
+A node that ignores challenges is flagged for punishment. Link-hiding is
+thereby detectable — the protocol no longer relies on nodes volunteering
+their neighbourhood truthfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.distributed.node_proc import NodeAPI, NodeProcess
+from repro.distributed.simulator import SimulationStats, Simulator
+from repro.graph.node_graph import NodeWeightedGraph
+
+__all__ = ["SptNode", "run_distributed_spt", "DistributedSptResult"]
+
+#: Rounds a challenged node gets to comply before it is flagged.
+CHALLENGE_PATIENCE = 3
+
+
+class SptNode(NodeProcess):
+    """Honest stage-1 participant.
+
+    Parameters
+    ----------
+    node_id:
+        This node's id.
+    declared_cost:
+        The relaying cost this node *declares* (``d_i``; a rational node
+        declares its true cost — that is the mechanism's whole point —
+        but the protocol does not assume it).
+    is_root:
+        True for the access point ``v_0``, which anchors ``D = 0`` and
+        never relays for itself.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        declared_cost: float,
+        is_root: bool = False,
+        challenge_patience: int = CHALLENGE_PATIENCE,
+    ) -> None:
+        super().__init__(node_id)
+        self.declared_cost = float(declared_cost)
+        self.is_root = bool(is_root)
+        if challenge_patience < 1:
+            raise ValueError(
+                f"challenge_patience must be >= 1, got {challenge_patience}"
+            )
+        # How long (in engine time units) a challenged neighbour gets to
+        # answer. The synchronous engine needs a full round trip (~3
+        # rounds); asynchronous runners must scale this with their
+        # maximum delivery latency.
+        self.challenge_patience = int(challenge_patience)
+        self.dist = 0.0 if is_root else np.inf
+        self.first_hop = -1
+        # route = relay ids between self and the root, nearest first,
+        # ending with the root; parallel tuple of their declared costs.
+        self.route: tuple[int, ...] = () if not is_root else ()
+        self.route_costs: tuple[float, ...] = ()
+        # neighbour id -> last announced state (via_cost, route, costs, dist)
+        self._offers: dict[int, dict] = {}
+        # suspect -> (offered via_cost, round of challenge, nonce). The
+        # nonce correlates acks with the challenge they answer: under
+        # asynchronous delivery a stale ack from an older challenge may
+        # arrive after a newer, tighter offer was issued and must not be
+        # judged against it.
+        self._challenges: dict[int, tuple[float, int, int]] = {}
+        self._challenge_seq = 0
+        # suspects already flagged — never challenged again (so the
+        # network can go quiescent around a stonewalling node)
+        self._flagged: set[int] = set()
+
+    # -- announcements --------------------------------------------------------
+
+    def _announcement(self) -> dict:
+        """What the node tells its vicinity.
+
+        ``via_cost`` is the distance a *neighbour* would obtain by routing
+        through this node (``D + c`` for ordinary nodes, 0 for the root —
+        the root is never a paid relay). ``route`` is the relay chain the
+        neighbour would inherit (this node first).
+        """
+        if self.is_root:
+            return {
+                "type": "spt",
+                "via_cost": 0.0,
+                "dist": 0.0,
+                "route": (),
+                "route_costs": (),
+                "cost": self.declared_cost,
+            }
+        return {
+            "type": "spt",
+            "via_cost": self.dist + self.declared_cost,
+            "dist": self.dist,
+            "route": (self.node_id,) + self.route,
+            "route_costs": (self.declared_cost,) + self.route_costs,
+            "cost": self.declared_cost,
+        }
+
+    def start(self, api: NodeAPI) -> None:
+        """One-time initialization before the first round."""
+        api.broadcast(self._announcement())
+
+    # -- message handling --------------------------------------------------------
+
+    def on_message(self, api: NodeAPI, sender: int, payload: Mapping) -> None:
+        """Handle one delivered message (see NodeProcess)."""
+        kind = payload.get("type")
+        if kind == "spt":
+            self._handle_announcement(api, sender, payload)
+        elif kind == "spt-challenge":
+            self._handle_challenge(api, sender, payload)
+        elif kind == "spt-challenge-ack":
+            self._handle_ack(api, sender, payload)
+
+    def _handle_announcement(self, api: NodeAPI, sender: int, payload: Mapping) -> None:
+        self._offers[sender] = {
+            "via": float(payload["via_cost"]),
+            "route": tuple(payload["route"]),
+            "route_costs": tuple(payload["route_costs"]),
+            "dist": float(payload["dist"]),
+        }
+        changed = self._consider(
+            sender,
+            self._offers[sender]["via"],
+            self._offers[sender]["route"],
+            self._offers[sender]["route_costs"],
+        )
+        if changed:
+            api.broadcast(self._announcement())
+        self._maybe_challenge(api, sender)
+
+    def _my_offer(self) -> float:
+        """The via-cost a neighbour obtains routing through us (0 for the
+        root: it *is* the destination)."""
+        return 0.0 if self.is_root else self.dist + self.declared_cost
+
+    def _challenge_payload(self, offer: float, nonce: int) -> dict:
+        return {
+            "type": "spt-challenge",
+            "via_cost": offer,
+            "nonce": nonce,
+            "route": () if self.is_root else (self.node_id,) + self.route,
+            "route_costs": ()
+            if self.is_root
+            else (self.declared_cost,) + self.route_costs,
+        }
+
+    def _maybe_challenge(self, api: NodeAPI, neighbor: int) -> None:
+        """Algorithm 2, first stage: challenge a neighbour whose last
+        announced distance is strictly worse than our offer."""
+        if neighbor in self._challenges or neighbor in self._flagged:
+            return
+        offer = self._my_offer()
+        if not np.isfinite(offer):
+            return
+        info = self._offers.get(neighbor)
+        if info is not None and info["dist"] > offer + 1e-12:
+            self._challenge_seq += 1
+            nonce = self._challenge_seq
+            self._challenges[neighbor] = (offer, api.round, nonce)
+            api.send(neighbor, self._challenge_payload(offer, nonce))
+
+    def _handle_challenge(self, api: NodeAPI, sender: int, payload: Mapping) -> None:
+        via = float(payload["via_cost"])
+        route = tuple(payload["route"])
+        route_costs = tuple(payload["route_costs"])
+        changed = self._consider(sender, via, route, route_costs)
+        if changed:
+            api.broadcast(self._announcement())
+        api.send(
+            sender,
+            {
+                "type": "spt-challenge-ack",
+                "dist": self.dist,
+                "nonce": payload.get("nonce"),
+            },
+        )
+
+    def _handle_ack(self, api: NodeAPI, sender: int, payload: Mapping) -> None:
+        acked_dist = float(payload["dist"])
+        if sender in self._offers:
+            # distances only ever improve; never let a stale ack raise the
+            # cached view (it would just trigger pointless re-challenges)
+            if acked_dist < self._offers[sender]["dist"]:
+                self._offers[sender]["dist"] = acked_dist
+        if sender not in self._challenges:
+            return
+        offer, _, nonce = self._challenges[sender]
+        if payload.get("nonce") != nonce:
+            return  # stale ack answering an older challenge
+        del self._challenges[sender]
+        if acked_dist > offer + 1e-12:
+            self._flagged.add(sender)
+            api.flag(sender, "rejected a strictly better route offer")
+
+    def on_round_end(self, api: NodeAPI) -> None:
+        # Outstanding challenges are re-sent every round (which also keeps
+        # the network from going quiescent around a stonewalling node);
+        # nodes that never answer get flagged once patience runs out.
+        """Per-round housekeeping hook (see NodeProcess)."""
+        expired = []
+        for suspect, (offer, when, nonce) in self._challenges.items():
+            if api.round - when >= self.challenge_patience:
+                expired.append(suspect)
+            else:
+                api.send(suspect, self._challenge_payload(offer, nonce))
+        for suspect in expired:
+            del self._challenges[suspect]
+            self._flagged.add(suspect)
+            api.flag(suspect, "ignored a route-correction challenge")
+        # Our own distance may have improved after a neighbour's last
+        # announcement — re-examine the cached announcements.
+        for neighbor in list(self._offers):
+            self._maybe_challenge(api, neighbor)
+
+    # -- relaxation --------------------------------------------------------
+
+    def _consider(
+        self,
+        sender: int,
+        via: float,
+        route: tuple,
+        route_costs: tuple,
+    ) -> bool:
+        """Relax toward ``sender``'s offer; True if our state improved."""
+        if self.is_root:
+            return False
+        if self.node_id in route:
+            return False  # loop guard: never route through ourselves
+        if via < self.dist - 1e-12:
+            self.dist = via
+            self.first_hop = sender
+            self.route = route
+            self.route_costs = route_costs
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class DistributedSptResult:
+    """Converged stage-1 state, aligned with the centralized SPT."""
+
+    root: int
+    dist: np.ndarray
+    first_hop: np.ndarray
+    routes: tuple[tuple[int, ...], ...]
+    route_costs: tuple[tuple[float, ...], ...]
+    stats: SimulationStats
+
+    def relays(self, i: int) -> tuple[int, ...]:
+        """Relays source ``i`` must pay: its route minus the root."""
+        return tuple(v for v in self.routes[i] if v != self.root)
+
+
+def run_distributed_spt(
+    g: NodeWeightedGraph,
+    root: int = 0,
+    declared_costs=None,
+    processes: Mapping[int, NodeProcess] | None = None,
+    max_rounds: int = 10_000,
+) -> DistributedSptResult:
+    """Run stage 1 to quiescence on graph ``g``.
+
+    ``declared_costs`` defaults to ``g.costs`` (truthful declarations).
+    ``processes`` may override individual node implementations with
+    adversarial ones (keyed by node id).
+    """
+    declared = g.costs if declared_costs is None else np.asarray(declared_costs, float)
+    procs: list[NodeProcess] = []
+    for i in range(g.n):
+        if processes is not None and i in processes:
+            procs.append(processes[i])
+        else:
+            procs.append(SptNode(i, float(declared[i]), is_root=(i == root)))
+    sim = Simulator.from_graph(g, procs)
+    stats = sim.run(max_rounds=max_rounds)
+    dist = np.full(g.n, np.inf)
+    first_hop = np.full(g.n, -1, dtype=np.int64)
+    routes: list[tuple[int, ...]] = []
+    route_costs: list[tuple[float, ...]] = []
+    for i, proc in enumerate(procs):
+        d = getattr(proc, "dist", np.inf)
+        dist[i] = 0.0 if i == root else d
+        first_hop[i] = getattr(proc, "first_hop", -1)
+        r = tuple(getattr(proc, "route", ()))
+        routes.append(r + ((root,) if (i != root and np.isfinite(dist[i])) else ()))
+        route_costs.append(tuple(getattr(proc, "route_costs", ())))
+    return DistributedSptResult(
+        root=root,
+        dist=dist,
+        first_hop=first_hop,
+        routes=tuple(routes),
+        route_costs=tuple(route_costs),
+        stats=stats,
+    )

@@ -1,0 +1,108 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the common failure families (bad input graphs,
+monopolies that make VCG payments undefined, protocol violations detected
+by the secure distributed algorithm, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "InvalidGraphError",
+    "NodeNotFoundError",
+    "DisconnectedError",
+    "MonopolyError",
+    "MechanismError",
+    "ProtocolError",
+    "CheatingDetectedError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors related to graph construction or queries."""
+
+
+class InvalidGraphError(GraphError, ValueError):
+    """A graph was constructed from inconsistent or invalid data.
+
+    Examples: negative node costs, edge endpoints out of range, CSR arrays
+    of mismatched lengths, duplicate edges where they are forbidden.
+    """
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node index was out of range for the graph it was used with."""
+
+    def __init__(self, node: int, n: int) -> None:
+        super().__init__(f"node {node} out of range for graph with {n} nodes")
+        self.node = int(node)
+        self.n = int(n)
+
+
+class DisconnectedError(GraphError):
+    """No path exists between the requested endpoints.
+
+    Raised by shortest-path queries that require a finite answer, and by
+    experiment drivers when a generated topology fails the reachability
+    requirements of the mechanism.
+    """
+
+    def __init__(self, source: int, target: int, context: str = "") -> None:
+        detail = f" ({context})" if context else ""
+        super().__init__(f"no path from node {source} to node {target}{detail}")
+        self.source = int(source)
+        self.target = int(target)
+
+
+class MonopolyError(DisconnectedError):
+    """Removing an agent (or its collusion set) disconnects the endpoints.
+
+    The VCG payment to such an agent is unbounded (the agent holds a
+    monopoly), which the paper excludes by requiring the communication
+    graph to be biconnected (Section II.B) — or ``G \\ Q(v_k)`` connected
+    for the collusion-resistant schemes of Section III.E.
+    """
+
+    def __init__(self, source: int, target: int, removed: object) -> None:
+        DisconnectedError.__init__(
+            self, source, target, context=f"after removing {removed!r}"
+        )
+        self.removed = removed
+
+
+class MechanismError(ReproError):
+    """A pricing-mechanism computation could not be carried out."""
+
+
+class ProtocolError(ReproError):
+    """A distributed protocol reached an invalid state."""
+
+
+class CheatingDetectedError(ProtocolError):
+    """The secure distributed algorithm (Algorithm 2) flagged a node.
+
+    Carries the identity of the flagged node and of the witness that
+    detected the inconsistency, mirroring the paper's "notifies v_j and
+    other nodes; v_j will then be punished accordingly".
+    """
+
+    def __init__(self, cheater: int, witness: int, reason: str) -> None:
+        super().__init__(
+            f"node {cheater} flagged by witness {witness}: {reason}"
+        )
+        self.cheater = int(cheater)
+        self.witness = int(witness)
+        self.reason = reason
+
+
+class ExperimentError(ReproError):
+    """An experiment specification was invalid or a run failed."""

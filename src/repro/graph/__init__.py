@@ -1,0 +1,57 @@
+"""Graph substrate: the network models and shortest-path machinery.
+
+Two graph models mirror the paper:
+
+* :class:`~repro.graph.node_graph.NodeWeightedGraph` — the main model of
+  Sections II–III.E: an undirected communication graph where each *node*
+  ``v_i`` carries a relaying cost ``c_i`` and the cost of a path is the sum
+  of its **internal** node costs.
+
+* :class:`~repro.graph.link_graph.LinkWeightedDigraph` — the model of
+  Section III.F: a directed graph where node ``v_i``'s private type is the
+  vector of its outgoing link costs ``c_{i,j}`` (power-controlled radios).
+
+On top of the models: Dijkstra with two backends, shortest-path trees,
+node-avoiding path oracles, connectivity/biconnectivity analysis, and the
+topology generators used by the evaluation.
+"""
+
+from repro.graph.node_graph import NodeWeightedGraph
+from repro.graph.link_graph import LinkWeightedDigraph
+from repro.graph.dijkstra import (
+    shortest_path_tree,
+    node_weighted_spt,
+    link_weighted_spt,
+)
+from repro.graph.spt import ShortestPathTree
+from repro.graph.avoiding import (
+    avoiding_distance,
+    all_avoiding_distances_naive,
+    avoiding_set_distance,
+)
+from repro.graph.connectivity import (
+    is_connected,
+    is_biconnected,
+    articulation_points,
+    neighborhood_removal_safe,
+    is_strongly_connected,
+)
+from repro.graph import generators
+
+__all__ = [
+    "NodeWeightedGraph",
+    "LinkWeightedDigraph",
+    "shortest_path_tree",
+    "node_weighted_spt",
+    "link_weighted_spt",
+    "ShortestPathTree",
+    "avoiding_distance",
+    "all_avoiding_distances_naive",
+    "avoiding_set_distance",
+    "is_connected",
+    "is_biconnected",
+    "articulation_points",
+    "neighborhood_removal_safe",
+    "is_strongly_connected",
+    "generators",
+]

@@ -1,0 +1,269 @@
+"""Connectivity analysis: the paper's monopoly-freeness preconditions.
+
+Section II.B assumes the communication graph is *node biconnected* so that
+no single relay can hold the source to ransom (its VCG payment would be
+unbounded); Section III.E's neighbour-collusion scheme strengthens this to
+"``G \\ N(v_k)`` is connected for every ``v_k``"; the link model needs the
+directed analogue "every node still reaches the access point after any
+single other node fails".
+
+This module implements all three checks from scratch (iterative Tarjan for
+articulation points; BFS for reachability; a dominator-based single-failure
+check for digraphs), with networkx used only in tests as an oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.graph.link_graph import LinkWeightedDigraph
+from repro.graph.node_graph import NodeWeightedGraph
+from repro.utils.validation import check_node_index
+
+__all__ = [
+    "is_connected",
+    "connected_component",
+    "articulation_points",
+    "is_biconnected",
+    "neighborhood_removal_safe",
+    "is_strongly_connected",
+    "single_failure_robust",
+    "reaches_root_after_removal",
+    "hop_distances",
+    "hop_diameter",
+]
+
+
+# ---------------------------------------------------------------------------
+# Undirected (node-weighted model)
+# ---------------------------------------------------------------------------
+
+
+def hop_distances(g: NodeWeightedGraph, start: int) -> np.ndarray:
+    """Unweighted BFS hop counts from ``start`` (-1 for unreachable)."""
+    from collections import deque
+
+    start = check_node_index(start, g.n)
+    dist = np.full(g.n, -1, dtype=np.int64)
+    dist[start] = 0
+    q = deque([start])
+    while q:
+        u = q.popleft()
+        for w in g.neighbors(u):
+            if dist[w] < 0:
+                dist[w] = dist[u] + 1
+                q.append(int(w))
+    return dist
+
+
+def hop_diameter(g: NodeWeightedGraph) -> int:
+    """Largest hop distance between any connected pair (0 for n <= 1).
+
+    The quantity that governs distributed convergence: information
+    propagates one hop per round, so stage 1 needs ~diameter rounds and
+    the Feigenbaum-style stage 2 at most ``d'`` rounds (the paper quotes
+    ``d' = max over k of the diameter of G - v_k``). Exact all-source BFS;
+    fine for the evaluation sizes.
+    """
+    best = 0
+    for s in range(g.n):
+        d = hop_distances(g, s)
+        reachable = d[d >= 0]
+        if reachable.size:
+            best = max(best, int(reachable.max()))
+    return best
+
+
+def connected_component(
+    g: NodeWeightedGraph,
+    start: int,
+    forbidden: Iterable[int] | None = None,
+) -> np.ndarray:
+    """Boolean mask of the component of ``start`` in ``G \\ forbidden``."""
+    start = check_node_index(start, g.n)
+    seen = np.zeros(g.n, dtype=bool)
+    if forbidden is not None:
+        blocked = np.zeros(g.n, dtype=bool)
+        for v in forbidden:
+            blocked[check_node_index(v, g.n)] = True
+        if blocked[start]:
+            raise ValueError(f"start node {start} is forbidden")
+    else:
+        blocked = None
+    stack = [start]
+    seen[start] = True
+    while stack:
+        u = stack.pop()
+        for w in g.neighbors(u):
+            if not seen[w] and (blocked is None or not blocked[w]):
+                seen[w] = True
+                stack.append(int(w))
+    return seen
+
+
+def is_connected(g: NodeWeightedGraph) -> bool:
+    """True if the undirected graph is connected (vacuously for n <= 1)."""
+    if g.n <= 1:
+        return True
+    return bool(connected_component(g, 0).all())
+
+
+def articulation_points(g: NodeWeightedGraph) -> list[int]:
+    """All articulation points (cut vertices), via iterative Tarjan DFS.
+
+    A node is an articulation point iff removing it increases the number
+    of connected components. Works on disconnected graphs (each component
+    is processed independently).
+    """
+    n = g.n
+    disc = np.full(n, -1, dtype=np.int64)  # discovery times
+    low = np.zeros(n, dtype=np.int64)
+    is_art = np.zeros(n, dtype=bool)
+    timer = 0
+    for start in range(n):
+        if disc[start] != -1:
+            continue
+        root_children = 0
+        # Stack frames: (node, parent, iterator position into neighbors).
+        stack = [(start, -1, 0)]
+        disc[start] = low[start] = timer
+        timer += 1
+        while stack:
+            u, parent, i = stack[-1]
+            nbrs = g.neighbors(u)
+            if i < len(nbrs):
+                stack[-1] = (u, parent, i + 1)
+                w = int(nbrs[i])
+                if disc[w] == -1:
+                    if u == start:
+                        root_children += 1
+                    disc[w] = low[w] = timer
+                    timer += 1
+                    stack.append((w, u, 0))
+                elif w != parent:
+                    low[u] = min(low[u], disc[w])
+            else:
+                stack.pop()
+                if stack:
+                    pu = stack[-1][0]
+                    low[pu] = min(low[pu], low[u])
+                    if pu != start and low[u] >= disc[pu]:
+                        is_art[pu] = True
+        if root_children > 1:
+            is_art[start] = True
+    return [int(v) for v in np.nonzero(is_art)[0]]
+
+
+def is_biconnected(g: NodeWeightedGraph) -> bool:
+    """The paper's Section II.B precondition: connected with no cut vertex.
+
+    Graphs with fewer than 3 nodes follow the usual convention: a single
+    edge (n == 2) is biconnected, an isolated pair is not.
+    """
+    if g.n <= 1:
+        return True
+    if not is_connected(g):
+        return False
+    if g.n == 2:
+        return g.num_edges == 1
+    return not articulation_points(g)
+
+
+def neighborhood_removal_safe(
+    g: NodeWeightedGraph,
+    source: int,
+    target: int,
+    groups: Iterable[Iterable[int]] | None = None,
+) -> bool:
+    """Section III.E precondition for the collusion-resistant scheme.
+
+    True iff for every group ``Q`` in ``groups`` not containing the
+    endpoints, ``source`` and ``target`` remain connected in ``G \\ Q``.
+    With ``groups=None`` the closed neighbourhoods ``N(v_k)`` of all nodes
+    ``v_k`` other than the endpoints are used (the paper's default).
+    """
+    source = check_node_index(source, g.n)
+    target = check_node_index(target, g.n)
+    if groups is None:
+        groups = (
+            g.closed_neighborhood(k)
+            for k in range(g.n)
+            if k not in (source, target)
+        )
+    for group in groups:
+        group = set(int(v) for v in group)
+        group.discard(source)
+        group.discard(target)
+        if not group:
+            continue
+        comp = connected_component(g, source, forbidden=group)
+        if not comp[target]:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Directed (link-weighted model)
+# ---------------------------------------------------------------------------
+
+
+def _reachable_from(dg: LinkWeightedDigraph, start: int, skip: int = -1) -> np.ndarray:
+    seen = np.zeros(dg.n, dtype=bool)
+    if start == skip:
+        raise ValueError("start node cannot be skipped")
+    seen[start] = True
+    stack = [start]
+    while stack:
+        u = stack.pop()
+        heads, _ = dg.out_neighbors(u)
+        for w in heads:
+            if not seen[w] and w != skip:
+                seen[w] = True
+                stack.append(int(w))
+    return seen
+
+
+def is_strongly_connected(dg: LinkWeightedDigraph) -> bool:
+    """True if every node reaches every other node (two BFS passes)."""
+    if dg.n <= 1:
+        return True
+    return bool(
+        _reachable_from(dg, 0).all() and _reachable_from(dg.reverse(), 0).all()
+    )
+
+
+def reaches_root_after_removal(
+    dg: LinkWeightedDigraph, root: int, removed: int
+) -> np.ndarray:
+    """Mask of nodes that still have a directed path to ``root`` in
+    ``G \\ removed`` (computed by BFS on the reverse graph)."""
+    root = check_node_index(root, dg.n)
+    removed = check_node_index(removed, dg.n)
+    if removed == root:
+        raise ValueError("cannot remove the root")
+    return _reachable_from(dg.reverse(), root, skip=removed)
+
+
+def single_failure_robust(dg: LinkWeightedDigraph, root: int) -> bool:
+    """Directed monopoly-freeness: after removing any single node ``k``
+    (``k != root``), every remaining node still reaches ``root``.
+
+    Equivalent formulation via dominators: in the reverse digraph rooted at
+    ``root``, no node may have a dominator other than ``root`` and itself.
+    We use the dominator characterization (one ``networkx``
+    ``immediate_dominators`` pass, O(m α(n))) instead of ``n`` BFS runs.
+    """
+    root = check_node_index(root, dg.n)
+    import networkx as nx
+
+    rev = dg.reverse().to_networkx()
+    if rev.number_of_nodes() <= 1:
+        return True
+    idom = nx.immediate_dominators(rev, root)
+    # (Some networkx versions omit the root's self-entry; require every
+    # non-root node to be present and immediately dominated by the root.)
+    return all(
+        idom.get(v) == root for v in range(dg.n) if v != root
+    )

@@ -1,0 +1,263 @@
+"""Graph generators: random instances, structured families, paper figures.
+
+Random generators guarantee the paper's monopoly-freeness preconditions by
+construction (a random Hamiltonian cycle is biconnected; extra edges only
+help) rather than by rejection, so property tests never stall hunting for
+a feasible topology. Wireless deployments with geometric structure live in
+:mod:`repro.wireless.deployment`; this module covers abstract topologies
+and the worked examples of Figures 2 and 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.link_graph import LinkWeightedDigraph
+from repro.graph.node_graph import NodeWeightedGraph
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "cycle_graph",
+    "grid_graph",
+    "theta_graph",
+    "random_biconnected_graph",
+    "random_robust_digraph",
+    "random_costs",
+    "fig2_example",
+    "fig4_example",
+]
+
+
+def random_costs(
+    n: int, low: float = 1.0, high: float = 10.0, seed=None
+) -> np.ndarray:
+    """Uniform node costs in ``[low, high]`` (the evaluation's assumption
+    that "the cost of each node is chosen independently and uniformly from
+    a range")."""
+    if not 0 <= low <= high:
+        raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+    return as_rng(seed).uniform(low, high, size=n)
+
+
+def cycle_graph(costs) -> NodeWeightedGraph:
+    """Cycle on ``len(costs)`` nodes — the smallest biconnected family."""
+    n = len(costs)
+    if n < 3:
+        raise ValueError(f"a cycle needs at least 3 nodes, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return NodeWeightedGraph(n, edges, costs)
+
+
+def grid_graph(rows: int, cols: int, costs) -> NodeWeightedGraph:
+    """``rows x cols`` grid, node ``r * cols + c`` at row ``r`` column ``c``.
+
+    Grids with both dimensions >= 2 are biconnected.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError(f"grid dimensions must be positive, got {rows}x{cols}")
+    n = rows * cols
+    if len(costs) != n:
+        raise ValueError(f"need {n} costs for a {rows}x{cols} grid, got {len(costs)}")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return NodeWeightedGraph(n, edges, costs)
+
+
+def theta_graph(branch_costs: list[list[float]]) -> tuple[NodeWeightedGraph, int, int]:
+    """Node-disjoint parallel paths between a source and a target.
+
+    ``branch_costs[b]`` lists the relay costs of branch ``b`` (possibly
+    empty for a direct edge). Returns ``(graph, source, target)`` with the
+    source at index 0 and the target at index 1; both endpoints get cost 0
+    (their costs never enter any path cost).
+
+    Theta graphs are the canonical instances for reasoning about VCG
+    overpayment: the payment to every relay on the cheapest branch is its
+    cost plus the gap to the second-cheapest branch.
+    """
+    if len(branch_costs) < 2:
+        raise ValueError("a theta graph needs at least two branches")
+    costs = [0.0, 0.0]
+    edges = []
+    for branch in branch_costs:
+        prev = 0  # source
+        for c in branch:
+            idx = len(costs)
+            costs.append(float(c))
+            edges.append((prev, idx))
+            prev = idx
+        edges.append((prev, 1))
+    g = NodeWeightedGraph(len(costs), edges, costs)
+    return g, 0, 1
+
+
+def circulant_graph(n: int, offsets: tuple[int, ...], costs) -> NodeWeightedGraph:
+    """Circulant graph ``C_n(offsets)``: node ``i`` links to ``i +- o``.
+
+    ``C_n(1, 2)`` is the canonical family satisfying the Section III.E
+    precondition: every closed neighbourhood is a run of 5 consecutive
+    nodes, whose removal leaves the remaining arc of the cycle connected
+    (for ``n >= 8``). Used to exercise the neighbour-collusion scheme on
+    instances where it is well-defined.
+    """
+    if len(costs) != n:
+        raise ValueError(f"need {n} costs, got {len(costs)}")
+    if not offsets or any(not 1 <= o < n for o in offsets):
+        raise ValueError(f"offsets must be in [1, n), got {offsets}")
+    edges = set()
+    for i in range(n):
+        for o in offsets:
+            j = (i + o) % n
+            if i != j:
+                edges.add((min(i, j), max(i, j)))
+    return NodeWeightedGraph(n, edges, costs)
+
+
+def random_neighbor_safe_graph(
+    n: int,
+    cost_low: float = 1.0,
+    cost_high: float = 10.0,
+    seed=None,
+) -> NodeWeightedGraph:
+    """Random-cost ``C_n(1, 2)`` — guaranteed ``G \\ N(v_k)`` connected.
+
+    The smallest standard family on which the neighbour-collusion scheme
+    of Section III.E is always well-defined; costs are uniform random.
+    """
+    if n < 8:
+        raise ValueError(f"need n >= 8 for neighbourhood-removal safety, got {n}")
+    costs = as_rng(seed).uniform(cost_low, cost_high, size=n)
+    return circulant_graph(n, (1, 2), costs)
+
+
+def random_biconnected_graph(
+    n: int,
+    extra_edge_prob: float = 0.15,
+    cost_low: float = 1.0,
+    cost_high: float = 10.0,
+    seed=None,
+) -> NodeWeightedGraph:
+    """Random biconnected node-weighted graph (cycle + random chords).
+
+    A Hamiltonian cycle over a random node permutation guarantees
+    biconnectivity; every remaining pair becomes a chord independently
+    with probability ``extra_edge_prob``. Costs are uniform in
+    ``[cost_low, cost_high]``.
+    """
+    if n < 3:
+        raise ValueError(f"need n >= 3 for a biconnected graph, got {n}")
+    rng = as_rng(seed)
+    perm = rng.permutation(n)
+    edges = [(int(perm[i]), int(perm[(i + 1) % n])) for i in range(n)]
+    if extra_edge_prob > 0:
+        iu, ju = np.triu_indices(n, k=1)
+        pick = rng.random(iu.shape[0]) < extra_edge_prob
+        edges.extend(zip(iu[pick].tolist(), ju[pick].tolist()))
+    costs = rng.uniform(cost_low, cost_high, size=n)
+    return NodeWeightedGraph(n, edges, costs)
+
+
+def random_robust_digraph(
+    n: int,
+    extra_arc_prob: float = 0.15,
+    weight_low: float = 1.0,
+    weight_high: float = 10.0,
+    seed=None,
+) -> LinkWeightedDigraph:
+    """Random link-weighted digraph that is single-failure robust.
+
+    A bidirected Hamiltonian cycle guarantees that removing any one node
+    leaves a path between every remaining pair; extra arcs are added
+    independently per ordered pair. Weights are uniform in
+    ``[weight_low, weight_high]`` independently per arc (asymmetric).
+    """
+    if n < 3:
+        raise ValueError(f"need n >= 3 for a robust digraph, got {n}")
+    rng = as_rng(seed)
+    perm = rng.permutation(n)
+    pairs = set()
+    for i in range(n):
+        u, v = int(perm[i]), int(perm[(i + 1) % n])
+        pairs.add((u, v))
+        pairs.add((v, u))
+    if extra_arc_prob > 0:
+        mask = rng.random((n, n)) < extra_arc_prob
+        np.fill_diagonal(mask, False)
+        src, dst = np.nonzero(mask)
+        pairs.update(zip(src.tolist(), dst.tolist()))
+    arcs = [
+        (u, v, float(w))
+        for (u, v), w in zip(
+            sorted(pairs), rng.uniform(weight_low, weight_high, size=len(pairs))
+        )
+    ]
+    return LinkWeightedDigraph(n, arcs)
+
+
+def fig2_example() -> tuple[NodeWeightedGraph, int, int]:
+    """The Figure-2 phenomenon: a source gains by hiding a link.
+
+    The paper's figure is not numerically specified in the text, so this is
+    a reconstruction with the identical structure: three node-disjoint
+    branches between the source ``v_1`` and the access point ``v_0`` —
+    a cheap 3-relay branch (costs 1, 1, 1), a mid-priced 1-relay branch
+    (cost 5) and an expensive 1-relay branch (cost 7).
+
+    On the true graph the LCP is the 3-relay branch (cost 3) but VCG pays
+    each of its relays ``1 + (5 - 3) = 3``, total **9**. If the source
+    *hides* its link into the cheap branch, the declared LCP becomes the
+    mid branch and the single relay is paid ``5 + (7 - 5) = 7`` — the
+    source saves 2 by lying about its neighbourhood, which is why stage 1
+    of the distributed protocol must be secured (Algorithm 2).
+
+    Returns ``(graph, source, access_point)``. Node ids: 0 = v_0 (AP),
+    1 = v_1 (source), 2-4 = cheap-branch relays, 5 = mid relay,
+    6 = expensive relay.
+    """
+    costs = [0.0, 0.0, 1.0, 1.0, 1.0, 5.0, 7.0]
+    edges = [
+        (1, 2), (2, 3), (3, 4), (4, 0),  # cheap branch
+        (1, 5), (5, 0),                  # mid branch
+        (1, 6), (6, 0),                  # expensive branch
+    ]
+    return NodeWeightedGraph(7, edges, costs), 1, 0
+
+
+def fig4_example() -> tuple[NodeWeightedGraph, int, int, int]:
+    """The Figure-4 phenomenon: resale-the-path collusion.
+
+    The paper's figure gives only derived values (``p_8 = 20``, ``p_4 = 6``,
+    ``p_8^4 = 0``, ``c_4 = 5``); this reconstruction has the same
+    structure with slightly different magnitudes:
+
+    * source ``v_8``'s LCP to ``v_0`` uses three relays of cost 1 each
+      (total 3) whose best detours are expensive, so ``p_8 = 15``;
+    * ``v_8``'s neighbour ``v_4`` (cost 5) is **off** that LCP
+      (``p_8^4 = 0``) but has its own cheap, barely-contested LCP
+      (``p_4 = 2.5``).
+
+    Since ``p_8 = 15 > p_4 + max(p_8^4, c_4) = 7.5``, the pair profits by
+    ``v_4`` reselling its path: ``v_8`` hands the traffic to ``v_4``,
+    reimburses ``p_4 + c_4 = 7.5``, and they split the 7.5 saving.
+
+    Returns ``(graph, source, access_point, reseller)`` =
+    ``(g, 8, 0, 4)``. Node ids: 0 = AP; 1, 2, 3 = LCP relays (cost 1);
+    4 = reseller (cost 5); 5, 6 = v_4's relays (costs 2, 2.5);
+    7 = expensive detour relay (cost 9); 8 = source (cost 100, so no
+    other node routes through it).
+    """
+    costs = [0.0, 1.0, 1.0, 1.0, 5.0, 2.0, 2.5, 9.0, 100.0]
+    edges = [
+        (8, 1), (1, 2), (2, 3), (3, 0),  # the source's LCP
+        (8, 4),                           # source-reseller link
+        (4, 5), (5, 0),                   # reseller's LCP
+        (4, 6), (6, 0),                   # reseller's detour
+        (8, 7), (7, 0),                   # source's expensive detour
+    ]
+    return NodeWeightedGraph(9, edges, costs), 8, 0, 4

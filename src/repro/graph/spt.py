@@ -1,0 +1,213 @@
+"""Shortest-path trees (SPTs).
+
+Both the centralized mechanism (Algorithm 1 builds ``SPT(v_i)`` and
+``SPT(v_j)``) and the distributed protocol (stage 1 builds the SPT rooted
+at the access point) work on the same structure: for a root ``r``, every
+reachable node ``x`` stores its distance to/from ``r`` and its *parent* —
+the neighbour preceding ``x`` on the shortest ``r -> x`` path.
+
+For the undirected node-weighted model the parent is simultaneously the
+next hop from ``x`` toward the root, which is exactly the ``FH`` (first
+hop) entry of Algorithm 2's first stage.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import DisconnectedError
+
+__all__ = ["ShortestPathTree"]
+
+
+class ShortestPathTree:
+    """Immutable SPT: root, per-node distance, per-node parent.
+
+    Attributes
+    ----------
+    root:
+        The tree root.
+    dist:
+        ``dist[x]`` is the shortest-path cost between ``root`` and ``x``
+        under the owning model's convention (internal node cost for
+        :class:`~repro.graph.node_graph.NodeWeightedGraph`; total arc
+        weight for :class:`~repro.graph.link_graph.LinkWeightedDigraph`).
+        Unreachable nodes have ``inf``.
+    parent:
+        ``parent[x]`` is the predecessor of ``x`` on the shortest
+        ``root -> x`` path, ``-1`` for the root and unreachable nodes.
+    """
+
+    __slots__ = ("root", "dist", "parent", "_children", "_order")
+
+    def __init__(self, root: int, dist: np.ndarray, parent: np.ndarray) -> None:
+        self.root = int(root)
+        self.dist = np.asarray(dist, dtype=np.float64)
+        self.parent = np.asarray(parent, dtype=np.int64)
+        if self.dist.shape != self.parent.shape:
+            raise ValueError("dist and parent must have the same shape")
+        self.dist.setflags(write=False)
+        self.parent.setflags(write=False)
+        self._children = None
+        self._order = None
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return int(self.dist.shape[0])
+
+    def reachable(self, x: int) -> bool:
+        """True if the node is reachable from the root."""
+        return bool(np.isfinite(self.dist[x]))
+
+    @property
+    def reachable_mask(self) -> np.ndarray:
+        """Boolean mask of nodes reachable from the root."""
+        return np.isfinite(self.dist)
+
+    def require_reachable(self, x: int) -> None:
+        """Raise :class:`DisconnectedError` if unreachable."""
+        if not self.reachable(x):
+            raise DisconnectedError(self.root, int(x))
+
+    # -- paths -------------------------------------------------------------
+
+    def path_from_root(self, x: int) -> list[int]:
+        """Node sequence ``root, ..., x`` along the tree."""
+        self.require_reachable(x)
+        out = []
+        cur = int(x)
+        guard = self.n + 1
+        while cur != -1:
+            out.append(cur)
+            cur = int(self.parent[cur])
+            guard -= 1
+            if guard < 0:  # pragma: no cover - corrupt parent array
+                raise RuntimeError("parent array contains a cycle")
+        out.reverse()
+        if out[0] != self.root:  # pragma: no cover - corrupt parent array
+            raise RuntimeError("path does not start at the root")
+        return out
+
+    def path_to_root(self, x: int) -> list[int]:
+        """Node sequence ``x, ..., root`` along the tree (next hops)."""
+        return self.path_from_root(x)[::-1]
+
+    def first_hop(self, x: int) -> int:
+        """Next hop from ``x`` toward the root (the paper's ``FH`` entry).
+
+        For the root itself this is ``-1``.
+        """
+        if x == self.root:
+            return -1
+        self.require_reachable(x)
+        return int(self.parent[x])
+
+    def relays(self, x: int) -> list[int]:
+        """Internal nodes of the tree path between ``x`` and the root.
+
+        These are exactly the nodes the unicast source ``x`` must pay when
+        the destination is the root (endpoints excluded, Section II.C).
+        """
+        return self.path_from_root(x)[1:-1]
+
+    def hops(self, x: int) -> int:
+        """Edge count of the tree path between the root and ``x``."""
+        return len(self.path_from_root(x)) - 1
+
+    def hop_counts(self) -> np.ndarray:
+        """Vector of hop distances from the root; -1 for unreachable nodes."""
+        hops = np.full(self.n, -1, dtype=np.int64)
+        hops[self.root] = 0
+        for x in self.topological_order():
+            if x != self.root:
+                hops[x] = hops[self.parent[x]] + 1
+        return hops
+
+    def on_tree_path(self, x: int, k: int) -> bool:
+        """True if ``k`` lies on the tree path between the root and ``x``."""
+        return k in self.path_from_root(x)
+
+    # -- tree structure ------------------------------------------------------
+
+    def children(self) -> list[list[int]]:
+        """Child lists per node (cached)."""
+        if self._children is None:
+            kids: list[list[int]] = [[] for _ in range(self.n)]
+            for x in range(self.n):
+                p = int(self.parent[x])
+                if p >= 0:
+                    kids[p].append(x)
+            self._children = kids
+        return self._children
+
+    def topological_order(self) -> np.ndarray:
+        """Reachable nodes in tree preorder (parents before children).
+
+        Lets per-node recurrences (hop counts, subtree labels) run as
+        simple loops. Note that ordering by *distance* would not be
+        enough: under the internal-node-cost convention the root's
+        neighbours are at distance 0, tied with the root itself.
+        """
+        if self._order is None:
+            kids = self.children()
+            order = []
+            stack = [self.root] if self.reachable(self.root) else []
+            while stack:
+                u = stack.pop()
+                order.append(u)
+                stack.extend(kids[u])
+            self._order = np.asarray(order, dtype=np.int64)
+            self._order.setflags(write=False)
+        return self._order
+
+    def subtree(self, x: int) -> set[int]:
+        """All descendants of ``x`` in the tree, including ``x``."""
+        self.require_reachable(x)
+        out = {int(x)}
+        stack = [int(x)]
+        kids = self.children()
+        while stack:
+            cur = stack.pop()
+            for c in kids[cur]:
+                out.add(c)
+                stack.append(c)
+        return out
+
+    def branch_labels(self, path: Sequence[int]) -> np.ndarray:
+        """For a root-starting tree path ``path = [r_0=root, r_1, ..., r_s]``,
+        label every reachable node with the index of the *last* path node on
+        its tree path from the root.
+
+        This is precisely the ``level`` of Algorithm 1 step 2: node ``v_k``
+        has ``level = l`` iff removing ``r_l`` disconnects ``v_k`` from both
+        the root and ``r_s`` inside the tree, i.e. the tree path to ``v_k``
+        leaves the path ``P`` at ``r_l``. Nodes on the path itself get their
+        own index; unreachable nodes get ``-1``.
+        """
+        path = list(path)
+        if not path or path[0] != self.root:
+            raise ValueError("path must start at the tree root")
+        labels = np.full(self.n, -1, dtype=np.int64)
+        pos_on_path = {node: i for i, node in enumerate(path)}
+        for x in self.topological_order():
+            if x in pos_on_path:
+                labels[x] = pos_on_path[x]
+            elif x == self.root:  # root not on path (impossible: checked)
+                labels[x] = 0
+            else:
+                labels[x] = labels[self.parent[x]]
+        return labels
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        reach = int(self.reachable_mask.sum())
+        return (
+            f"ShortestPathTree(root={self.root}, n={self.n}, reachable={reach})"
+        )
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.topological_order())

@@ -1,0 +1,217 @@
+"""Serialization: save/load instances and results as plain JSON.
+
+A reproduction is only useful if the exact instances behind a number can
+be shipped around; this module provides stable, versioned JSON encodings
+for the library's core objects:
+
+* :class:`~repro.graph.node_graph.NodeWeightedGraph`
+* :class:`~repro.graph.link_graph.LinkWeightedDigraph`
+* :class:`~repro.wireless.deployment.Deployment`
+* :class:`~repro.core.mechanism.UnicastPayment`
+
+``save_json`` / ``load_json`` wrap any of them with a format tag, so one
+loader round-trips everything. Infinities are encoded as the string
+``"inf"`` (JSON has no inf literal); all arrays become lists.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.mechanism import UnicastPayment
+from repro.errors import ReproError
+from repro.graph.link_graph import LinkWeightedDigraph
+from repro.graph.node_graph import NodeWeightedGraph
+from repro.wireless.deployment import Deployment
+from repro.wireless.energy import PowerModel
+
+__all__ = [
+    "to_dict",
+    "from_dict",
+    "save_json",
+    "load_json",
+    "SerializationError",
+]
+
+FORMAT_VERSION = 1
+
+
+class SerializationError(ReproError):
+    """Unknown format tag, bad version, or malformed payload."""
+
+
+def _enc_float(x: float) -> float | str:
+    if np.isposinf(x):
+        return "inf"
+    if np.isneginf(x):  # pragma: no cover - no negative costs exist
+        return "-inf"
+    return float(x)
+
+
+def _dec_float(x) -> float:
+    if x == "inf":
+        return float("inf")
+    if x == "-inf":  # pragma: no cover
+        return float("-inf")
+    return float(x)
+
+
+# ---------------------------------------------------------------------------
+# per-type encoders
+# ---------------------------------------------------------------------------
+
+
+def _node_graph_to_dict(g: NodeWeightedGraph) -> dict:
+    return {
+        "n": g.n,
+        "costs": [float(c) for c in g.costs],
+        "edges": [[int(u), int(v)] for u, v in g.edge_iter()],
+    }
+
+
+def _node_graph_from_dict(d: dict) -> NodeWeightedGraph:
+    return NodeWeightedGraph(
+        int(d["n"]), [tuple(e) for e in d["edges"]], d["costs"]
+    )
+
+
+def _digraph_to_dict(dg: LinkWeightedDigraph) -> dict:
+    return {
+        "n": dg.n,
+        "arcs": [[int(u), int(v), float(w)] for u, v, w in dg.arc_iter()],
+    }
+
+
+def _digraph_from_dict(d: dict) -> LinkWeightedDigraph:
+    return LinkWeightedDigraph(
+        int(d["n"]), [(int(u), int(v), float(w)) for u, v, w in d["arcs"]]
+    )
+
+
+def _deployment_to_dict(dep: Deployment) -> dict:
+    return {
+        "kind": dep.kind,
+        "points": dep.points.tolist(),
+        "ranges": dep.ranges.tolist(),
+        "model": {
+            "alpha": np.asarray(dep.model.alpha).tolist(),
+            "beta": np.asarray(dep.model.beta).tolist(),
+            "kappa": float(dep.model.kappa),
+        },
+        "digraph": _digraph_to_dict(dep.digraph),
+        "resamples": int(dep.resamples),
+        "dropped": int(dep.dropped),
+    }
+
+
+def _deployment_from_dict(d: dict) -> Deployment:
+    model_d = d["model"]
+    alpha = model_d["alpha"]
+    beta = model_d["beta"]
+    model = PowerModel(
+        alpha=np.asarray(alpha) if isinstance(alpha, list) else float(alpha),
+        beta=np.asarray(beta) if isinstance(beta, list) else float(beta),
+        kappa=float(model_d["kappa"]),
+    )
+    return Deployment(
+        points=np.asarray(d["points"], dtype=np.float64),
+        ranges=np.asarray(d["ranges"], dtype=np.float64),
+        model=model,
+        digraph=_digraph_from_dict(d["digraph"]),
+        resamples=int(d["resamples"]),
+        kind=str(d["kind"]),
+        dropped=int(d["dropped"]),
+    )
+
+
+def _payment_to_dict(p: UnicastPayment) -> dict:
+    return {
+        "source": p.source,
+        "target": p.target,
+        "path": list(p.path),
+        "lcp_cost": _enc_float(p.lcp_cost),
+        "payments": {str(k): _enc_float(v) for k, v in p.payments.items()},
+        "scheme": p.scheme,
+    }
+
+
+def _payment_from_dict(d: dict) -> UnicastPayment:
+    return UnicastPayment(
+        source=int(d["source"]),
+        target=int(d["target"]),
+        path=tuple(int(v) for v in d["path"]),
+        lcp_cost=_dec_float(d["lcp_cost"]),
+        payments={int(k): _dec_float(v) for k, v in d["payments"].items()},
+        scheme=str(d.get("scheme", "vcg")),
+    )
+
+
+_ENCODERS = {
+    NodeWeightedGraph: ("node-graph", _node_graph_to_dict),
+    LinkWeightedDigraph: ("link-digraph", _digraph_to_dict),
+    Deployment: ("deployment", _deployment_to_dict),
+    UnicastPayment: ("unicast-payment", _payment_to_dict),
+}
+
+_DECODERS = {
+    "node-graph": _node_graph_from_dict,
+    "link-digraph": _digraph_from_dict,
+    "deployment": _deployment_from_dict,
+    "unicast-payment": _payment_from_dict,
+}
+
+
+# ---------------------------------------------------------------------------
+# public API
+# ---------------------------------------------------------------------------
+
+
+def to_dict(obj: Any) -> dict:
+    """Encode a supported object as a tagged, versioned dictionary."""
+    for cls, (tag, encoder) in _ENCODERS.items():
+        if isinstance(obj, cls):
+            return {
+                "format": tag,
+                "version": FORMAT_VERSION,
+                "data": encoder(obj),
+            }
+    raise SerializationError(
+        f"cannot serialize objects of type {type(obj).__name__}"
+    )
+
+
+def from_dict(payload: dict) -> Any:
+    """Decode a dictionary produced by :func:`to_dict`."""
+    try:
+        tag = payload["format"]
+        version = payload["version"]
+        data = payload["data"]
+    except (TypeError, KeyError) as exc:
+        raise SerializationError(f"malformed payload: {exc}") from exc
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {version} (expected {FORMAT_VERSION})"
+        )
+    decoder = _DECODERS.get(tag)
+    if decoder is None:
+        raise SerializationError(f"unknown format tag {tag!r}")
+    try:
+        return decoder(data)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed {tag} payload: {exc}") from exc
+
+
+def save_json(obj: Any, path) -> None:
+    """Serialize ``obj`` to a JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(to_dict(obj), indent=1))
+
+
+def load_json(path) -> Any:
+    """Load any object saved by :func:`save_json`."""
+    path = Path(path)
+    return from_dict(json.loads(path.read_text()))

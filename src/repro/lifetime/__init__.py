@@ -1,0 +1,46 @@
+"""Battery lifetime and cooperation dynamics (the paper's motivation).
+
+The introduction's story: a laptop owner who accepts every relay request
+"might run out of energy prematurely"; one who rejects everything
+destroys the network's throughput; so "a stimulation mechanism is
+required". This package makes that story quantitative:
+
+* :mod:`~repro.lifetime.battery` — per-node energy budgets drained by
+  relaying;
+* :mod:`~repro.lifetime.policies` — relay acceptance policies: always
+  relay (altruist), never relay (selfish, unpaid), relay-when-paid
+  (the rational policy under the paper's mechanism), and the GTFT-style
+  balance heuristic of Srinivasan et al. [1]/[7];
+* :mod:`~repro.lifetime.simulate` — a session-by-session simulation:
+  route each session over alive+willing relays, drain batteries, credit
+  payments, and record throughput and deaths.
+
+The lifetime bench (`benchmarks/bench_lifetime.py`) reproduces the
+argument of the paper's Sections I-II.D: unpaid selfishness collapses
+throughput, unconditional altruism burns out the central relays, and the
+VCG payments sustain rational cooperation.
+"""
+
+from repro.lifetime.battery import BatteryBank
+from repro.lifetime.policies import (
+    AlwaysRelay,
+    NeverRelay,
+    PaidRelay,
+    GtftRelay,
+    RelayPolicy,
+)
+from repro.lifetime.simulate import (
+    LifetimeResult,
+    simulate_lifetime,
+)
+
+__all__ = [
+    "BatteryBank",
+    "RelayPolicy",
+    "AlwaysRelay",
+    "NeverRelay",
+    "PaidRelay",
+    "GtftRelay",
+    "LifetimeResult",
+    "simulate_lifetime",
+]

@@ -1,0 +1,83 @@
+"""Per-node energy budgets.
+
+A node's relaying cost ``c_k`` (the mechanism's type) is, physically, the
+energy it burns forwarding one packet; :class:`BatteryBank` tracks the
+remaining budget per node and who has died. Sending one's *own* packets
+also costs energy (the node-model convention excludes it from *path*
+cost because nobody reimburses you for your own traffic, but the battery
+does not care who the packet belongs to).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_node_index
+
+__all__ = ["BatteryBank"]
+
+
+class BatteryBank:
+    """Remaining energy per node; nodes at 0 are dead.
+
+    Parameters
+    ----------
+    capacities:
+        Initial per-node energy. A scalar is broadcast to all nodes.
+    """
+
+    def __init__(self, n: int, capacities) -> None:
+        if n < 1:
+            raise ValueError(f"need at least one node, got {n}")
+        caps = np.broadcast_to(
+            np.asarray(capacities, dtype=np.float64), (n,)
+        ).copy()
+        if (caps < 0).any() or not np.isfinite(caps).all():
+            raise ValueError("capacities must be finite and non-negative")
+        self.n = int(n)
+        self.remaining = caps
+        self.initial = caps.copy()
+        self.initial.setflags(write=False)
+        self.death_time: dict[int, int] = {}
+
+    def alive(self, node: int) -> bool:
+        """True while the node has energy left."""
+        return bool(self.remaining[check_node_index(node, self.n)] > 0)
+
+    @property
+    def alive_mask(self) -> np.ndarray:
+        """Boolean mask of nodes with energy left."""
+        return self.remaining > 0
+
+    @property
+    def alive_count(self) -> int:
+        """Number of nodes with energy left."""
+        return int(self.alive_mask.sum())
+
+    def can_afford(self, node: int, energy: float) -> bool:
+        """True if ``node`` has at least ``energy`` left."""
+        return bool(self.remaining[node] >= energy - 1e-12)
+
+    def drain(self, node: int, energy: float, time: int = -1) -> None:
+        """Consume energy; clamps at zero and records the death time.
+
+        ``time`` is the session index at which the drain happened (used
+        for first-death statistics); pass -1 when untimed.
+        """
+        node = check_node_index(node, self.n)
+        if energy < 0:
+            raise ValueError(f"cannot drain negative energy {energy}")
+        was_alive = self.remaining[node] > 0
+        self.remaining[node] = max(0.0, self.remaining[node] - energy)
+        if was_alive and self.remaining[node] <= 0 and node not in self.death_time:
+            self.death_time[node] = int(time)
+
+    def fraction_used(self) -> np.ndarray:
+        """Per-node fraction of the initial budget consumed."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            used = 1.0 - self.remaining / self.initial
+        return np.where(self.initial > 0, used, 0.0)
+
+    def first_death(self) -> int | None:
+        """Session index of the earliest death, or None."""
+        return min(self.death_time.values()) if self.death_time else None

@@ -1,0 +1,145 @@
+"""Relay acceptance policies.
+
+Each node runs one policy object; before a session is routed, every
+candidate relay is asked whether it *accepts* given the per-packet
+payment it would receive. Policies observe outcomes through
+:meth:`RelayPolicy.record_relayed` / :meth:`RelayPolicy.record_served`
+so stateful heuristics (GTFT) can balance their books.
+
+The cast:
+
+* :class:`AlwaysRelay` — the traditional assumption the paper opens by
+  rejecting ("nodes ... will always relay packets for each other");
+* :class:`NeverRelay` — the rational policy when relaying is unpaid and
+  costs energy (the paper's selfish student);
+* :class:`PaidRelay` — the rational policy under a payment scheme:
+  accept iff the payment covers the true cost. Under the paper's VCG
+  mechanism the payment always does, so rational nodes always relay —
+  that is the whole point of the paper;
+* :class:`GtftRelay` — the Generous-Tit-For-Tat balance heuristic of
+  Srinivasan et al. [1] (as summarized in II.D): accept while the energy
+  spent relaying for others does not exceed what others spent relaying
+  for you, plus a generosity allowance. No money changes hands.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+__all__ = ["RelayPolicy", "AlwaysRelay", "NeverRelay", "PaidRelay", "GtftRelay"]
+
+
+class RelayPolicy(Protocol):
+    """Per-node acceptance policy interface."""
+
+    def accepts(self, cost: float, payment: float) -> bool:
+        """Relay one packet at true ``cost`` for ``payment``?"""
+        ...
+
+    def record_relayed(self, cost: float, payment: float) -> None:
+        """This node relayed a packet (spent ``cost``, earned ``payment``)."""
+        ...
+
+    def record_served(self, energy_spent_by_others: float) -> None:
+        """Others spent this much energy relaying a packet *for* this node."""
+        ...
+
+
+class AlwaysRelay:
+    """Unconditional altruist."""
+
+    def accepts(self, cost: float, payment: float) -> bool:
+        """Decide whether to relay one packet at this cost/payment."""
+        return True
+
+    def record_relayed(self, cost: float, payment: float) -> None:
+        """Record that this node relayed a packet."""
+        pass
+
+    def record_served(self, energy_spent_by_others: float) -> None:
+        """Record energy others spent relaying for this node."""
+        pass
+
+
+class NeverRelay:
+    """Pure free-rider: sends its own traffic, relays nothing."""
+
+    def accepts(self, cost: float, payment: float) -> bool:
+        """Decide whether to relay one packet at this cost/payment."""
+        return False
+
+    def record_relayed(self, cost: float, payment: float) -> None:  # pragma: no cover
+        """Record that this node relayed a packet."""
+        pass
+
+    def record_served(self, energy_spent_by_others: float) -> None:
+        """Record energy others spent relaying for this node."""
+        pass
+
+
+class PaidRelay:
+    """Rational profit-seeker: relay iff the payment covers the cost.
+
+    ``margin`` demands strictly positive profit per packet (default 0:
+    break-even acceptance, the standard IR tie-break).
+    """
+
+    def __init__(self, margin: float = 0.0) -> None:
+        if margin < 0:
+            raise ValueError(f"margin must be non-negative, got {margin}")
+        self.margin = float(margin)
+        self.earned = 0.0
+        self.spent = 0.0
+
+    def accepts(self, cost: float, payment: float) -> bool:
+        """Decide whether to relay one packet at this cost/payment."""
+        return payment >= cost + self.margin - 1e-12
+
+    def record_relayed(self, cost: float, payment: float) -> None:
+        """Record that this node relayed a packet."""
+        self.earned += payment
+        self.spent += cost
+
+    def record_served(self, energy_spent_by_others: float) -> None:
+        """Record energy others spent relaying for this node."""
+        pass
+
+    @property
+    def profit(self) -> float:
+        """Earnings minus relaying cost so far."""
+        return self.earned - self.spent
+
+
+class GtftRelay:
+    """Generous-Tit-For-Tat energy balancing (no payments).
+
+    Accept while ``energy_relayed_for_others <= energy_others_spent_on_me
+    + generosity``. The generosity floor is what jump-starts cooperation
+    (with 0 nobody ever relays first); the paper's II.D footnote explains
+    why exact balance is impossible — relays outnumber sources on every
+    multi-hop path — so a generous slack is structurally required.
+    """
+
+    def __init__(self, generosity: float) -> None:
+        if generosity < 0:
+            raise ValueError(f"generosity must be non-negative, got {generosity}")
+        self.generosity = float(generosity)
+        self.given = 0.0  # energy spent relaying for others
+        self.received = 0.0  # energy others spent relaying for me
+
+    def accepts(self, cost: float, payment: float) -> bool:
+        """Decide whether to relay one packet at this cost/payment."""
+        return self.given + cost <= self.received + self.generosity + 1e-12
+
+    def record_relayed(self, cost: float, payment: float) -> None:
+        """Record that this node relayed a packet."""
+        self.given += cost
+
+    def record_served(self, energy_spent_by_others: float) -> None:
+        """Record energy others spent relaying for this node."""
+        self.received += energy_spent_by_others
+
+    @property
+    def balance(self) -> float:
+        """Current account balance (ledger) / energy balance (policy)."""
+        return self.received - self.given

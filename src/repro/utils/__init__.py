@@ -1,0 +1,32 @@
+"""Small shared utilities: RNG handling, validation, an indexed heap, tables.
+
+These are deliberately dependency-light; everything in :mod:`repro.utils`
+may be imported by any other subpackage without creating cycles.
+"""
+
+from repro.utils.rng import as_rng, spawn_rngs, derive_seed
+from repro.utils.heap import IndexedMinHeap, LazyMinHeap
+from repro.utils.validation import (
+    check_cost_array,
+    check_node_index,
+    check_probability,
+    check_positive,
+    check_non_negative,
+)
+from repro.utils.tables import ascii_table, format_float, series_table
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "derive_seed",
+    "IndexedMinHeap",
+    "LazyMinHeap",
+    "check_cost_array",
+    "check_node_index",
+    "check_probability",
+    "check_positive",
+    "check_non_negative",
+    "ascii_table",
+    "format_float",
+    "series_table",
+]

@@ -1,0 +1,193 @@
+"""Heap data structures used by the shortest-path and payment algorithms.
+
+Two flavours are provided:
+
+* :class:`IndexedMinHeap` — a binary min-heap over integer keys in
+  ``[0, capacity)`` supporting ``decrease_key`` in O(log n). This is the
+  textbook priority queue Dijkstra wants; keeping our own implementation
+  (rather than ``heapq`` with lazy deletion) makes the pure-Python
+  reference Dijkstra allocation-free per relaxation and easy to reason
+  about in tests.
+
+* :class:`LazyMinHeap` — a thin wrapper over ``heapq`` with lazy deletion
+  by a caller-supplied validity predicate. Step 5 of Algorithm 1 (the
+  crossing-edge sweep) uses it: every edge is inserted at most once and
+  invalidated once, matching the paper's "an edge is added to H at most
+  once and deleted from H once".
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterator
+
+import numpy as np
+
+__all__ = ["IndexedMinHeap", "LazyMinHeap"]
+
+
+class IndexedMinHeap:
+    """Binary min-heap over integer items ``0..capacity-1`` with decrease-key.
+
+    Items not currently in the heap have position ``-1``. Priorities are
+    floats. The heap never holds duplicates of an item.
+    """
+
+    __slots__ = ("_heap", "_pos", "_prio", "_size")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self._heap = np.empty(capacity, dtype=np.int64)
+        self._pos = np.full(capacity, -1, dtype=np.int64)
+        self._prio = np.empty(capacity, dtype=np.float64)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, item: int) -> bool:
+        return self._pos[item] >= 0
+
+    def priority(self, item: int) -> float:
+        """Current priority of ``item`` (which must be in the heap)."""
+        if self._pos[item] < 0:
+            raise KeyError(f"item {item} not in heap")
+        return float(self._prio[item])
+
+    def push(self, item: int, priority: float) -> None:
+        """Insert ``item``; if present, behave like ``decrease_key`` when
+        the new priority is lower (higher priorities are ignored)."""
+        if self._pos[item] >= 0:
+            if priority < self._prio[item]:
+                self.decrease_key(item, priority)
+            return
+        i = self._size
+        self._heap[i] = item
+        self._pos[item] = i
+        self._prio[item] = priority
+        self._size += 1
+        self._sift_up(i)
+
+    def decrease_key(self, item: int, priority: float) -> None:
+        """Lower the priority of an item already in the heap."""
+        pos = self._pos[item]
+        if pos < 0:
+            raise KeyError(f"item {item} not in heap")
+        if priority > self._prio[item]:
+            raise ValueError(
+                f"decrease_key with larger priority for item {item}: "
+                f"{priority} > {self._prio[item]}"
+            )
+        self._prio[item] = priority
+        self._sift_up(int(pos))
+
+    def pop(self) -> tuple[int, float]:
+        """Remove and return ``(item, priority)`` with the smallest priority."""
+        if self._size == 0:
+            raise IndexError("pop from empty heap")
+        top = int(self._heap[0])
+        prio = float(self._prio[top])
+        self._size -= 1
+        last = int(self._heap[self._size])
+        self._pos[top] = -1
+        if self._size > 0:
+            self._heap[0] = last
+            self._pos[last] = 0
+            self._sift_down(0)
+        return top, prio
+
+    def peek(self) -> tuple[int, float]:
+        """Return (but do not remove) the minimum ``(item, priority)``."""
+        if self._size == 0:
+            raise IndexError("peek on empty heap")
+        top = int(self._heap[0])
+        return top, float(self._prio[top])
+
+    # -- internal sifting ---------------------------------------------------
+
+    def _sift_up(self, i: int) -> None:
+        heap, pos, prio = self._heap, self._pos, self._prio
+        item = heap[i]
+        p = prio[item]
+        while i > 0:
+            parent = (i - 1) >> 1
+            if prio[heap[parent]] <= p:
+                break
+            heap[i] = heap[parent]
+            pos[heap[i]] = i
+            i = parent
+        heap[i] = item
+        pos[item] = i
+
+    def _sift_down(self, i: int) -> None:
+        heap, pos, prio = self._heap, self._pos, self._prio
+        size = self._size
+        item = heap[i]
+        p = prio[item]
+        while True:
+            left = 2 * i + 1
+            if left >= size:
+                break
+            child = left
+            right = left + 1
+            if right < size and prio[heap[right]] < prio[heap[left]]:
+                child = right
+            if prio[heap[child]] >= p:
+                break
+            heap[i] = heap[child]
+            pos[heap[i]] = i
+            i = child
+        heap[i] = item
+        pos[item] = i
+
+
+class LazyMinHeap:
+    """``heapq`` wrapper with lazy deletion.
+
+    Entries are ``(priority, payload)``. ``pop_valid`` discards entries for
+    which ``is_valid(payload)`` is false and returns the first valid
+    minimum (or ``None`` when exhausted). ``peek_valid`` is the
+    non-destructive variant used by Algorithm 1's sweep, where an entry
+    stays valid across several levels ``l``.
+    """
+
+    __slots__ = ("_heap", "_counter")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, object]] = []
+        self._counter = 0  # tie-breaker keeps payloads un-compared
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, priority: float, payload: object) -> None:
+        """Insert an entry with the given priority."""
+        heapq.heappush(self._heap, (priority, self._counter, payload))
+        self._counter += 1
+
+    def pop_valid(self, is_valid: Callable[[object], bool]):
+        """Pop the minimum valid entry as ``(priority, payload)`` or ``None``."""
+        while self._heap:
+            priority, _, payload = heapq.heappop(self._heap)
+            if is_valid(payload):
+                return priority, payload
+        return None
+
+    def peek_valid(self, is_valid: Callable[[object], bool]):
+        """Drop invalid minima, then return the min entry without removal."""
+        while self._heap:
+            priority, _, payload = self._heap[0]
+            if is_valid(payload):
+                return priority, payload
+            heapq.heappop(self._heap)
+        return None
+
+    def drain(self) -> Iterator[tuple[float, object]]:
+        """Yield all remaining entries in priority order (for debugging)."""
+        while self._heap:
+            priority, _, payload = heapq.heappop(self._heap)
+            yield priority, payload

@@ -1,0 +1,107 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same series the paper plots in Figure 3;
+these helpers render them as aligned ASCII tables (and Markdown rows for
+EXPERIMENTS.md) without pulling in any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_float", "ascii_table", "series_table", "markdown_table"]
+
+
+def format_float(value: float, digits: int = 4) -> str:
+    """Format a float compactly; integers render without a trailing '.0'."""
+    if value is None:
+        return "-"
+    value = float(value)
+    if np.isnan(value):
+        return "nan"
+    if np.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.{digits}g}"
+
+
+def _stringify(cell, digits: int) -> str:
+    if isinstance(cell, (float, np.floating)):
+        return format_float(cell, digits)
+    if isinstance(cell, (int, np.integer)):
+        return str(int(cell))
+    return str(cell)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+    digits: int = 4,
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(ascii_table(["n", "ratio"], [[100, 1.5], [200, 1.45]]))
+    n    ratio
+    ---  -----
+    100  1.5
+    200  1.45
+    """
+    str_rows = [[_stringify(c, digits) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series_table(
+    x_name: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+    digits: int = 4,
+) -> str:
+    """Render one x-column plus one column per named series.
+
+    This is the canonical rendering of a Figure-3 panel: ``x`` is the
+    number of nodes (or hop distance) and each series is a curve.
+    """
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} points, "
+                f"expected {len(x_values)}"
+            )
+    rows = [
+        [x] + [series[name][i] for name in names]
+        for i, x in enumerate(x_values)
+    ]
+    return ascii_table([x_name] + names, rows, title=title, digits=digits)
+
+
+def markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence], digits: int = 4
+) -> str:
+    """Render a GitHub-flavoured Markdown table (for EXPERIMENTS.md)."""
+    str_rows = [[_stringify(c, digits) for c in row] for row in rows]
+    head = "| " + " | ".join(str(h) for h in headers) + " |"
+    sep = "|" + "|".join("---" for _ in headers) + "|"
+    body = ["| " + " | ".join(row) + " |" for row in str_rows]
+    return "\n".join([head, sep] + body)

@@ -1,0 +1,96 @@
+"""Input validation helpers shared across the library.
+
+The graph classes and mechanisms validate their inputs eagerly so that a
+bad cost vector or node index fails at construction with a precise error
+instead of surfacing later as a wrong payment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidGraphError, NodeNotFoundError
+
+__all__ = [
+    "check_cost_array",
+    "check_node_index",
+    "check_probability",
+    "check_positive",
+    "check_non_negative",
+    "as_float_array",
+    "as_int_array",
+]
+
+
+def as_float_array(values, name: str = "array") -> np.ndarray:
+    """Coerce ``values`` to a contiguous 1-D float64 array."""
+    arr = np.ascontiguousarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise InvalidGraphError(f"{name} must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def as_int_array(values, name: str = "array") -> np.ndarray:
+    """Coerce ``values`` to a contiguous 1-D int64 array."""
+    arr = np.ascontiguousarray(values, dtype=np.int64)
+    if arr.ndim != 1:
+        raise InvalidGraphError(f"{name} must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def check_cost_array(
+    costs, n: int | None = None, name: str = "costs", allow_inf: bool = False
+) -> np.ndarray:
+    """Validate a cost vector: finite (unless ``allow_inf``), non-negative.
+
+    Returns the validated float64 copy. Infinite entries model unreachable
+    links in the link-cost model of Section III.F and are allowed only when
+    ``allow_inf`` is set.
+    """
+    arr = as_float_array(costs, name)
+    if n is not None and arr.shape[0] != n:
+        raise InvalidGraphError(
+            f"{name} has length {arr.shape[0]}, expected {n}"
+        )
+    if np.isnan(arr).any():
+        raise InvalidGraphError(f"{name} contains NaN")
+    if not allow_inf and np.isinf(arr).any():
+        raise InvalidGraphError(f"{name} contains infinite entries")
+    if (arr < 0).any():
+        bad = int(np.argmax(arr < 0))
+        raise InvalidGraphError(
+            f"{name} contains a negative entry at index {bad}: {arr[bad]}"
+        )
+    return arr
+
+
+def check_node_index(node: int, n: int) -> int:
+    """Validate that ``node`` is a valid index for a graph with ``n`` nodes."""
+    node = int(node)
+    if not 0 <= node < n:
+        raise NodeNotFoundError(node, n)
+    return node
+
+
+def check_probability(value: float, name: str = "probability") -> float:
+    """Validate a probability in [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Validate a strictly positive finite number."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value}")
+    return value
+
+
+def check_non_negative(value: float, name: str = "value") -> float:
+    """Validate a non-negative finite number."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value}")
+    return value

@@ -1,0 +1,64 @@
+"""Wireless substrate: deployments, radio energy models, topologies.
+
+Reproduces the physical layer the paper's evaluation (Section III.G)
+assumes: nodes placed uniformly at random in a square region, links that
+exist when the receiver is within the sender's transmission range, and
+per-link power costs following the standard power-attenuation model
+``alpha + beta * d^kappa``.
+"""
+
+from repro.wireless.geometry import (
+    Region,
+    pairwise_distances,
+    uniform_points,
+)
+from repro.wireless.energy import (
+    PowerModel,
+    PAPER_FIRST_SIM,
+    paper_second_sim_model,
+    link_cost_matrix,
+)
+from repro.wireless.topology import (
+    udg_adjacency,
+    heterogeneous_adjacency,
+    build_link_digraph,
+    build_node_graph_from_udg,
+)
+from repro.wireless.deployment import (
+    Deployment,
+    sample_deployment,
+    sample_udg_deployment,
+    sample_heterogeneous_deployment,
+)
+from repro.wireless.devices import (
+    DEVICE_CATALOG,
+    DeviceClass,
+    DeviceMix,
+    sample_device_mix,
+)
+from repro.wireless.mobility import GaussianDrift, RandomWaypoint, mobility_trace
+
+__all__ = [
+    "Region",
+    "pairwise_distances",
+    "uniform_points",
+    "PowerModel",
+    "PAPER_FIRST_SIM",
+    "paper_second_sim_model",
+    "link_cost_matrix",
+    "udg_adjacency",
+    "heterogeneous_adjacency",
+    "build_link_digraph",
+    "build_node_graph_from_udg",
+    "Deployment",
+    "sample_deployment",
+    "sample_udg_deployment",
+    "sample_heterogeneous_deployment",
+    "DEVICE_CATALOG",
+    "DeviceClass",
+    "DeviceMix",
+    "sample_device_mix",
+    "GaussianDrift",
+    "RandomWaypoint",
+    "mobility_trace",
+]

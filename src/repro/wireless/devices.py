@@ -1,0 +1,110 @@
+"""Device classes: heterogeneous node types (Section II.B).
+
+"Each node v_i, depending on its type (e.g., laptop, PDA, cell phone),
+is associated with an average cost c_i to forward a data packet." This
+module provides a small catalog of device classes with plausible
+relative relaying costs and battery budgets, and a sampler that draws a
+mixed population — so experiments can study how the mechanism treats a
+realistic device mix (cheap mains-powered laptops undercut battery-sipping
+phones, earn the relay business, and spare the constrained devices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = ["DeviceClass", "DEVICE_CATALOG", "sample_device_mix", "DeviceMix"]
+
+
+@dataclass(frozen=True)
+class DeviceClass:
+    """One kind of participating device.
+
+    ``cost_range`` is the per-packet relaying cost interval (the type the
+    mechanism elicits); ``battery`` the energy budget in the same units
+    (for the lifetime simulations).
+    """
+
+    name: str
+    cost_range: tuple[float, float]
+    battery: float
+
+    def __post_init__(self) -> None:
+        lo, hi = self.cost_range
+        if not 0 <= lo <= hi:
+            raise ValueError(f"invalid cost range {self.cost_range}")
+        if self.battery <= 0:
+            raise ValueError(f"battery must be positive, got {self.battery}")
+
+    def draw_costs(self, count: int, rng) -> np.ndarray:
+        """Sample per-packet relaying costs for this class."""
+        lo, hi = self.cost_range
+        return rng.uniform(lo, hi, size=count)
+
+
+#: Plausible relative magnitudes: a plugged-in laptop relays almost for
+#: free; a phone's radio time is precious.
+DEVICE_CATALOG: dict[str, DeviceClass] = {
+    "laptop": DeviceClass("laptop", cost_range=(0.5, 2.0), battery=2000.0),
+    "pda": DeviceClass("pda", cost_range=(2.0, 6.0), battery=600.0),
+    "phone": DeviceClass("phone", cost_range=(5.0, 12.0), battery=250.0),
+}
+
+
+@dataclass(frozen=True)
+class DeviceMix:
+    """A sampled population: per-node class labels, costs and batteries."""
+
+    classes: tuple[str, ...]
+    costs: np.ndarray
+    batteries: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self.classes)
+
+    def members(self, name: str) -> list[int]:
+        """Node ids belonging to one device class."""
+        return [i for i, c in enumerate(self.classes) if c == name]
+
+
+def sample_device_mix(
+    n: int,
+    proportions: dict[str, float] | None = None,
+    catalog: dict[str, DeviceClass] = DEVICE_CATALOG,
+    seed=None,
+) -> DeviceMix:
+    """Draw a population of ``n`` devices.
+
+    ``proportions`` maps class name -> weight (normalized internally);
+    defaults to an even split over the catalog. Per-node costs come from
+    the class's cost range; batteries are the class constant.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one device, got {n}")
+    if proportions is None:
+        proportions = {name: 1.0 for name in catalog}
+    unknown = set(proportions) - set(catalog)
+    if unknown:
+        raise ValueError(f"unknown device classes: {sorted(unknown)}")
+    names = sorted(proportions)
+    weights = np.array([proportions[name] for name in names], dtype=float)
+    if (weights < 0).any() or weights.sum() <= 0:
+        raise ValueError("proportions must be non-negative and not all zero")
+    weights = weights / weights.sum()
+    rng = as_rng(seed)
+    labels = rng.choice(len(names), size=n, p=weights)
+    classes = tuple(names[int(l)] for l in labels)
+    costs = np.empty(n)
+    batteries = np.empty(n)
+    for idx, name in enumerate(names):
+        mask = labels == idx
+        cls = catalog[name]
+        costs[mask] = cls.draw_costs(int(mask.sum()), rng)
+        batteries[mask] = cls.battery
+    return DeviceMix(classes=classes, costs=costs, batteries=batteries)

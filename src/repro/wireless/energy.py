@@ -1,0 +1,118 @@
+"""Radio energy models (Section III.F/III.G).
+
+The paper's power-attenuation model: the power needed to support a link
+``e = (v_i, v_j)`` is ``alpha + beta * ||v_i v_j||^kappa`` where ``kappa``
+(the path-loss exponent, typically 2..5) is environment-wide while
+``alpha`` (receive/processing overhead) and ``beta`` (transmit gain) may
+differ per node.
+
+Two concrete instantiations reproduce the evaluation:
+
+* first simulation — cost of forwarding from ``v_i`` to ``v_j`` is
+  ``||v_i v_j||^kappa`` (``alpha = 0``, ``beta = 1``), range 300 m;
+* second simulation — ``c1 + c2 * ||v_i v_j||^kappa`` with per-node
+  ``c1 ~ U[300, 500]`` and ``c2 ~ U[10, 50]`` (values that "reflect the
+  actual power cost in one second of a node to send data at 2 Mbps"),
+  ranges per-node ``U[100, 500]`` m.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "PowerModel",
+    "PAPER_FIRST_SIM",
+    "paper_second_sim_model",
+    "link_cost_matrix",
+]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Per-node affine power model ``cost(i, j) = alpha_i + beta_i * d^kappa``.
+
+    ``alpha`` and ``beta`` are either scalars (shared by every node) or
+    length-``n`` arrays. ``kappa`` is shared (paper assumption).
+    """
+
+    alpha: float | np.ndarray
+    beta: float | np.ndarray
+    kappa: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.kappa <= 10:
+            raise ValueError(f"kappa must be in (0, 10], got {self.kappa}")
+        for name in ("alpha", "beta"):
+            val = np.asarray(getattr(self, name), dtype=np.float64)
+            if (val < 0).any():
+                raise ValueError(f"{name} must be non-negative")
+
+    def costs(self, distances: np.ndarray) -> np.ndarray:
+        """Cost matrix for a dense ``(n, n)`` distance matrix.
+
+        Row ``i`` is node ``i``'s cost to transmit to each other node —
+        its Section III.F type vector, before range truncation.
+        """
+        d = np.asarray(distances, dtype=np.float64)
+        alpha = np.asarray(self.alpha, dtype=np.float64)
+        beta = np.asarray(self.beta, dtype=np.float64)
+        if alpha.ndim == 1:
+            alpha = alpha[:, None]
+        if beta.ndim == 1:
+            beta = beta[:, None]
+        return alpha + beta * d**self.kappa
+
+    def with_kappa(self, kappa: float) -> "PowerModel":
+        """Copy of the model with a different path-loss exponent."""
+        return PowerModel(self.alpha, self.beta, kappa)
+
+
+#: First simulation of Section III.G: cost = d^kappa (default kappa = 2).
+PAPER_FIRST_SIM = PowerModel(alpha=0.0, beta=1.0, kappa=2.0)
+
+
+def paper_second_sim_model(
+    n: int,
+    kappa: float = 2.0,
+    c1_range: tuple[float, float] = (300.0, 500.0),
+    c2_range: tuple[float, float] = (10.0, 50.0),
+    seed=None,
+) -> PowerModel:
+    """Per-node model of the second simulation: ``c1 + c2 * d^kappa``.
+
+    ``c1`` and ``c2`` are drawn uniformly per node from the paper's ranges
+    (overridable for sensitivity studies).
+    """
+    rng = as_rng(seed)
+    lo1, hi1 = c1_range
+    lo2, hi2 = c2_range
+    if lo1 > hi1 or lo2 > hi2 or lo1 < 0 or lo2 < 0:
+        raise ValueError(
+            f"invalid coefficient ranges c1={c1_range}, c2={c2_range}"
+        )
+    c1 = rng.uniform(lo1, hi1, size=n)
+    c2 = rng.uniform(lo2, hi2, size=n)
+    return PowerModel(alpha=c1, beta=c2, kappa=kappa)
+
+
+def link_cost_matrix(
+    distances: np.ndarray,
+    model: PowerModel,
+    adjacency: np.ndarray,
+) -> np.ndarray:
+    """Type matrix ``C`` with ``C[i, j] = cost(i, j)`` on links, ``inf`` off.
+
+    ``adjacency`` is the boolean reachability matrix (``adjacency[i, j]``
+    true when ``j`` is within ``i``'s transmission range). The diagonal is
+    forced to 0, matching the paper's ``c_{i,i} = 0`` convention.
+    """
+    adjacency = np.asarray(adjacency, dtype=bool)
+    costs = model.costs(distances)
+    out = np.where(adjacency, costs, np.inf)
+    np.fill_diagonal(out, 0.0)
+    return out

@@ -1,0 +1,79 @@
+"""Planar geometry for wireless deployments.
+
+The evaluation places nodes uniformly in a ``2000m x 2000m`` region
+(Section III.G, first simulation); :class:`Region` generalizes to any
+axis-aligned rectangle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = ["Region", "uniform_points", "pairwise_distances", "PAPER_REGION"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """Axis-aligned rectangular deployment region, in metres."""
+
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(
+                f"region dimensions must be positive, got "
+                f"{self.width} x {self.height}"
+            )
+
+    @property
+    def area(self) -> float:
+        """Region area in square metres."""
+        return self.width * self.height
+
+    @property
+    def diameter(self) -> float:
+        """Length of the region diagonal (an upper bound on any link)."""
+        return float(np.hypot(self.width, self.height))
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask of points inside the region (inclusive borders)."""
+        points = np.asarray(points, dtype=np.float64)
+        return (
+            (points[:, 0] >= 0)
+            & (points[:, 0] <= self.width)
+            & (points[:, 1] >= 0)
+            & (points[:, 1] <= self.height)
+        )
+
+
+#: The region used by both simulations in Section III.G.
+PAPER_REGION = Region(2000.0, 2000.0)
+
+
+def uniform_points(region: Region, n: int, seed=None) -> np.ndarray:
+    """``(n, 2)`` array of points uniform in ``region``."""
+    if n < 0:
+        raise ValueError(f"number of points must be non-negative, got {n}")
+    rng = as_rng(seed)
+    pts = rng.random((n, 2))
+    pts[:, 0] *= region.width
+    pts[:, 1] *= region.height
+    return pts
+
+
+def pairwise_distances(points: np.ndarray) -> np.ndarray:
+    """Dense ``(n, n)`` Euclidean distance matrix (vectorized).
+
+    For the evaluation sizes (n <= 500) the dense matrix is small
+    (< 2 MB) and a single broadcasted expression beats any loop.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError(f"points must have shape (n, 2), got {points.shape}")
+    diff = points[:, None, :] - points[None, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))

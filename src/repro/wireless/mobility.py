@@ -1,0 +1,115 @@
+"""Node mobility models (extension; the paper assumes a static network).
+
+Section III.C's convergence argument requires "the network is static";
+any real ad hoc network drifts. This module provides two standard
+mobility models so the analysis layer can quantify how much of the
+pricing state survives between topology epochs (see
+:mod:`repro.analysis.churn`):
+
+* :class:`GaussianDrift` — each node takes an independent Gaussian step
+  per epoch (Brownian-style local mobility; students walking between
+  adjacent buildings);
+* :class:`RandomWaypoint` — each node moves toward a private waypoint at
+  a fixed speed, drawing a fresh waypoint on arrival (the classic ad hoc
+  mobility benchmark model).
+
+Both reflect positions back into the deployment region so the node
+density stays comparable across epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+from repro.wireless.geometry import Region
+
+__all__ = ["GaussianDrift", "RandomWaypoint", "mobility_trace"]
+
+
+def _reflect(points: np.ndarray, region: Region) -> np.ndarray:
+    """Reflect coordinates back into the region (billiard boundary)."""
+    out = points.copy()
+    for dim, size in ((0, region.width), (1, region.height)):
+        coord = np.mod(out[:, dim], 2 * size)
+        coord = np.where(coord > size, 2 * size - coord, coord)
+        out[:, dim] = coord
+    return out
+
+
+@dataclass
+class GaussianDrift:
+    """Independent Gaussian steps with standard deviation ``sigma`` metres."""
+
+    region: Region
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+
+    def step(self, points: np.ndarray, rng) -> np.ndarray:
+        """Advance every node by one mobility epoch; returns new positions."""
+        rng = as_rng(rng)
+        moved = points + rng.normal(0.0, self.sigma, size=points.shape)
+        return _reflect(moved, self.region)
+
+
+@dataclass
+class RandomWaypoint:
+    """Move toward private waypoints at ``speed`` metres per epoch.
+
+    State (the current waypoints) lives on the instance, so one model
+    object drives one trace.
+    """
+
+    region: Region
+    speed: float
+    _waypoints: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError(f"speed must be positive, got {self.speed}")
+
+    def _ensure_waypoints(self, points: np.ndarray, rng) -> None:
+        if self._waypoints is None or self._waypoints.shape != points.shape:
+            self._waypoints = self._draw(points.shape[0], rng)
+
+    def _draw(self, n: int, rng) -> np.ndarray:
+        pts = rng.random((n, 2))
+        pts[:, 0] *= self.region.width
+        pts[:, 1] *= self.region.height
+        return pts
+
+    def step(self, points: np.ndarray, rng) -> np.ndarray:
+        """Advance every node by one mobility epoch; returns new positions."""
+        rng = as_rng(rng)
+        self._ensure_waypoints(points, rng)
+        delta = self._waypoints - points
+        dist = np.linalg.norm(delta, axis=1)
+        arrived = dist <= self.speed
+        moved = points.copy()
+        # nodes still travelling take a full-speed step toward the waypoint
+        travelling = ~arrived & (dist > 0)
+        moved[travelling] += (
+            delta[travelling] / dist[travelling, None] * self.speed
+        )
+        # arrivals land exactly and draw a fresh waypoint
+        moved[arrived] = self._waypoints[arrived]
+        if arrived.any():
+            self._waypoints[arrived] = self._draw(int(arrived.sum()), rng)
+        return moved
+
+
+def mobility_trace(model, points: np.ndarray, epochs: int, seed=None):
+    """Yield ``epochs + 1`` position arrays: the initial one, then steps."""
+    if epochs < 0:
+        raise ValueError(f"epochs must be non-negative, got {epochs}")
+    rng = as_rng(seed)
+    current = np.asarray(points, dtype=np.float64).copy()
+    yield current.copy()
+    for _ in range(epochs):
+        current = model.step(current, rng)
+        yield current.copy()

@@ -1,0 +1,79 @@
+"""Topology construction from deployments.
+
+Two reachability structures appear in the evaluation:
+
+* **UDG** (unit-disk graph, first simulation): every node has the same
+  transmission range, so links are symmetric and the topology is an
+  undirected disk graph.
+* **Heterogeneous ranges** (second simulation, the paper's "random
+  graph"): each node draws its own range, so ``i`` may reach ``j``
+  while ``j`` cannot reach ``i`` — a genuinely directed topology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.link_graph import LinkWeightedDigraph
+from repro.graph.node_graph import NodeWeightedGraph
+from repro.wireless.energy import PowerModel, link_cost_matrix
+from repro.wireless.geometry import pairwise_distances
+
+__all__ = [
+    "udg_adjacency",
+    "heterogeneous_adjacency",
+    "build_link_digraph",
+    "build_node_graph_from_udg",
+]
+
+
+def udg_adjacency(distances: np.ndarray, range_m: float) -> np.ndarray:
+    """Boolean UDG adjacency: ``d(i, j) <= range`` and ``i != j``."""
+    if range_m <= 0:
+        raise ValueError(f"transmission range must be positive, got {range_m}")
+    adj = np.asarray(distances) <= range_m
+    np.fill_diagonal(adj, False)
+    return adj
+
+
+def heterogeneous_adjacency(distances: np.ndarray, ranges: np.ndarray) -> np.ndarray:
+    """Directed adjacency: ``adj[i, j]`` iff ``d(i, j) <= ranges[i]``.
+
+    Asymmetric whenever two nodes have different ranges and their distance
+    falls in between.
+    """
+    ranges = np.asarray(ranges, dtype=np.float64)
+    if (ranges <= 0).any():
+        raise ValueError("all transmission ranges must be positive")
+    adj = np.asarray(distances) <= ranges[:, None]
+    np.fill_diagonal(adj, False)
+    return adj
+
+
+def build_link_digraph(
+    points: np.ndarray,
+    model: PowerModel,
+    adjacency: np.ndarray,
+) -> LinkWeightedDigraph:
+    """Assemble the Section III.F digraph from geometry + power model."""
+    dist = pairwise_distances(points)
+    matrix = link_cost_matrix(dist, model, adjacency)
+    return LinkWeightedDigraph.from_cost_matrix(matrix)
+
+
+def build_node_graph_from_udg(
+    points: np.ndarray,
+    range_m: float,
+    node_costs: np.ndarray,
+) -> NodeWeightedGraph:
+    """Node-weighted UDG: same topology, scalar per-node relaying costs.
+
+    Used by the Sections II–III.E model on wireless deployments (each node
+    declares one scalar regardless of the receiving neighbour).
+    """
+    dist = pairwise_distances(points)
+    adj = udg_adjacency(dist, range_m)
+    src, dst = np.nonzero(np.triu(adj, k=1))
+    return NodeWeightedGraph(
+        len(points), zip(src.tolist(), dst.tolist()), node_costs
+    )

@@ -1,0 +1,105 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+
+from repro.graph import generators as gen
+from repro.graph.link_graph import LinkWeightedDigraph
+from repro.graph.node_graph import NodeWeightedGraph
+
+# One shared profile: property tests run fast in CI but still explore.
+settings.register_profile(
+    "repro",
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile("repro")
+
+
+# ---------------------------------------------------------------------------
+# Fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_graph() -> NodeWeightedGraph:
+    """A fixed 6-node biconnected graph with hand-checkable numbers.
+
+        0 -- 1 -- 2
+        |         |
+        5 -- 4 -- 3          costs: [0, 1, 2, 3, 4, 5]
+    """
+    edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]
+    return NodeWeightedGraph(6, edges, [0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+
+
+@pytest.fixture
+def random_graph() -> NodeWeightedGraph:
+    return gen.random_biconnected_graph(24, extra_edge_prob=0.2, seed=7)
+
+
+@pytest.fixture
+def random_digraph() -> LinkWeightedDigraph:
+    return gen.random_robust_digraph(24, extra_arc_prob=0.2, seed=7)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def biconnected_graphs(
+    draw,
+    min_nodes: int = 4,
+    max_nodes: int = 24,
+    cost_low: float = 0.5,
+    cost_high: float = 20.0,
+):
+    """Random biconnected node-weighted graphs with continuous costs."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    p = draw(st.floats(0.0, 0.6))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return gen.random_biconnected_graph(
+        n, extra_edge_prob=p, cost_low=cost_low, cost_high=cost_high, seed=seed
+    )
+
+
+@st.composite
+def robust_digraphs(
+    draw,
+    min_nodes: int = 4,
+    max_nodes: int = 20,
+):
+    """Random single-failure-robust link-weighted digraphs."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    p = draw(st.floats(0.0, 0.5))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return gen.random_robust_digraph(n, extra_arc_prob=p, seed=seed)
+
+
+@st.composite
+def graph_with_endpoints(draw, **kwargs):
+    """(graph, source, target) with distinct random endpoints."""
+    g = draw(biconnected_graphs(**kwargs))
+    source = draw(st.integers(0, g.n - 1))
+    target = draw(st.integers(0, g.n - 1).filter(lambda t: t != source))
+    return g, source, target
+
+
+@st.composite
+def digraph_with_endpoints(draw, **kwargs):
+    g = draw(robust_digraphs(**kwargs))
+    source = draw(st.integers(0, g.n - 1))
+    target = draw(st.integers(0, g.n - 1).filter(lambda t: t != source))
+    return g, source, target

@@ -1,0 +1,222 @@
+"""Tests for the Section III.H accounting substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.accounting.ledger import (
+    AccessPointLedger,
+    RepudiationError,
+    Signature,
+    UnacknowledgedError,
+)
+from repro.accounting.sessions import (
+    Session,
+    bill_session,
+    uniform_workload,
+)
+from repro.core.mechanism import UnicastPayment
+from repro.core.vcg_unicast import vcg_unicast_payments
+from repro.graph import generators as gen
+
+
+def priced(source=3, payments=None):
+    return UnicastPayment(
+        source, 0, (source, 2, 1, 0), 3.0,
+        payments if payments is not None else {2: 2.5, 1: 1.5},
+    )
+
+
+class TestSessions:
+    def test_session_validation(self):
+        with pytest.raises(ValueError):
+            Session(source=1, packets=0)
+
+    def test_bill_scales_by_packets(self):
+        b = bill_session(priced(), Session(source=3, packets=4))
+        assert b.charge == pytest.approx(16.0)
+        assert b.credits == pytest.approx({2: 10.0, 1: 6.0})
+        assert b.is_balanced()
+
+    def test_bill_source_mismatch(self):
+        with pytest.raises(ValueError, match="source"):
+            bill_session(priced(source=3), Session(source=4, packets=1))
+
+    def test_bill_rejects_monopoly(self):
+        with pytest.raises(ValueError, match="monopolized"):
+            bill_session(
+                priced(payments={2: float("inf")}), Session(source=3, packets=1)
+            )
+
+    def test_uniform_workload_skips_ap(self):
+        sessions = list(uniform_workload(10, 200, root=0, seed=1))
+        assert len(sessions) == 200
+        assert all(s.source != 0 for s in sessions)
+        assert all(1 <= s.packets <= 20 for s in sessions)
+
+    def test_uniform_workload_validation(self):
+        with pytest.raises(ValueError):
+            list(uniform_workload(1, 5))
+        with pytest.raises(ValueError):
+            list(uniform_workload(5, 5, packet_range=(3, 2)))
+
+
+class TestLedger:
+    def _settled(self, ledger=None):
+        ledger = ledger or AccessPointLedger(5)
+        session = Session(source=3, packets=2)
+        billing = bill_session(priced(), session)
+        init = ledger.sign(3, session)
+        ack = ledger.sign(0, session)
+        return ledger, ledger.settle(billing, init, ack)
+
+    def test_balances_move_correctly(self):
+        ledger, record = self._settled()
+        assert ledger.balance(3) == pytest.approx(-8.0)
+        assert ledger.balance(2) == pytest.approx(5.0)
+        assert ledger.balance(1) == pytest.approx(3.0)
+        assert record.sequence == 0
+
+    def test_conservation(self):
+        ledger, _ = self._settled()
+        assert ledger.total_balance() == pytest.approx(0.0)
+
+    def test_repudiation_rejected(self):
+        ledger = AccessPointLedger(5)
+        session = Session(source=3, packets=2)
+        billing = bill_session(priced(), session)
+        ack = ledger.sign(0, session)
+        # no signature at all
+        with pytest.raises(RepudiationError):
+            ledger.settle(billing, None, ack)
+        # signature by the wrong principal
+        wrong = ledger.sign(2, session)
+        with pytest.raises(RepudiationError):
+            ledger.settle(billing, wrong, ack)
+        # forged object with identical fields does not verify
+        forged = Signature(principal=3, payload=session)
+        with pytest.raises(RepudiationError):
+            ledger.settle(billing, forged, ack)
+        assert ledger.total_balance() == 0.0  # nothing moved
+
+    def test_free_riding_rejected(self):
+        """A relay cannot get credited for piggybacked traffic that never
+        produced a destination acknowledgment."""
+        ledger = AccessPointLedger(5)
+        session = Session(source=3, packets=2)
+        billing = bill_session(priced(), session)
+        init = ledger.sign(3, session)
+        with pytest.raises(UnacknowledgedError):
+            ledger.settle(billing, init, None)
+        # ack signed by a non-AP principal is no ack
+        bogus_ack = ledger.sign(3, session)
+        with pytest.raises(UnacknowledgedError):
+            ledger.settle(billing, init, bogus_ack)
+        assert ledger.balance(2) == 0.0
+
+    def test_signature_bound_to_session(self):
+        ledger = AccessPointLedger(5)
+        s1 = Session(source=3, packets=2)
+        s2 = Session(source=3, packets=3)
+        init_for_s2 = ledger.sign(3, s2)
+        ack = ledger.sign(0, s1)
+        with pytest.raises(RepudiationError):
+            ledger.settle(bill_session(priced(), s1), init_for_s2, ack)
+
+    def test_counters(self):
+        ledger, _ = self._settled()
+        assert ledger.accounts[3].sessions_initiated == 1
+        assert ledger.accounts[2].sessions_relayed == 1
+        assert "initiated" in ledger.accounts[3].describe()
+
+    def test_unbalanced_billing_rejected(self):
+        from repro.accounting.sessions import SessionBilling
+
+        ledger = AccessPointLedger(5)
+        session = Session(source=3, packets=1)
+        bad = SessionBilling(
+            session=session, route=(3, 2, 0), charge=10.0, credits={2: 1.0}
+        )
+        with pytest.raises(ValueError, match="unbalanced"):
+            ledger.settle(bad, ledger.sign(3, session), ledger.sign(0, session))
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            AccessPointLedger(0)
+        with pytest.raises(ValueError):
+            AccessPointLedger(3, ap=5)
+        with pytest.raises(ValueError):
+            AccessPointLedger(3).sign(7, "x")
+
+
+class TestEndToEndEconomy:
+    @given(st.integers(0, 10**6))
+    def test_many_sessions_conserve_money(self, seed):
+        g = gen.random_biconnected_graph(12, seed=seed % 100)
+        ledger = AccessPointLedger(g.n)
+        payments = {}
+        for session in uniform_workload(g.n, 30, seed=seed):
+            if session.source not in payments:
+                payments[session.source] = vcg_unicast_payments(
+                    g, session.source, 0, on_monopoly="inf"
+                )
+            p = payments[session.source]
+            if any(not np.isfinite(v) for v in p.payments.values()):
+                continue
+            billing = bill_session(p, session)
+            ledger.settle(
+                billing,
+                ledger.sign(session.source, session),
+                ledger.sign(0, session),
+            )
+        assert ledger.total_balance() == pytest.approx(0.0, abs=1e-6)
+
+    def test_relays_earn_sources_pay(self):
+        g = gen.random_biconnected_graph(15, seed=4)
+        ledger = AccessPointLedger(g.n)
+        p = vcg_unicast_payments(g, 8, 0)
+        for _ in range(5):
+            s = Session(source=8, packets=3)
+            ledger.settle(
+                bill_session(p, s), ledger.sign(8, s), ledger.sign(0, s)
+            )
+        assert ledger.balance(8) < 0
+        for k in p.relays:
+            assert ledger.balance(k) > 0
+        top = ledger.top_earners(1)[0]
+        assert top.node in p.relays
+
+
+class TestHotspotWorkload:
+    def test_hotspots_dominate(self):
+        from collections import Counter
+
+        from repro.accounting.sessions import hotspot_workload
+
+        sessions = list(
+            hotspot_workload(20, 1000, hotspot_fraction=0.2, hotspot_weight=0.8, seed=3)
+        )
+        counts = Counter(s.source for s in sessions)
+        top4 = sum(c for _, c in counts.most_common(4))
+        assert top4 > 0.6 * len(sessions)
+        assert all(s.source != 0 for s in sessions)
+
+    def test_validation(self):
+        from repro.accounting.sessions import hotspot_workload
+
+        with pytest.raises(ValueError):
+            list(hotspot_workload(1, 5))
+        with pytest.raises(ValueError):
+            list(hotspot_workload(10, 5, hotspot_fraction=0.0))
+        with pytest.raises(ValueError):
+            list(hotspot_workload(10, 5, hotspot_weight=1.5))
+        with pytest.raises(ValueError):
+            list(hotspot_workload(10, 5, packet_range=(5, 2)))
+
+    def test_determinism(self):
+        from repro.accounting.sessions import hotspot_workload
+
+        a = [s.source for s in hotspot_workload(15, 50, seed=7)]
+        b = [s.source for s in hotspot_workload(15, 50, seed=7)]
+        assert a == b

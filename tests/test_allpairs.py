@@ -1,0 +1,126 @@
+"""Tests for all-pairs traffic and the network economy aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allpairs import (
+    NetworkEconomy,
+    TrafficMatrix,
+    network_economy,
+    pairwise_vcg_payments,
+)
+from repro.core.vcg_unicast import vcg_unicast_payments
+from repro.errors import InvalidGraphError
+from repro.graph import generators as gen
+
+from conftest import biconnected_graphs
+
+
+class TestTrafficMatrix:
+    def test_uniform(self):
+        t = TrafficMatrix.uniform(4, intensity=2.0)
+        assert t.matrix.sum() == pytest.approx(2.0 * 12)
+        assert t.matrix[1, 1] == 0.0
+
+    def test_to_access_point(self):
+        t = TrafficMatrix.to_access_point(4, root=0, intensity=3.0)
+        assert t.matrix[:, 0].sum() == pytest.approx(9.0)
+        assert t.matrix[0].sum() == 0.0
+
+    def test_from_triples_accumulates(self):
+        t = TrafficMatrix.from_triples(3, [(0, 1, 1.0), (0, 1, 2.0)])
+        assert t.matrix[0, 1] == 3.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidGraphError):
+            TrafficMatrix(np.ones((2, 3)))
+        with pytest.raises(InvalidGraphError):
+            TrafficMatrix(np.array([[0.0, -1.0], [0.0, 0.0]]))
+        with pytest.raises(InvalidGraphError):
+            TrafficMatrix(np.eye(2))
+
+    def test_pairs_iteration(self):
+        t = TrafficMatrix.from_triples(3, [(0, 2, 5.0)])
+        assert list(t.pairs()) == [(0, 2, 5.0)]
+
+
+class TestPairwisePayments:
+    def test_matches_single_calls(self, random_graph):
+        pairs = [(3, 0), (0, 3), (5, 9)]
+        out = pairwise_vcg_payments(random_graph, pairs)
+        for i, j in pairs:
+            ref = vcg_unicast_payments(random_graph, i, j, on_monopoly="inf")
+            assert out[(i, j)].path == ref.path
+            assert out[(i, j)].total_payment == pytest.approx(ref.total_payment)
+
+    def test_symmetric_costs_in_node_model(self, random_graph):
+        """Internal-node path cost is direction symmetric, so the LCP cost
+        and total payment agree for both orientations."""
+        out = pairwise_vcg_payments(random_graph, [(2, 8), (8, 2)])
+        assert out[(2, 8)].lcp_cost == pytest.approx(out[(8, 2)].lcp_cost)
+        assert out[(2, 8)].total_payment == pytest.approx(
+            out[(8, 2)].total_payment
+        )
+
+
+class TestNetworkEconomy:
+    def test_books_balance(self, random_graph):
+        traffic = TrafficMatrix.to_access_point(random_graph.n, intensity=2.0)
+        econ = network_economy(random_graph, traffic)
+        total_income = sum(e.income for e in econ.nodes)
+        assert total_income == pytest.approx(econ.total_payment)
+        assert econ.overpayment_ratio >= 1.0
+
+    def test_relays_profit(self, random_graph):
+        traffic = TrafficMatrix.to_access_point(random_graph.n)
+        econ = network_economy(random_graph, traffic)
+        for e in econ.nodes:
+            assert e.profit >= -1e-9  # IR, aggregated
+            if e.packets_relayed > 0:
+                assert e.income > 0
+
+    def test_size_mismatch(self, random_graph):
+        with pytest.raises(InvalidGraphError, match="nodes"):
+            network_economy(random_graph, TrafficMatrix.uniform(3))
+
+    def test_blocked_pairs_reported(self):
+        from repro.graph.node_graph import NodeWeightedGraph
+
+        g = NodeWeightedGraph(3, [(0, 1), (1, 2)], [1.0, 2.0, 1.0])
+        traffic = TrafficMatrix.from_triples(3, [(0, 2, 1.0), (0, 1, 1.0)])
+        econ = network_economy(g, traffic)
+        assert (0, 2) in econ.blocked_pairs  # node 1 is a monopoly
+        assert econ.node(0).spend == 0.0  # 0->1 is direct, 0->2 blocked
+
+    def test_gini_bounds(self, random_graph):
+        traffic = TrafficMatrix.uniform(random_graph.n, intensity=1.0)
+        econ = network_economy(random_graph, traffic)
+        assert 0.0 <= econ.gini_income() <= 1.0
+
+    def test_gini_zero_when_no_income(self):
+        g = gen.cycle_graph([1.0, 1.0, 1.0])
+        econ = network_economy(g, TrafficMatrix(np.zeros((3, 3))))
+        assert econ.gini_income() == 0.0
+
+    @given(biconnected_graphs(min_nodes=5, max_nodes=12))
+    @settings(max_examples=10)
+    def test_linear_in_intensity(self, g):
+        """Doubling every intensity doubles every monetary quantity."""
+        t1 = TrafficMatrix.to_access_point(g.n, intensity=1.0)
+        t2 = TrafficMatrix.to_access_point(g.n, intensity=2.0)
+        pay = pairwise_vcg_payments(g, ((i, j) for i, j, _ in t1.pairs()))
+        e1 = network_economy(g, t1, payments=pay)
+        e2 = network_economy(g, t2, payments=pay)
+        assert e2.total_payment == pytest.approx(2 * e1.total_payment)
+        assert e2.total_energy == pytest.approx(2 * e1.total_energy)
+
+    def test_precomputed_payments_reused(self, random_graph):
+        traffic = TrafficMatrix.to_access_point(random_graph.n)
+        pay = pairwise_vcg_payments(
+            random_graph, ((i, j) for i, j, _ in traffic.pairs())
+        )
+        a = network_economy(random_graph, traffic, payments=pay)
+        b = network_economy(random_graph, traffic)
+        assert a.total_payment == pytest.approx(b.total_payment)

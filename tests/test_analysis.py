@@ -1,0 +1,172 @@
+"""Tests for the experiment harness, figure builders and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    run_overpayment_instance,
+    sweep_overpayment,
+)
+from repro.analysis.figures import (
+    ALL_FIGURES,
+    PAPER_N_VALUES,
+    fig3a,
+    fig3d,
+)
+from repro.analysis.reporting import (
+    render_ascii,
+    render_experiments_section,
+    render_markdown,
+)
+from repro.analysis.stats import aggregate
+
+
+class TestStats:
+    def test_aggregate_basic(self):
+        s = aggregate([1.0, 2.0, 3.0])
+        assert s.n == 3 and s.mean == 2.0
+        assert s.min == 1.0 and s.max == 3.0
+
+    def test_aggregate_drops_nan(self):
+        s = aggregate([1.0, float("nan"), 3.0])
+        assert s.n == 2 and s.mean == 2.0
+
+    def test_aggregate_keeps_inf(self):
+        s = aggregate([1.0, float("inf")])
+        assert s.max == float("inf")
+
+    def test_empty(self):
+        s = aggregate([])
+        assert s.n == 0 and np.isnan(s.mean)
+
+    def test_ci_and_describe(self):
+        s = aggregate([1.0, 2.0, 3.0, 4.0])
+        lo, hi = s.ci95()
+        assert lo < s.mean < hi
+        assert "mean" in s.describe()
+
+    def test_single_value_std(self):
+        assert aggregate([5.0]).std == 0.0
+
+
+class TestInstanceRunner:
+    def test_udg_instance(self):
+        m = run_overpayment_instance("udg", 60, 2.0, seed=1)
+        assert m.kind == "udg" and m.n == 60
+        assert m.ior >= 1.0
+        assert m.tor >= 1.0
+        assert m.worst >= m.ior
+
+    def test_heterogeneous_instance(self):
+        m = run_overpayment_instance("heterogeneous", 80, 2.0, seed=2)
+        assert m.summary.n_sources > 0
+
+    def test_hop_collection(self):
+        m = run_overpayment_instance("udg", 60, 2.0, seed=1, collect_hops=True)
+        assert m.hop_buckets
+        assert all(b.count > 0 for b in m.hop_buckets)
+
+    def test_determinism(self):
+        a = run_overpayment_instance("udg", 50, 2.0, seed=3)
+        b = run_overpayment_instance("udg", 50, 2.0, seed=3)
+        assert a.ior == b.ior and a.tor == b.tor
+
+
+class TestSweep:
+    def test_structure(self):
+        sweep = sweep_overpayment("t", "udg", [40, 60], 2.0, instances=2)
+        assert sweep.n_values == [40, 60]
+        assert len(sweep.points[0].instances) == 2
+        series = sweep.series("ior", "mean")
+        assert len(series) == 2 and all(v >= 1.0 for v in series)
+
+    def test_instance_validation(self):
+        with pytest.raises(ValueError):
+            sweep_overpayment("t", "udg", [40], 2.0, instances=0)
+
+    def test_seed_isolation(self):
+        """Instance i's seed is independent of how many instances run."""
+        a = sweep_overpayment("t", "udg", [40], 2.0, instances=1, base_seed=9)
+        b = sweep_overpayment("t", "udg", [40], 2.0, instances=3, base_seed=9)
+        assert a.points[0].instances[0].seed == b.points[0].instances[0].seed
+
+    def test_merged_hop_buckets(self):
+        sweep = sweep_overpayment(
+            "t", "udg", [50], 2.0, instances=2, collect_hops=True
+        )
+        merged = sweep.points[0].merged_hop_buckets()
+        assert merged
+        total = sum(b.count for b in merged)
+        per_instance = sum(
+            b.count for m in sweep.points[0].instances for b in m.hop_buckets
+        )
+        assert total == per_instance
+
+
+class TestFigures:
+    def test_registry_complete(self):
+        assert set(ALL_FIGURES) == {
+            "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f"
+        }
+        assert PAPER_N_VALUES == tuple(range(100, 501, 50))
+
+    def test_fig3a_small(self):
+        s = fig3a(n_values=[40, 60], instances=2, seed=1)
+        assert s.x == (40, 60)
+        assert set(s.series) == {"IOR", "TOR"}
+        # the paper's headline: the two curves nearly coincide
+        for a, b in zip(s.series["IOR"], s.series["TOR"]):
+            assert a == pytest.approx(b, rel=0.35)
+
+    def test_fig3d_small(self):
+        s = fig3d(n=60, instances=2, seed=1)
+        assert s.x_name == "hops"
+        assert set(s.series) == {"avg ratio", "max ratio", "sources"}
+        for mean, mx in zip(s.series["avg ratio"], s.series["max ratio"]):
+            assert mx >= mean - 1e-9
+
+    def test_render_contains_numbers(self):
+        s = fig3a(n_values=[40], instances=1, seed=1)
+        text = render_ascii(s)
+        assert "fig3a" in text and "nodes" in text
+
+
+class TestReporting:
+    def test_markdown_block(self):
+        s = fig3a(n_values=[40], instances=1, seed=1)
+        md = render_markdown(s)
+        assert md.startswith("### fig3a")
+        assert "| nodes |" in md
+
+    def test_section_concatenation(self):
+        s = fig3a(n_values=[40], instances=1, seed=1)
+        out = render_experiments_section([s], header="## Results")
+        assert out.startswith("## Results")
+        assert out.endswith("\n")
+
+
+class TestRangeSensitivity:
+    def test_sweep_structure(self):
+        from repro.analysis.sensitivity import range_sensitivity
+
+        points = range_sensitivity([300.0, 450.0], n=60, instances=2)
+        assert [p.range_m for p in points] == [300.0, 450.0]
+        for p in points:
+            assert p.ior.n == 2
+            assert p.ior.mean >= 1.0
+            assert 0.0 <= p.monopoly_fraction.mean <= 1.0
+            assert "range" in p.describe()
+
+    def test_density_grows_with_range(self):
+        from repro.analysis.sensitivity import range_sensitivity
+
+        points = range_sensitivity([250.0, 500.0], n=60, instances=2)
+        assert points[1].mean_degree.mean > points[0].mean_degree.mean
+
+    def test_instance_validation(self):
+        from repro.analysis.sensitivity import range_sensitivity
+
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            range_sensitivity([300.0], instances=0)

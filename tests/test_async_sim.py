@@ -1,0 +1,142 @@
+"""The protocols under asynchronous (randomly interleaved) delivery.
+
+The stage-1/stage-2 computations are min-based fixed points, so the
+converged state must be schedule-independent. These tests run the same
+protocol objects under many random schedules and diff against the
+synchronous / centralized results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.vcg_unicast import vcg_unicast_payments
+from repro.distributed.adversary import LinkHiderSptNode
+from repro.distributed.async_sim import AsyncSimulator
+from repro.distributed.payment_protocol import PaymentNode
+from repro.distributed.spt_protocol import SptNode
+from repro.errors import ProtocolError
+from repro.graph import generators as gen
+from repro.graph.dijkstra import node_weighted_spt
+
+
+def run_async_spt(g, root=0, seed=0, processes=None, max_latency=3):
+    # A challenge round trip takes up to 2 * max_latency time units plus
+    # processing; give the timer comfortable slack.
+    patience = 3 * max_latency + 4
+    procs = []
+    for i in range(g.n):
+        if processes and i in processes:
+            procs.append(processes[i])
+        else:
+            procs.append(
+                SptNode(
+                    i,
+                    float(g.costs[i]),
+                    is_root=(i == root),
+                    challenge_patience=patience,
+                )
+            )
+    sim = AsyncSimulator.from_graph(g, procs, seed=seed, max_latency=max_latency)
+    stats = sim.run()
+    return procs, stats
+
+
+def run_async_two_stage(g, root=0, seed=0):
+    spt_procs, _ = run_async_spt(g, root=root, seed=seed)
+    procs = []
+    for i, sp in enumerate(spt_procs):
+        relays = tuple(v for v in sp.route if v != root)
+        relay_costs = sp.route_costs[: len(relays)]
+        dist = 0.0 if i == root else float(sp.dist)
+        procs.append(
+            PaymentNode(
+                i, float(g.costs[i]), dist, relays, relay_costs,
+                is_root=(i == root),
+            )
+        )
+    sim = AsyncSimulator.from_graph(g, procs, seed=seed + 1)
+    stats = sim.run()
+    return procs, stats
+
+
+class TestAsyncSpt:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_stage1_schedule_independent(self, seed):
+        g = gen.random_biconnected_graph(18, extra_edge_prob=0.2, seed=3)
+        procs, stats = run_async_spt(g, seed=seed)
+        assert stats.converged
+        oracle = node_weighted_spt(g, 0, backend="python")
+        for i in range(1, g.n):
+            assert procs[i].dist == pytest.approx(float(oracle.dist[i]))
+
+    def test_no_false_flags_async(self):
+        for seed in range(5):
+            g = gen.random_biconnected_graph(14, extra_edge_prob=0.25, seed=seed)
+            _, stats = run_async_spt(g, seed=seed * 7)
+            assert not stats.flags, (seed, stats.flags[:2])
+
+    def test_link_hider_still_caught_async(self):
+        g, src, ap = gen.fig2_example()
+        hider = LinkHiderSptNode(src, float(g.costs[src]), hidden_neighbor=2)
+        _, stats = run_async_spt(g, root=ap, seed=11, processes={src: hider})
+        assert any(f.suspect == src for f in stats.flags)
+
+    def test_high_latency_still_converges(self):
+        g = gen.random_biconnected_graph(12, seed=9)
+        procs, stats = run_async_spt(g, seed=1, max_latency=10)
+        assert stats.converged
+        oracle = node_weighted_spt(g, 0, backend="python")
+        for i in range(1, g.n):
+            assert procs[i].dist == pytest.approx(float(oracle.dist[i]))
+
+
+class TestAsyncPayments:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_stage2_matches_centralized(self, seed):
+        g = gen.random_biconnected_graph(14, extra_edge_prob=0.25, seed=5)
+        procs, stats = run_async_two_stage(g, seed=seed)
+        assert stats.converged
+        for i in range(1, g.n):
+            cent = vcg_unicast_payments(g, i, 0, method="naive", on_monopoly="inf")
+            for k in cent.relays:
+                got = procs[i].prices.get(k, np.inf)
+                assert got == pytest.approx(cent.payment(k), abs=1e-7), (
+                    seed, i, k,
+                )
+
+    def test_two_seeds_same_fixed_point(self):
+        g = gen.random_biconnected_graph(12, seed=6)
+        a, _ = run_async_two_stage(g, seed=100)
+        b, _ = run_async_two_stage(g, seed=200)
+        for pa, pb in zip(a, b):
+            assert pa.prices.keys() == pb.prices.keys()
+            for k in pa.prices:
+                assert pa.prices[k] == pytest.approx(pb.prices[k], abs=1e-9)
+
+
+class TestEngine:
+    def test_determinism_per_seed(self):
+        g = gen.random_biconnected_graph(10, seed=2)
+        a, sa = run_async_spt(g, seed=42)
+        b, sb = run_async_spt(g, seed=42)
+        assert sa.deliveries == sb.deliveries
+        for pa, pb in zip(a, b):
+            assert pa.dist == pb.dist
+
+    def test_validation(self):
+        g = gen.random_biconnected_graph(5, seed=1)
+        procs = [SptNode(i, 1.0, is_root=(i == 0)) for i in range(5)]
+        with pytest.raises(ValueError):
+            AsyncSimulator.from_graph(g, procs, max_latency=0)
+        with pytest.raises(ProtocolError):
+            AsyncSimulator([[1], [0]], procs)
+        sim = AsyncSimulator.from_graph(g, procs)
+        with pytest.raises(ValueError):
+            sim.run(max_events=0)
+
+    def test_event_cap_reports_non_convergence(self):
+        g = gen.random_biconnected_graph(10, seed=3)
+        procs = [SptNode(i, float(g.costs[i]), is_root=(i == 0)) for i in range(10)]
+        sim = AsyncSimulator.from_graph(g, procs, seed=0)
+        stats = sim.run(max_events=3)
+        assert not stats.converged

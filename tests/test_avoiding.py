@@ -1,0 +1,119 @@
+"""Tests for node-avoiding shortest paths (the ``P_{-v_k}`` primitive)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.avoiding import (
+    all_avoiding_distances_naive,
+    all_sources_removal_distances,
+    avoiding_distance,
+    avoiding_set_distance,
+)
+from repro.graph.dijkstra import link_weighted_spt, node_weighted_spt
+
+from conftest import biconnected_graphs, robust_digraphs
+
+
+class TestAvoidingDistance:
+    def test_ring_by_hand(self, small_graph):
+        # 0..5 ring, costs [0,1,2,3,4,5]; avoid node 1 between 0 and 3:
+        # forced the other way around: internal 5, 4 -> 9
+        assert avoiding_distance(small_graph, 0, 3, 1) == pytest.approx(9.0)
+
+    def test_removal_can_disconnect(self):
+        from repro.graph.node_graph import NodeWeightedGraph
+
+        g = NodeWeightedGraph(3, [(0, 1), (1, 2)], [1, 1, 1])
+        assert avoiding_distance(g, 0, 2, 1) == float("inf")
+
+    def test_endpoint_in_removed_set_rejected(self, small_graph):
+        with pytest.raises(ValueError, match="endpoints"):
+            avoiding_set_distance(small_graph, 0, 3, [0])
+
+    def test_same_endpoints(self, small_graph):
+        assert avoiding_distance(small_graph, 2, 2, 4) == 0.0
+
+    @given(biconnected_graphs(max_nodes=14), st.integers(0, 10**6))
+    def test_removal_never_shortens(self, g, seed):
+        target = 1 + seed % (g.n - 1)
+        removed = seed % g.n
+        if removed in (0, target):
+            return
+        base = node_weighted_spt(g, 0, backend="python").dist[target]
+        assert avoiding_distance(g, 0, target, removed) >= base - 1e-9
+
+    @given(biconnected_graphs(max_nodes=12))
+    def test_matches_networkx_subgraph(self, g):
+        """Oracle: delete the node in networkx and re-run Dijkstra."""
+        target = g.n - 1
+        removed = g.n // 2
+        if removed in (0, target):
+            return
+        got = avoiding_distance(g, 0, target, removed, backend="python")
+        h = nx.Graph()
+        h.add_nodes_from(range(g.n))
+        for u, v in g.edge_iter():
+            h.add_edge(u, v, weight=0.5 * (g.costs[u] + g.costs[v]))
+        h.remove_node(removed)
+        try:
+            raw = nx.dijkstra_path_length(h, 0, target)
+            expected = raw - 0.5 * (g.costs[0] + g.costs[target])
+        except nx.NetworkXNoPath:
+            expected = float("inf")
+        assert got == pytest.approx(expected, abs=1e-9)
+
+    @given(biconnected_graphs(max_nodes=12))
+    def test_set_removal_dominates_single(self, g):
+        """Removing a superset can only lengthen the detour."""
+        target = g.n - 1
+        k = g.n // 2
+        if k in (0, target):
+            return
+        group = set(int(v) for v in g.closed_neighborhood(k)) - {0, target}
+        single = avoiding_distance(g, 0, target, k)
+        grouped = avoiding_set_distance(g, 0, target, group)
+        assert grouped >= single - 1e-9
+
+
+class TestAllAvoidingNaive:
+    def test_covers_exactly_the_relays(self, random_graph):
+        spt = node_weighted_spt(random_graph, 0, backend="python")
+        target = random_graph.n - 1
+        relays = spt.path_from_root(target)[1:-1]
+        out = all_avoiding_distances_naive(random_graph, 0, target)
+        assert sorted(out) == sorted(relays)
+
+    def test_explicit_candidates(self, random_graph):
+        out = all_avoiding_distances_naive(
+            random_graph, 0, random_graph.n - 1, candidates=[2, 3]
+        )
+        assert set(out) == {2, 3}
+
+
+class TestBatchRemovalDistances:
+    @given(robust_digraphs(max_nodes=12))
+    def test_matches_per_removal_dijkstra(self, dg):
+        table = all_sources_removal_distances(dg, 0)
+        for k in range(1, dg.n):
+            spt = link_weighted_spt(dg, 0, direction="to", forbidden=[k], backend="python")
+            for i in range(dg.n):
+                if i == k:
+                    assert table[k, i] == float("inf")
+                else:
+                    assert table[k, i] == pytest.approx(
+                        float(spt.dist[i]), abs=1e-9
+                    )
+
+    def test_root_row_is_baseline(self, random_digraph):
+        table = all_sources_removal_distances(random_digraph, 0)
+        spt = link_weighted_spt(random_digraph, 0, direction="to")
+        assert np.allclose(table[0], spt.dist)
+
+    def test_subset_of_removals(self, random_digraph):
+        table = all_sources_removal_distances(random_digraph, 0, removed_nodes=[3])
+        assert np.isfinite(table[3]).any()
+        # rows not requested stay untouched (inf)
+        assert not np.isfinite(table[5]).any()

@@ -1,0 +1,177 @@
+"""Tests for the Section II.D baseline mechanisms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.adhoc_vcg import (
+    adhoc_vcg_payments,
+    eidenbenz_overpayment_bound,
+)
+from repro.baselines.nisan_ronen import nisan_ronen_payments
+from repro.baselines.nuglets import nuglet_network_summary, nuglet_outcome
+from repro.core.link_vcg import link_vcg_payments
+from repro.errors import MonopolyError
+from repro.graph import generators as gen
+from repro.graph.link_graph import LinkWeightedDigraph
+
+from conftest import robust_digraphs
+
+
+def symmetrized(dg: LinkWeightedDigraph) -> LinkWeightedDigraph:
+    """Make an undirected (edge-agent) instance from a digraph."""
+    weights = {}
+    for u, v, w in dg.arc_iter():
+        weights.setdefault((min(u, v), max(u, v)), w)
+    arcs = []
+    for (u, v), w in weights.items():
+        arcs += [(u, v, w), (v, u, w)]
+    return LinkWeightedDigraph(dg.n, arcs)
+
+
+class TestNisanRonen:
+    def test_square_by_hand(self):
+        # 0-1-2 (1 + 1) vs 0-3-2 (3 + 3)
+        dg = LinkWeightedDigraph.from_undirected(
+            4, [(0, 1, 1.0), (1, 2, 1.0), (0, 3, 3.0), (3, 2, 3.0)]
+        )
+        r = nisan_ronen_payments(dg, 0, 2)
+        assert r.path == (0, 1, 2)
+        assert r.lcp_cost == pytest.approx(2.0)
+        # removing edge (0,1): detour 6; payment = 6 - (2 - 1) = 5
+        assert r.payment(0, 1) == pytest.approx(5.0)
+        assert r.payment(1, 2) == pytest.approx(5.0)
+        assert r.total_payment == pytest.approx(10.0)
+
+    def test_asymmetric_instance_rejected(self):
+        dg = LinkWeightedDigraph(3, [(0, 1, 1.0), (1, 0, 2.0), (1, 2, 1.0),
+                                     (2, 1, 1.0), (0, 2, 9.0), (2, 0, 9.0)])
+        with pytest.raises(ValueError, match="symmetric"):
+            nisan_ronen_payments(dg, 0, 2)
+
+    def test_edge_monopoly(self):
+        dg = LinkWeightedDigraph.from_undirected(2, [(0, 1, 1.0)])
+        with pytest.raises(MonopolyError):
+            nisan_ronen_payments(dg, 0, 1)
+        r = nisan_ronen_payments(dg, 0, 1, on_monopoly="inf")
+        assert r.payment(0, 1) == float("inf")
+
+    def test_same_endpoints(self, random_digraph):
+        r = nisan_ronen_payments(symmetrized(random_digraph), 3, 3)
+        assert r.path == () and r.total_payment == 0.0
+
+    @given(robust_digraphs(min_nodes=5, max_nodes=14))
+    @settings(max_examples=15)
+    def test_edges_paid_at_least_cost(self, dg):
+        sym = symmetrized(dg)
+        r = nisan_ronen_payments(sym, 0, dg.n - 1, on_monopoly="inf")
+        for (u, v), p in r.payments.items():
+            assert p >= sym.arc_weight(u, v) - 1e-9
+
+
+class TestNuglets:
+    def test_blocking_when_price_too_low(self, random_graph):
+        s = nuglet_network_summary(random_graph, price=0.0)
+        # costs are >= 1, so nobody relays: every multi-hop session blocks
+        assert s.blocked >= 1
+
+    def test_generous_price_never_blocks(self, random_graph):
+        s = nuglet_network_summary(random_graph, price=1e6)
+        assert s.blocked == 0
+        assert s.overpayment_ratio > 1.0  # gross overpayment
+
+    def test_outcome_min_hops(self, small_graph):
+        out = nuglet_outcome(small_graph, 0, 3, price=10.0)
+        assert not out.blocked
+        assert out.hops == 3  # min-hop side of the ring
+
+    def test_unwilling_relays_avoided(self, small_graph):
+        # price 3.5 excludes relays 4 and 5 -> forced through 1, 2
+        out = nuglet_outcome(small_graph, 0, 3, price=3.5)
+        assert out.path == (0, 1, 2, 3)
+
+    def test_blocked_session(self):
+        from repro.graph.node_graph import NodeWeightedGraph
+
+        g = NodeWeightedGraph(3, [(0, 1), (1, 2)], [0.0, 5.0, 0.0])
+        out = nuglet_outcome(g, 0, 2, price=1.0)
+        assert out.blocked and out.path == ()
+        assert out.total_payment == 0.0
+
+    def test_payment_is_price_times_relays(self, small_graph):
+        out = nuglet_outcome(small_graph, 0, 3, price=10.0)
+        assert out.total_payment == pytest.approx(10.0 * out.relay_count)
+
+    def test_true_cost_accounting(self, small_graph):
+        out = nuglet_outcome(small_graph, 0, 3, price=10.0)
+        assert out.true_relay_cost(small_graph) == pytest.approx(
+            sum(small_graph.costs[k] for k in out.path[1:-1])
+        )
+
+    def test_negative_price_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            nuglet_outcome(small_graph, 0, 3, price=-1.0)
+
+    def test_tradeoff_monotonicity(self, random_graph):
+        """Higher price never increases blocking."""
+        blocked = [
+            nuglet_network_summary(random_graph, price=p).blocked
+            for p in (0.5, 2.0, 5.0, 20.0)
+        ]
+        assert blocked == sorted(blocked, reverse=True)
+
+
+class TestAdhocVcg:
+    @given(robust_digraphs(min_nodes=5, max_nodes=12))
+    @settings(max_examples=15)
+    def test_equals_link_vcg(self, dg):
+        a = adhoc_vcg_payments(dg, dg.n - 1, 0, on_monopoly="inf")
+        b = link_vcg_payments(dg, dg.n - 1, 0, on_monopoly="inf")
+        assert a.path == b.path
+        assert a.total_payment == pytest.approx(b.total_payment)
+        assert a.scheme == "adhoc-vcg"
+
+    def test_spread_bound(self):
+        dg = LinkWeightedDigraph.from_undirected(
+            3, [(0, 1, 1.0), (1, 2, 4.0), (0, 2, 2.0)]
+        )
+        bound = eidenbenz_overpayment_bound(dg)
+        assert bound.spread == pytest.approx(4.0)
+        assert bound.ratio_bound == pytest.approx(9.0)
+
+    def test_spread_bound_empty(self):
+        dg = LinkWeightedDigraph(2, [])
+        b = eidenbenz_overpayment_bound(dg)
+        assert b.c_min == b.c_max == 0.0
+
+    @given(robust_digraphs(min_nodes=5, max_nodes=12))
+    @settings(max_examples=15)
+    def test_measured_ratio_respects_bound(self, dg):
+        """Sanity: per-source ratios sit below the analytic spread bound
+        whenever the detour structure is single-link-replacement shaped.
+        We assert the far weaker (always true) fact ratio >= 1 and record
+        the bound — the bench compares the two quantitatively."""
+        r = adhoc_vcg_payments(dg, dg.n - 1, 0, on_monopoly="inf")
+        if r.lcp_cost > 0 and np.isfinite(r.total_payment):
+            assert r.total_payment / r.lcp_cost >= 1.0 - 1e-9
+
+
+class TestEdgeVsNodeAgents:
+    @given(robust_digraphs(min_nodes=6, max_nodes=14))
+    @settings(max_examples=15)
+    def test_per_relay_dominance(self, dg):
+        """Removing a relay severs a superset of any one of its edges, so
+        the node-agent payment to k dominates the edge-agent payment of
+        k's used downstream edge (the II.D positioning, as a theorem)."""
+        sym = symmetrized(dg)
+        s, t = dg.n - 1, 0
+        edge = nisan_ronen_payments(sym, s, t, on_monopoly="inf")
+        node = link_vcg_payments(sym, s, t, on_monopoly="inf")
+        assert edge.path == node.path
+        path = node.path
+        for idx in range(1, len(path) - 1):
+            k, nxt = path[idx], path[idx + 1]
+            p_node, p_edge = node.payment(k), edge.payment(k, nxt)
+            if np.isfinite(p_node) and np.isfinite(p_edge):
+                assert p_node >= p_edge - 1e-9

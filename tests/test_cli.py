@@ -1,0 +1,78 @@
+"""CLI smoke tests (argument parsing + end-to-end subcommands)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.command == "demo" and args.nodes == 30
+
+    def test_figure_flags(self):
+        args = build_parser().parse_args(
+            ["fig3b", "--nodes", "40", "60", "--instances", "2"]
+        )
+        assert args.nodes == [40, 60] and args.instances == 2
+
+    def test_fig3d_single_n(self):
+        args = build_parser().parse_args(["fig3d", "--nodes", "80"])
+        assert args.nodes == 80
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo", "--nodes", "20", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "route" in out and "overpayment ratio" in out
+
+    def test_fig3a(self, capsys):
+        assert main(["fig3a", "--nodes", "40", "--instances", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "IOR" in out and "TOR" in out
+
+    def test_fig3d(self, capsys):
+        assert main(["fig3d", "--nodes", "50", "--instances", "1"]) == 0
+        assert "hops" in capsys.readouterr().out
+
+    def test_fig3e(self, capsys):
+        assert main(["fig3e", "--nodes", "60", "--instances", "1"]) == 0
+        assert "worst" in capsys.readouterr().out
+
+    def test_collusion(self, capsys):
+        assert main(["collusion", "--nodes", "12", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "premium" in out
+
+    def test_distributed(self, capsys):
+        assert main(["distributed", "--nodes", "14", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "converged" in out and "difference" in out
+
+    def test_distributed_secure(self, capsys):
+        assert main(["distributed", "--nodes", "12", "--secure"]) == 0
+        assert "audit findings" in capsys.readouterr().out
+
+    def test_demo_custom_source(self, capsys):
+        assert main(["demo", "--nodes", "15", "--source", "7"]) == 0
+        assert "7 =>" in capsys.readouterr().out
+
+
+class TestNewCommands:
+    def test_economy(self, capsys):
+        assert main(["economy", "--nodes", "10", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "overpayment ratio" in out and "Gini" in out
+
+    def test_churn(self, capsys):
+        assert main(["churn", "--nodes", "50", "--epochs", "1", "--sigma", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "route churn" in out
+
+    def test_economy_intensity_flag(self, capsys):
+        assert main(["economy", "--nodes", "8", "--intensity", "2.5"]) == 0

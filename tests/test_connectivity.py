@@ -1,0 +1,153 @@
+"""Connectivity tests against networkx oracles."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.connectivity import (
+    articulation_points,
+    connected_component,
+    is_biconnected,
+    is_connected,
+    is_strongly_connected,
+    neighborhood_removal_safe,
+    reaches_root_after_removal,
+    single_failure_robust,
+)
+from repro.graph.link_graph import LinkWeightedDigraph
+from repro.graph.node_graph import NodeWeightedGraph
+from repro.graph import generators as gen
+
+
+def random_gnp(n, p, seed):
+    h = nx.gnp_random_graph(n, p, seed=seed)
+    return NodeWeightedGraph(n, h.edges(), np.ones(n)), h
+
+
+class TestUndirected:
+    def test_connected_simple(self, small_graph):
+        assert is_connected(small_graph)
+
+    def test_disconnected(self):
+        g = NodeWeightedGraph(4, [(0, 1), (2, 3)], np.ones(4))
+        assert not is_connected(g)
+        comp = connected_component(g, 0)
+        assert comp.tolist() == [True, True, False, False]
+
+    def test_component_with_forbidden(self, small_graph):
+        comp = connected_component(small_graph, 0, forbidden=[1, 5])
+        assert comp[0] and not comp[3]
+
+    def test_forbidden_start_rejected(self, small_graph):
+        with pytest.raises(ValueError, match="forbidden"):
+            connected_component(small_graph, 0, forbidden=[0])
+
+    def test_trivial_sizes(self):
+        assert is_connected(NodeWeightedGraph(0, [], []))
+        assert is_connected(NodeWeightedGraph(1, [], [1.0]))
+        assert is_biconnected(NodeWeightedGraph(2, [(0, 1)], [1, 1]))
+        assert not is_biconnected(NodeWeightedGraph(2, [], [1, 1]))
+
+    @given(st.integers(5, 30), st.floats(0.05, 0.5), st.integers(0, 10**6))
+    def test_articulation_matches_networkx(self, n, p, seed):
+        g, h = random_gnp(n, p, seed)
+        assert sorted(articulation_points(g)) == sorted(nx.articulation_points(h))
+
+    @given(st.integers(5, 25), st.floats(0.05, 0.5), st.integers(0, 10**6))
+    def test_biconnected_matches_networkx(self, n, p, seed):
+        g, h = random_gnp(n, p, seed)
+        assert is_biconnected(g) == (
+            h.number_of_nodes() > 0 and nx.is_biconnected(h)
+        )
+
+    def test_cycle_is_biconnected(self):
+        assert is_biconnected(gen.cycle_graph(np.ones(6)))
+
+    def test_path_is_not_biconnected(self):
+        g = NodeWeightedGraph(4, [(0, 1), (1, 2), (2, 3)], np.ones(4))
+        assert not is_biconnected(g)
+        assert sorted(articulation_points(g)) == [1, 2]
+
+
+class TestNeighborhoodRemoval:
+    def test_circulant_is_safe(self):
+        g = gen.random_neighbor_safe_graph(12, seed=0)
+        assert neighborhood_removal_safe(g, 0, 6)
+
+    def test_cycle_is_safe(self):
+        # removing one contiguous neighbourhood leaves the other arc
+        g = gen.cycle_graph(np.ones(8))
+        assert neighborhood_removal_safe(g, 0, 4)
+
+    def test_adjacent_parallel_relays_are_not_safe(self):
+        # two 1-relay branches 0-1-2 and 0-3-2 whose relays are linked:
+        # N(1) = {1, 3} (endpoints trimmed) cuts every path
+        g = NodeWeightedGraph(
+            4, [(0, 1), (1, 2), (0, 3), (3, 2), (1, 3)], np.ones(4)
+        )
+        assert not neighborhood_removal_safe(g, 0, 2)
+
+    def test_explicit_groups(self, small_graph):
+        assert neighborhood_removal_safe(small_graph, 0, 3, groups=[{1}])
+        assert not neighborhood_removal_safe(small_graph, 0, 3, groups=[{1, 5}])
+
+    def test_groups_containing_endpoints_are_trimmed(self, small_graph):
+        # the endpoints are discarded from the group before removal
+        assert neighborhood_removal_safe(small_graph, 0, 3, groups=[{0, 3}])
+
+
+class TestDirected:
+    def test_strong_connectivity(self):
+        ring = LinkWeightedDigraph(3, [(0, 1, 1), (1, 2, 1), (2, 0, 1)])
+        assert is_strongly_connected(ring)
+        chain = LinkWeightedDigraph(3, [(0, 1, 1), (1, 2, 1)])
+        assert not is_strongly_connected(chain)
+
+    @given(st.integers(4, 16), st.floats(0.0, 0.4), st.integers(0, 10**6))
+    def test_robustness_matches_bruteforce(self, n, p, seed):
+        dg = gen.random_robust_digraph(n, extra_arc_prob=p, seed=seed)
+        assert single_failure_robust(dg, 0)  # by construction
+
+    def test_non_robust_digraph_detected(self):
+        # 2 -> 1 -> 0 with no alternative: removing 1 strands 2
+        dg = LinkWeightedDigraph(
+            3, [(2, 1, 1), (1, 2, 1), (1, 0, 1), (0, 1, 1)]
+        )
+        assert not single_failure_robust(dg, 0)
+
+    def test_reaches_root_after_removal(self):
+        dg = LinkWeightedDigraph(
+            4, [(1, 0, 1), (2, 1, 1), (3, 0, 1), (2, 3, 1)]
+        )
+        mask = reaches_root_after_removal(dg, 0, 1)
+        assert mask[2] and mask[3] and not mask[1]
+
+    def test_cannot_remove_root(self, random_digraph):
+        with pytest.raises(ValueError, match="root"):
+            reaches_root_after_removal(random_digraph, 0, 0)
+
+
+class TestHopDiameter:
+    def test_ring(self, small_graph):
+        from repro.graph.connectivity import hop_diameter, hop_distances
+
+        assert hop_diameter(small_graph) == 3  # 6-ring
+        d = hop_distances(small_graph, 0)
+        assert d.tolist() == [0, 1, 2, 3, 2, 1]
+
+    def test_disconnected_components(self):
+        from repro.graph.connectivity import hop_diameter
+
+        g = NodeWeightedGraph(4, [(0, 1), (2, 3)], np.ones(4))
+        assert hop_diameter(g) == 1  # per-component maximum
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        from repro.graph.connectivity import hop_diameter
+
+        for seed in range(4):
+            g = gen.random_biconnected_graph(20, extra_edge_prob=0.2, seed=seed)
+            assert hop_diameter(g) == nx.diameter(g.to_networkx())

@@ -1,0 +1,99 @@
+"""Tests for device classes and the heterogeneous-population economics."""
+
+import numpy as np
+import pytest
+
+from repro.core.allpairs import TrafficMatrix, network_economy
+from repro.graph import generators as gen
+from repro.wireless.devices import (
+    DEVICE_CATALOG,
+    DeviceClass,
+    sample_device_mix,
+)
+
+
+class TestDeviceClass:
+    def test_catalog_sane(self):
+        assert set(DEVICE_CATALOG) == {"laptop", "pda", "phone"}
+        # laptops relay cheaper than phones — the premise of the mix story
+        assert DEVICE_CATALOG["laptop"].cost_range[1] < DEVICE_CATALOG["phone"].cost_range[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceClass("x", cost_range=(3.0, 2.0), battery=1.0)
+        with pytest.raises(ValueError):
+            DeviceClass("x", cost_range=(1.0, 2.0), battery=0.0)
+
+    def test_draw_costs_in_range(self):
+        cls = DEVICE_CATALOG["pda"]
+        costs = cls.draw_costs(100, np.random.default_rng(0))
+        lo, hi = cls.cost_range
+        assert ((costs >= lo) & (costs <= hi)).all()
+
+
+class TestSampleMix:
+    def test_default_even_mix(self):
+        mix = sample_device_mix(300, seed=1)
+        counts = {name: len(mix.members(name)) for name in DEVICE_CATALOG}
+        assert sum(counts.values()) == 300
+        for c in counts.values():
+            assert 60 <= c <= 140  # roughly even thirds
+
+    def test_proportions_respected(self):
+        mix = sample_device_mix(
+            400, proportions={"laptop": 3.0, "phone": 1.0}, seed=2
+        )
+        laptops = len(mix.members("laptop"))
+        phones = len(mix.members("phone"))
+        assert laptops + phones == 400
+        assert laptops > 2 * phones
+
+    def test_costs_match_class(self):
+        mix = sample_device_mix(100, seed=3)
+        for name in DEVICE_CATALOG:
+            lo, hi = DEVICE_CATALOG[name].cost_range
+            for i in mix.members(name):
+                assert lo <= mix.costs[i] <= hi
+                assert mix.batteries[i] == DEVICE_CATALOG[name].battery
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_device_mix(0)
+        with pytest.raises(ValueError, match="unknown"):
+            sample_device_mix(5, proportions={"toaster": 1.0})
+        with pytest.raises(ValueError):
+            sample_device_mix(5, proportions={"laptop": 0.0})
+
+    def test_determinism(self):
+        a = sample_device_mix(50, seed=9)
+        b = sample_device_mix(50, seed=9)
+        assert a.classes == b.classes
+        assert np.array_equal(a.costs, b.costs)
+
+
+class TestMixEconomics:
+    def test_laptops_carry_the_traffic(self):
+        """Cheap devices win the relay business under VCG — the mechanism
+        routes load onto whoever genuinely minds it least."""
+        mix = sample_device_mix(24, seed=4)
+        g = gen.random_biconnected_graph(24, extra_edge_prob=0.25, seed=4)
+        g = g.with_costs(mix.costs)
+        econ = network_economy(g, TrafficMatrix.to_access_point(g.n))
+        relayed = {
+            name: sum(econ.node(i).packets_relayed for i in mix.members(name))
+            for name in DEVICE_CATALOG
+        }
+        per_capita = {
+            name: relayed[name] / max(len(mix.members(name)), 1)
+            for name in DEVICE_CATALOG
+        }
+        if per_capita["laptop"] > 0:
+            assert per_capita["laptop"] >= per_capita["phone"]
+
+    def test_every_class_profits_when_it_relays(self):
+        mix = sample_device_mix(20, seed=5)
+        g = gen.random_biconnected_graph(20, extra_edge_prob=0.3, seed=5)
+        g = g.with_costs(mix.costs)
+        econ = network_economy(g, TrafficMatrix.to_access_point(g.n))
+        for e in econ.nodes:
+            assert e.profit >= -1e-9

@@ -1,0 +1,105 @@
+"""Tests for the overpayment diagnostics (gap structure)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.diagnostics import (
+    frugality_summary,
+    gap_by_hops,
+    relay_gaps,
+)
+from repro.core.link_vcg import all_sources_link_payments
+from repro.graph import generators as gen
+from repro.wireless.deployment import sample_udg_deployment
+
+
+@pytest.fixture(scope="module")
+def priced():
+    dep = sample_udg_deployment(120, seed=31)
+    table = all_sources_link_payments(dep.digraph, root=0)
+    return dep.digraph, table
+
+
+class TestRelayGaps:
+    def test_gaps_non_negative(self, priced):
+        dg, table = priced
+        for g in relay_gaps(table, dg):
+            assert g.gap >= -1e-9  # VCG never pays below the used link
+            assert g.payment == pytest.approx(g.link_cost + g.gap)
+
+    def test_gap_equals_detour_improvement(self, priced):
+        """gap = ||P_{-k}|| - ||P||, re-derived from scratch for a sample."""
+        from repro.graph.avoiding import avoiding_distance
+        from repro.graph.dijkstra import link_weighted_spt
+
+        dg, table = priced
+        sample = [g for g in relay_gaps(table, dg)][:10]
+        for entry in sample:
+            base = link_weighted_spt(dg, entry.source, direction="from")
+            detour = avoiding_distance(dg, entry.source, 0, entry.relay)
+            if np.isfinite(detour):
+                assert entry.gap == pytest.approx(
+                    detour - float(base.dist[0]), abs=1e-6
+                )
+
+    def test_relative_gap_nan_for_free_link(self):
+        from repro.analysis.diagnostics import RelayGap
+
+        g = RelayGap(source=1, relay=2, hops=3, link_cost=0.0, gap=1.0)
+        assert np.isnan(g.relative_gap)
+
+
+class TestGapByHops:
+    def test_buckets_sorted_and_consistent(self, priced):
+        dg, table = priced
+        buckets = gap_by_hops(table, dg)
+        assert buckets
+        hops = [b.hops for b in buckets]
+        assert hops == sorted(hops)
+        for b in buckets:
+            assert b.max_relative_gap >= b.mean_relative_gap - 1e-12
+            assert b.count > 0
+
+    def test_paper_explanation_max_gap_decays(self, priced):
+        """The Figure 3(d) mechanism: max relative gap near the AP-distant
+        tail is no larger than the near spike."""
+        dg, table = priced
+        buckets = [b for b in gap_by_hops(table, dg) if b.count >= 5]
+        if len(buckets) >= 4:
+            third = max(1, len(buckets) // 3)
+            near = np.mean([b.max_relative_gap for b in buckets[:third]])
+            far = np.mean([b.max_relative_gap for b in buckets[-third:]])
+            assert far <= near + 1e-9
+
+
+class TestFrugality:
+    def test_decomposition_adds_up(self, priced):
+        dg, table = priced
+        s = frugality_summary(table, dg)
+        assert s.total_payment == pytest.approx(
+            s.total_link_cost + s.total_gap
+        )
+        assert 0.0 <= s.premium_share < 1.0
+        assert "premium" in s.describe()
+
+    def test_matches_overpayment_totals(self, priced):
+        """Total relay payments from the gap view equal the table's."""
+        dg, table = priced
+        s = frugality_summary(table, dg)
+        direct = sum(
+            v
+            for i in table.sources()
+            for v in table.payments[i].values()
+            if np.isfinite(v)
+        )
+        assert s.total_payment == pytest.approx(direct, rel=1e-9)
+
+    def test_empty_table(self):
+        from repro.core.link_vcg import LinkPaymentTable
+        from repro.graph.link_graph import LinkWeightedDigraph
+
+        dg = LinkWeightedDigraph(2, [(1, 0, 1.0), (0, 1, 1.0)])
+        table = all_sources_link_payments(dg, 0)
+        s = frugality_summary(table, dg)
+        assert s.relays_paid == 0
+        assert np.isnan(s.premium_share)

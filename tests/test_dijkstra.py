@@ -1,0 +1,145 @@
+"""Shortest-path tests: backends agree with each other and with networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.dijkstra import (
+    link_weighted_distance,
+    link_weighted_spt,
+    node_weighted_distance,
+    node_weighted_spt,
+)
+
+from conftest import biconnected_graphs, robust_digraphs
+
+
+def nx_node_weighted_dists(g, root):
+    """Oracle: node-weighted distances via the half-sum edge transform."""
+    h = nx.Graph()
+    h.add_nodes_from(range(g.n))
+    for u, v in g.edge_iter():
+        h.add_edge(u, v, weight=0.5 * (g.costs[u] + g.costs[v]))
+    raw = nx.single_source_dijkstra_path_length(h, root)
+    return {
+        x: d - 0.5 * (g.costs[root] + g.costs[x]) if x != root else 0.0
+        for x, d in raw.items()
+    }
+
+
+class TestNodeWeightedSpt:
+    def test_small_graph_by_hand(self, small_graph):
+        # ring 0-1-2-3-4-5-0 with costs [0,1,2,3,4,5]
+        spt = node_weighted_spt(small_graph, 0, backend="python")
+        assert spt.dist[1] == 0.0  # adjacent: no relays
+        assert spt.dist[2] == 1.0  # via node 1
+        assert spt.dist[3] == 3.0  # via 1,2
+        assert spt.dist[4] == 5.0  # via 5 (cost 5) vs via 1,2,3 (6)
+        assert spt.dist[5] == 0.0
+
+    def test_path_extraction(self, small_graph):
+        spt = node_weighted_spt(small_graph, 0)
+        assert spt.path_from_root(3) == [0, 1, 2, 3]
+        assert spt.path_from_root(4) == [0, 5, 4]
+
+    @given(biconnected_graphs(max_nodes=20), st.integers(0, 10**6))
+    def test_backends_agree(self, g, seed):
+        root = seed % g.n
+        a = node_weighted_spt(g, root, backend="python")
+        b = node_weighted_spt(g, root, backend="scipy")
+        assert np.allclose(a.dist, b.dist)
+
+    @given(biconnected_graphs(max_nodes=20))
+    def test_matches_networkx(self, g):
+        spt = node_weighted_spt(g, 0, backend="python")
+        oracle = nx_node_weighted_dists(g, 0)
+        for x in range(g.n):
+            assert spt.dist[x] == pytest.approx(oracle[x], abs=1e-9)
+
+    @given(biconnected_graphs(max_nodes=16))
+    def test_paths_realize_distances(self, g):
+        spt = node_weighted_spt(g, 0, backend="python")
+        for x in range(g.n):
+            path = spt.path_from_root(x)
+            assert g.path_cost(path) == pytest.approx(float(spt.dist[x]))
+
+    def test_forbidden_nodes_are_avoided(self, small_graph):
+        spt = node_weighted_spt(small_graph, 0, forbidden=[1], backend="python")
+        assert not np.isfinite(spt.dist[1])
+        # 3 now reachable only the long way via 5, 4
+        assert spt.dist[3] == pytest.approx(9.0)
+
+    def test_forbidden_root_rejected(self, small_graph):
+        with pytest.raises(GraphError, match="forbidden"):
+            node_weighted_spt(small_graph, 0, forbidden=[0])
+
+    def test_forbidden_boolean_mask(self, small_graph):
+        mask = np.zeros(6, dtype=bool)
+        mask[1] = True
+        spt = node_weighted_spt(small_graph, 0, forbidden=mask, backend="python")
+        assert spt.dist[3] == pytest.approx(9.0)
+
+    def test_unknown_backend(self, small_graph):
+        with pytest.raises(ValueError, match="backend"):
+            node_weighted_spt(small_graph, 0, backend="gpu")
+
+    def test_distance_helper(self, small_graph):
+        assert node_weighted_distance(small_graph, 0, 3) == 3.0
+        assert node_weighted_distance(small_graph, 2, 2) == 0.0
+
+    def test_disconnected_gives_inf(self):
+        from repro.graph.node_graph import NodeWeightedGraph
+
+        g = NodeWeightedGraph(4, [(0, 1), (2, 3)], [1, 1, 1, 1])
+        spt = node_weighted_spt(g, 0, backend="python")
+        assert not np.isfinite(spt.dist[2])
+
+
+class TestLinkWeightedSpt:
+    @given(robust_digraphs(max_nodes=16), st.integers(0, 10**6))
+    def test_backends_agree_both_directions(self, dg, seed):
+        root = seed % dg.n
+        for direction in ("from", "to"):
+            a = link_weighted_spt(dg, root, direction=direction, backend="python")
+            b = link_weighted_spt(dg, root, direction=direction, backend="scipy")
+            assert np.allclose(a.dist, b.dist)
+
+    @given(robust_digraphs(max_nodes=14))
+    def test_matches_networkx(self, dg):
+        h = dg.to_networkx()
+        spt_from = link_weighted_spt(dg, 0, direction="from", backend="python")
+        spt_to = link_weighted_spt(dg, 0, direction="to", backend="python")
+        for x in range(dg.n):
+            assert spt_from.dist[x] == pytest.approx(
+                nx.dijkstra_path_length(h, 0, x), abs=1e-9
+            )
+            assert spt_to.dist[x] == pytest.approx(
+                nx.dijkstra_path_length(h, x, 0), abs=1e-9
+            )
+
+    @given(robust_digraphs(max_nodes=14))
+    def test_to_root_paths_are_forward_walks(self, dg):
+        spt = link_weighted_spt(dg, 0, direction="to", backend="python")
+        for x in range(1, dg.n):
+            route = spt.path_to_root(x)
+            assert route[0] == x and route[-1] == 0
+            assert dg.path_cost(route) == pytest.approx(float(spt.dist[x]))
+
+    def test_direction_validated(self, random_digraph):
+        with pytest.raises(ValueError, match="direction"):
+            link_weighted_spt(random_digraph, 0, direction="sideways")
+
+    def test_distance_helper(self, random_digraph):
+        d = link_weighted_distance(random_digraph, 3, 0)
+        spt = link_weighted_spt(random_digraph, 3, direction="from")
+        assert d == pytest.approx(float(spt.dist[0]))
+
+    def test_zero_weight_arcs_exact(self):
+        from repro.graph.link_graph import LinkWeightedDigraph
+
+        dg = LinkWeightedDigraph(3, [(0, 1, 0.0), (1, 2, 0.0), (0, 2, 5.0)])
+        spt = link_weighted_spt(dg, 0, direction="from", backend="scipy")
+        assert spt.dist[2] == 0.0

@@ -1,0 +1,74 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CheatingDetectedError,
+    DisconnectedError,
+    GraphError,
+    InvalidGraphError,
+    MechanismError,
+    MonopolyError,
+    NodeNotFoundError,
+    ProtocolError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphError,
+            InvalidGraphError,
+            NodeNotFoundError,
+            DisconnectedError,
+            MonopolyError,
+            MechanismError,
+            ProtocolError,
+            CheatingDetectedError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_invalid_graph_is_value_error(self):
+        assert issubclass(InvalidGraphError, ValueError)
+
+    def test_node_not_found_is_key_error(self):
+        assert issubclass(NodeNotFoundError, KeyError)
+
+    def test_monopoly_is_disconnected(self):
+        assert issubclass(MonopolyError, DisconnectedError)
+
+    def test_single_except_clause_catches_everything(self):
+        for make in (
+            lambda: NodeNotFoundError(3, 2),
+            lambda: DisconnectedError(0, 5),
+            lambda: MonopolyError(0, 5, 2),
+            lambda: CheatingDetectedError(1, 2, "lied"),
+        ):
+            with pytest.raises(ReproError):
+                raise make()
+
+
+class TestPayloads:
+    def test_node_not_found_fields(self):
+        e = NodeNotFoundError(7, 4)
+        assert e.node == 7 and e.n == 4
+        assert "7" in str(e) and "4" in str(e)
+
+    def test_disconnected_fields(self):
+        e = DisconnectedError(1, 9, context="after pruning")
+        assert e.source == 1 and e.target == 9
+        assert "after pruning" in str(e)
+
+    def test_monopoly_records_removed(self):
+        e = MonopolyError(0, 3, removed=[1, 2])
+        assert e.removed == [1, 2]
+        assert "[1, 2]" in str(e)
+
+    def test_cheating_detected_fields(self):
+        e = CheatingDetectedError(5, 2, "mismatched entry")
+        assert e.cheater == 5 and e.witness == 2
+        assert "mismatched entry" in str(e)

@@ -1,0 +1,31 @@
+"""Every example script must run clean end-to-end (they are executable
+documentation — a broken example is a broken promise)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    names = {p.name for p in SCRIPTS}
+    assert "quickstart.py" in names
+    assert len(SCRIPTS) >= 5
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must print their story"
+    # examples narrate success, never tracebacks
+    assert "Traceback" not in proc.stderr

@@ -1,0 +1,119 @@
+"""Fast link-model payments vs the per-removal oracle (symmetric case)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fast_link_payment import check_symmetric, fast_link_vcg_payments
+from repro.core.link_vcg import link_vcg_payments
+from repro.errors import DisconnectedError, InvalidGraphError, MonopolyError
+from repro.graph import generators as gen
+from repro.graph.link_graph import LinkWeightedDigraph
+from repro.utils.rng import as_rng
+from repro.wireless.deployment import sample_udg_deployment
+
+
+def symmetric_instance(n: int, extra_prob: float, seed: int) -> LinkWeightedDigraph:
+    """Random symmetric single-failure-robust link graph."""
+    rng = as_rng(seed)
+    perm = rng.permutation(n)
+    edges = {}
+    for i in range(n):
+        u, v = int(perm[i]), int(perm[(i + 1) % n])
+        edges[(min(u, v), max(u, v))] = float(rng.uniform(1, 10))
+    iu, ju = np.triu_indices(n, k=1)
+    pick = rng.random(iu.shape[0]) < extra_prob
+    for u, v in zip(iu[pick].tolist(), ju[pick].tolist()):
+        edges.setdefault((u, v), float(rng.uniform(1, 10)))
+    return LinkWeightedDigraph.from_undirected(
+        n, [(u, v, w) for (u, v), w in edges.items()]
+    )
+
+
+class TestSymmetryGuard:
+    def test_symmetric_passes(self):
+        check_symmetric(symmetric_instance(8, 0.2, 0))
+
+    def test_asymmetric_rejected(self):
+        dg = gen.random_robust_digraph(10, seed=1)  # asymmetric weights
+        with pytest.raises(InvalidGraphError, match="asymmetric"):
+            fast_link_vcg_payments(dg, 3, 0)
+
+
+class TestAgainstOracle:
+    @given(
+        st.integers(5, 22),
+        st.floats(0.0, 0.5),
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=50)
+    def test_matches_per_removal_oracle(self, n, p, seed):
+        dg = symmetric_instance(n, p, seed)
+        rng = as_rng(seed)
+        s = int(rng.integers(0, n))
+        t = int(rng.integers(0, n))
+        if s == t:
+            return
+        fast = fast_link_vcg_payments(dg, s, t, on_monopoly="inf")
+        naive = link_vcg_payments(dg, s, t, on_monopoly="inf")
+        assert fast.path == naive.path
+        assert fast.lcp_cost == pytest.approx(naive.lcp_cost)
+        for k in naive.relays:
+            if np.isfinite(naive.payment(k)):
+                assert fast.payment(k) == pytest.approx(
+                    naive.payment(k), abs=1e-7
+                )
+            else:
+                assert not np.isfinite(fast.payment(k))
+
+    def test_on_udg_deployment(self):
+        """The first-simulation topologies are exactly the symmetric case
+        the fast algorithm targets."""
+        dep = sample_udg_deployment(80, seed=9)
+        dg = dep.digraph
+        check_symmetric(dg)
+        spt_sources = [i for i in range(1, dep.n)][:10]
+        for s in spt_sources:
+            try:
+                fast = fast_link_vcg_payments(dg, s, 0, on_monopoly="inf")
+                naive = link_vcg_payments(dg, s, 0, on_monopoly="inf")
+            except DisconnectedError:
+                continue
+            for k in naive.relays:
+                if np.isfinite(naive.payment(k)):
+                    assert fast.payment(k) == pytest.approx(
+                        naive.payment(k), abs=1e-6
+                    )
+
+
+class TestEdgeCases:
+    def test_same_endpoints(self):
+        dg = symmetric_instance(6, 0.3, 2)
+        r = fast_link_vcg_payments(dg, 2, 2)
+        assert r.path == () and not r.payments
+
+    def test_adjacent_endpoints(self):
+        dg = LinkWeightedDigraph.from_undirected(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)])
+        r = fast_link_vcg_payments(dg, 0, 1)
+        assert r.path == (0, 1) and not r.payments
+        assert r.lcp_cost == 0.0
+
+    def test_disconnected(self):
+        dg = LinkWeightedDigraph.from_undirected(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(DisconnectedError):
+            fast_link_vcg_payments(dg, 0, 3)
+
+    def test_monopoly(self):
+        dg = LinkWeightedDigraph.from_undirected(
+            3, [(0, 1, 1.0), (1, 2, 1.0)]
+        )
+        with pytest.raises(MonopolyError):
+            fast_link_vcg_payments(dg, 0, 2)
+        r = fast_link_vcg_payments(dg, 0, 2, on_monopoly="inf")
+        assert r.payment(1) == float("inf")
+
+    def test_bad_monopoly_mode(self):
+        dg = symmetric_instance(6, 0.3, 3)
+        with pytest.raises(ValueError, match="on_monopoly"):
+            fast_link_vcg_payments(dg, 0, 3, on_monopoly="oops")

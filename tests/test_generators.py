@@ -1,0 +1,142 @@
+"""Tests for topology generators, including the paper-figure instances."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import generators as gen
+from repro.graph.connectivity import (
+    is_biconnected,
+    neighborhood_removal_safe,
+    single_failure_robust,
+)
+from repro.graph.dijkstra import node_weighted_spt
+
+
+class TestStructuredFamilies:
+    def test_cycle(self):
+        g = gen.cycle_graph([1.0, 2.0, 3.0])
+        assert g.num_edges == 3 and is_biconnected(g)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            gen.cycle_graph([1.0, 2.0])
+
+    def test_grid_shape(self):
+        g = gen.grid_graph(3, 4, np.ones(12))
+        assert g.n == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert is_biconnected(g)
+
+    def test_grid_cost_mismatch(self):
+        with pytest.raises(ValueError, match="costs"):
+            gen.grid_graph(2, 2, np.ones(3))
+
+    def test_theta_graph(self):
+        g, s, t = gen.theta_graph([[1.0, 1.0], [5.0]])
+        assert s == 0 and t == 1
+        spt = node_weighted_spt(g, s, backend="python")
+        assert spt.dist[t] == pytest.approx(2.0)
+
+    def test_theta_needs_two_branches(self):
+        with pytest.raises(ValueError, match="two branches"):
+            gen.theta_graph([[1.0]])
+
+    def test_theta_direct_edge_branch(self):
+        g, s, t = gen.theta_graph([[], [3.0]])
+        spt = node_weighted_spt(g, s, backend="python")
+        assert spt.dist[t] == 0.0  # the direct edge wins
+
+    def test_circulant(self):
+        g = gen.circulant_graph(8, (1, 2), np.ones(8))
+        assert g.degree(0) == 4
+
+    def test_circulant_bad_offsets(self):
+        with pytest.raises(ValueError, match="offsets"):
+            gen.circulant_graph(5, (0,), np.ones(5))
+
+
+class TestRandomFamilies:
+    @given(st.integers(3, 40), st.floats(0, 0.5), st.integers(0, 10**6))
+    def test_biconnected_by_construction(self, n, p, seed):
+        g = gen.random_biconnected_graph(n, extra_edge_prob=p, seed=seed)
+        assert is_biconnected(g)
+        assert (g.costs >= 1.0).all() and (g.costs <= 10.0).all()
+
+    @given(st.integers(3, 30), st.floats(0, 0.4), st.integers(0, 10**6))
+    def test_robust_digraph_by_construction(self, n, p, seed):
+        dg = gen.random_robust_digraph(n, extra_arc_prob=p, seed=seed)
+        assert single_failure_robust(dg, 0)
+
+    @given(st.integers(8, 24), st.integers(0, 10**6))
+    def test_neighbor_safe_by_construction(self, n, seed):
+        g = gen.random_neighbor_safe_graph(n, seed=seed)
+        assert neighborhood_removal_safe(g, 0, n // 2)
+
+    def test_neighbor_safe_minimum_size(self):
+        with pytest.raises(ValueError):
+            gen.random_neighbor_safe_graph(6)
+
+    def test_determinism(self):
+        a = gen.random_biconnected_graph(12, seed=5)
+        b = gen.random_biconnected_graph(12, seed=5)
+        assert a == b
+
+    def test_random_costs_range(self):
+        c = gen.random_costs(100, 2.0, 3.0, seed=1)
+        assert (c >= 2.0).all() and (c <= 3.0).all()
+
+    def test_random_costs_bad_range(self):
+        with pytest.raises(ValueError):
+            gen.random_costs(5, 3.0, 2.0)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            gen.random_biconnected_graph(2)
+        with pytest.raises(ValueError):
+            gen.random_robust_digraph(2)
+
+
+class TestPaperInstances:
+    def test_fig2_truthful_numbers(self):
+        from repro.core.vcg_unicast import vcg_unicast_payments
+
+        g, src, ap = gen.fig2_example()
+        assert is_biconnected(g)
+        r = vcg_unicast_payments(g, src, ap)
+        assert r.path == (1, 2, 3, 4, 0)
+        assert r.lcp_cost == pytest.approx(3.0)
+        assert all(r.payment(k) == pytest.approx(3.0) for k in (2, 3, 4))
+        assert r.total_payment == pytest.approx(9.0)
+
+    def test_fig2_lying_pays_less(self):
+        """The Figure-2 phenomenon: hiding the link into the cheap branch
+        lowers the source's total payment from 9 to 7."""
+        from repro.core.vcg_unicast import vcg_unicast_payments
+
+        g, src, ap = gen.fig2_example()
+        lied = g.without_edge(1, 2)
+        r = vcg_unicast_payments(lied, src, ap)
+        assert r.path == (1, 5, 0)
+        assert r.total_payment == pytest.approx(7.0)
+
+    def test_fig4_resale_profitable(self):
+        from repro.core.resale import find_resale_opportunities
+
+        g, src, ap, reseller = gen.fig4_example()
+        assert is_biconnected(g)
+        opps = find_resale_opportunities(g, root=ap)
+        ours = [o for o in opps if o.source == src and o.reseller == reseller]
+        assert ours, "the designed resale pair must be profitable"
+        assert ours[0].savings == pytest.approx(7.5)
+        assert ours[0].source_payment == pytest.approx(15.0)
+        assert ours[0].reseller_payment == pytest.approx(2.5)
+
+    def test_fig4_reseller_off_lcp(self):
+        from repro.core.vcg_unicast import vcg_unicast_payments
+
+        g, src, ap, reseller = gen.fig4_example()
+        r = vcg_unicast_payments(g, src, ap)
+        assert reseller not in r.path  # p_8^4 = 0 in the paper's notation
+        assert r.payment(reseller) == 0.0

@@ -1,0 +1,122 @@
+"""Round-trip tests for the JSON serialization layer."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.mechanism import UnicastPayment
+from repro.core.vcg_unicast import vcg_unicast_payments
+from repro.graph import generators as gen
+from repro.io import (
+    SerializationError,
+    from_dict,
+    load_json,
+    save_json,
+    to_dict,
+)
+from repro.wireless.deployment import (
+    sample_heterogeneous_deployment,
+    sample_udg_deployment,
+)
+
+from conftest import biconnected_graphs, robust_digraphs
+
+
+class TestRoundTrips:
+    @given(biconnected_graphs(max_nodes=14))
+    @settings(max_examples=15)
+    def test_node_graph(self, g):
+        assert from_dict(to_dict(g)) == g
+
+    @given(robust_digraphs(max_nodes=12))
+    @settings(max_examples=15)
+    def test_link_digraph(self, dg):
+        assert from_dict(to_dict(dg)) == dg
+
+    def test_udg_deployment(self):
+        dep = sample_udg_deployment(50, seed=17)
+        back = from_dict(to_dict(dep))
+        assert np.array_equal(back.points, dep.points)
+        assert np.array_equal(back.ranges, dep.ranges)
+        assert back.digraph == dep.digraph
+        assert back.kind == dep.kind
+        assert back.model.kappa == dep.model.kappa
+
+    def test_heterogeneous_deployment_per_node_model(self):
+        dep = sample_heterogeneous_deployment(60, seed=18)
+        back = from_dict(to_dict(dep))
+        assert np.allclose(np.asarray(back.model.alpha), np.asarray(dep.model.alpha))
+        assert np.allclose(np.asarray(back.model.beta), np.asarray(dep.model.beta))
+        assert back.digraph == dep.digraph
+
+    def test_payment(self, random_graph):
+        p = vcg_unicast_payments(random_graph, 5, 0)
+        back = from_dict(to_dict(p))
+        assert back.path == p.path
+        assert back.payments == pytest.approx(dict(p.payments))
+        assert back.scheme == p.scheme
+
+    def test_payment_with_infinity(self):
+        p = UnicastPayment(1, 0, (1, 2, 0), 3.0, {2: float("inf")})
+        back = from_dict(to_dict(p))
+        assert back.payment(2) == float("inf")
+
+    def test_file_round_trip(self, tmp_path, random_graph):
+        path = tmp_path / "graph.json"
+        save_json(random_graph, path)
+        assert load_json(path) == random_graph
+        # the file is genuine JSON
+        json.loads(path.read_text())
+
+    def test_payment_recomputable_after_reload(self, tmp_path, random_graph):
+        """End-to-end: ship the instance, recompute identical payments."""
+        path = tmp_path / "instance.json"
+        save_json(random_graph, path)
+        g2 = load_json(path)
+        a = vcg_unicast_payments(random_graph, 7, 0)
+        b = vcg_unicast_payments(g2, 7, 0)
+        assert a.path == b.path
+        assert a.total_payment == pytest.approx(b.total_payment)
+
+
+class TestErrors:
+    def test_unsupported_type(self):
+        with pytest.raises(SerializationError, match="cannot serialize"):
+            to_dict(object())
+
+    def test_unknown_tag(self):
+        with pytest.raises(SerializationError, match="unknown format"):
+            from_dict({"format": "martian", "version": 1, "data": {}})
+
+    def test_bad_version(self):
+        with pytest.raises(SerializationError, match="version"):
+            from_dict({"format": "node-graph", "version": 99, "data": {}})
+
+    def test_malformed_payload(self):
+        with pytest.raises(SerializationError, match="malformed"):
+            from_dict({"format": "node-graph"})
+        with pytest.raises(SerializationError, match="malformed"):
+            from_dict(
+                {"format": "node-graph", "version": 1, "data": {"n": 2}}
+            )
+
+
+class TestMoreRoundTrips:
+    def test_collusion_scheme_payment(self):
+        from repro.core.collusion import neighbor_collusion_payments
+        from repro.graph import generators as gen2
+
+        g = gen2.random_neighbor_safe_graph(10, seed=5)
+        p = neighbor_collusion_payments(g, 0, 5)
+        back = from_dict(to_dict(p))
+        assert back.scheme == "neighbor-collusion"
+        assert back.payments == pytest.approx(dict(p.payments))
+
+    def test_fig_instances_ship_cleanly(self, tmp_path):
+        for builder in (gen.fig2_example, gen.fig4_example):
+            g = builder()[0]
+            path = tmp_path / "fig.json"
+            save_json(g, path)
+            assert load_json(path) == g

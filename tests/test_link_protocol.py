@@ -1,0 +1,79 @@
+"""Distributed link-model payments vs the centralized Section III.F table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.link_vcg import all_sources_link_payments, link_vcg_payments
+from repro.distributed.link_protocol import run_distributed_link_payments
+from repro.graph import generators as gen
+from repro.graph.dijkstra import link_weighted_spt
+from repro.graph.link_graph import LinkWeightedDigraph
+
+from conftest import robust_digraphs
+
+
+class TestStage1:
+    @given(robust_digraphs(min_nodes=4, max_nodes=16))
+    @settings(max_examples=20)
+    def test_distances_match_centralized(self, dg):
+        res = run_distributed_link_payments(dg, root=0)
+        spt = link_weighted_spt(dg, 0, direction="to", backend="python")
+        assert np.allclose(res.dist, spt.dist)
+
+    @given(robust_digraphs(min_nodes=4, max_nodes=12))
+    @settings(max_examples=15)
+    def test_routes_realize_distances(self, dg):
+        res = run_distributed_link_payments(dg, root=0)
+        for i in range(1, dg.n):
+            route = list(res.routes[i])
+            assert route[0] == i and route[-1] == 0
+            assert dg.path_cost(route) == pytest.approx(float(res.dist[i]))
+
+    def test_asymmetric_instance(self):
+        """The distributed protocol handles genuinely directed links
+        (unlike the symmetric-only fast algorithm)."""
+        dg = LinkWeightedDigraph(
+            4,
+            [
+                (3, 2, 1.0), (2, 0, 1.0),      # cheap chain in
+                (3, 1, 5.0), (1, 0, 2.0),      # detour
+                (0, 1, 9.0), (1, 3, 9.0), (0, 2, 9.0), (2, 3, 9.0),
+            ],
+        )
+        res = run_distributed_link_payments(dg, root=0)
+        assert res.routes[3] == (3, 2, 0)
+        assert res.dist[3] == pytest.approx(2.0)
+
+
+class TestStage2:
+    @given(robust_digraphs(min_nodes=4, max_nodes=14))
+    @settings(max_examples=20)
+    def test_payments_match_centralized(self, dg):
+        res = run_distributed_link_payments(dg, root=0)
+        table = all_sources_link_payments(dg, root=0)
+        for i in table.sources():
+            assert tuple(table.path(i)) == res.routes[i]
+            for k, pay in table.payments[i].items():
+                if np.isfinite(pay):
+                    assert res.payment(i, k) == pytest.approx(pay, abs=1e-7)
+                else:
+                    # monopoly: no finite distributed entry either
+                    assert k not in res.prices[i]
+
+    def test_single_source_spot_check(self, random_digraph):
+        res = run_distributed_link_payments(random_digraph, root=0)
+        i = random_digraph.n // 2
+        cent = link_vcg_payments(random_digraph, i, 0, on_monopoly="inf")
+        assert res.total_payment(i) == pytest.approx(
+            cent.total_payment, abs=1e-6
+        )
+
+    def test_converges_and_counts(self, random_digraph):
+        res = run_distributed_link_payments(random_digraph, root=0)
+        assert res.spt_stats.converged and res.stats.converged
+        assert res.stats.rounds <= random_digraph.n + 5
+
+    def test_root_has_no_entries(self, random_digraph):
+        res = run_distributed_link_payments(random_digraph, root=0)
+        assert res.prices[0] == {}

@@ -1,0 +1,159 @@
+"""Tests for the Section III.F link-cost VCG mechanism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.link_vcg import (
+    all_sources_link_payments,
+    link_vcg_payments,
+    relay_link_utility,
+)
+from repro.errors import DisconnectedError, MonopolyError
+from repro.graph import generators as gen
+from repro.graph.link_graph import LinkWeightedDigraph
+
+from conftest import digraph_with_endpoints, robust_digraphs
+
+
+@pytest.fixture
+def diamond() -> LinkWeightedDigraph:
+    """2 -> {1a: cost 1+1, 1b: cost 3+1} -> 0 with asymmetric returns."""
+    return LinkWeightedDigraph(
+        4,
+        [
+            (2, 1, 1.0), (1, 0, 1.0),   # cheap branch via node 1
+            (2, 3, 3.0), (3, 0, 1.0),   # detour via node 3
+            (0, 1, 1.0), (1, 2, 1.0), (0, 3, 1.0), (3, 2, 3.0),
+        ],
+    )
+
+
+class TestSingleSource:
+    def test_diamond_by_hand(self, diamond):
+        r = link_vcg_payments(diamond, 2, 0)
+        assert r.path == (2, 1, 0)
+        # relay 1's payment: its used link (1) + detour improvement (4 - 2)
+        assert r.payment(1) == pytest.approx(1.0 + (4.0 - 2.0))
+        # relay cost excludes the source's own first hop
+        assert r.lcp_cost == pytest.approx(1.0)
+
+    def test_same_endpoints(self, diamond):
+        r = link_vcg_payments(diamond, 0, 0)
+        assert r.path == () and r.total_payment == 0.0
+
+    def test_disconnected(self):
+        dg = LinkWeightedDigraph(3, [(0, 1, 1.0)])
+        with pytest.raises(DisconnectedError):
+            link_vcg_payments(dg, 2, 0)
+
+    def test_monopoly(self):
+        dg = LinkWeightedDigraph(3, [(2, 1, 1.0), (1, 0, 1.0)])
+        with pytest.raises(MonopolyError):
+            link_vcg_payments(dg, 2, 0)
+        r = link_vcg_payments(dg, 2, 0, on_monopoly="inf")
+        assert r.payment(1) == float("inf")
+
+    @given(digraph_with_endpoints(max_nodes=14))
+    def test_relay_paid_at_least_used_link(self, gst):
+        dg, s, t = gst
+        r = link_vcg_payments(dg, s, t)
+        path = r.path
+        for idx in range(1, len(path) - 1):
+            k, nxt = path[idx], path[idx + 1]
+            assert r.payment(k) >= dg.arc_weight(k, nxt) - 1e-9
+
+    @given(digraph_with_endpoints(max_nodes=12))
+    def test_truthfulness_row_deviations(self, gst):
+        """No node improves its utility by misdeclaring its cost row."""
+        dg, s, t = gst
+        truthful = link_vcg_payments(dg, s, t)
+        rng = np.random.default_rng(0)
+        for k in range(dg.n):
+            if k in (s, t):
+                continue
+            base = relay_link_utility(dg, truthful, k)
+            for factor in (0.0, 0.5, 2.0, 10.0):
+                row = dg.cost_row(k)
+                finite = np.isfinite(row)
+                row[finite] *= factor  # inf (absent) entries stay absent
+                row[k] = 0.0
+                lied = dg.with_declaration(k, row)
+                try:
+                    outcome = link_vcg_payments(lied, s, t)
+                except (MonopolyError, DisconnectedError):
+                    continue
+                lied_util = relay_link_utility(dg, outcome, k)
+                assert lied_util <= base + 1e-7
+
+
+class TestAllSources:
+    @given(robust_digraphs(max_nodes=16))
+    @settings(max_examples=20)
+    def test_table_matches_single_source(self, dg):
+        table = all_sources_link_payments(dg, 0)
+        for i in table.sources():
+            single = link_vcg_payments(dg, i, 0, on_monopoly="inf")
+            batch = table.payment_result(i)
+            assert batch.path == single.path
+            assert batch.lcp_cost == pytest.approx(single.lcp_cost)
+            for k in single.relays:
+                assert batch.payment(k) == pytest.approx(
+                    single.payment(k), abs=1e-7
+                )
+
+    def test_monopoly_detection(self):
+        # 2 -> 1 -> 0 only; 3 -> 0 direct
+        dg = LinkWeightedDigraph(
+            4, [(2, 1, 1.0), (1, 0, 1.0), (3, 0, 1.0), (0, 3, 1.0)]
+        )
+        table = all_sources_link_payments(dg, 0)
+        assert table.is_monopolized(2)
+        assert not table.is_monopolized(3)
+
+    def test_routes_form_tree(self, random_digraph):
+        table = all_sources_link_payments(random_digraph, 0)
+        for i in table.sources():
+            path = table.path(i)
+            assert path[0] == i and path[-1] == 0
+            # suffix property: the route of any relay is our route's suffix
+            for j, k in enumerate(path[1:-1], start=1):
+                assert table.path(k) == path[j:]
+
+    def test_relay_cost_consistency(self, random_digraph):
+        table = all_sources_link_payments(random_digraph, 0)
+        for i in table.sources():
+            path = table.path(i)
+            assert table.relay_cost(i) == pytest.approx(
+                random_digraph.relay_cost(path), abs=1e-9
+            )
+
+    def test_unreachable_source_raises_on_path(self):
+        dg = LinkWeightedDigraph(3, [(1, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0)])
+        table = all_sources_link_payments(dg, 0)
+        assert 2 not in list(table.sources())
+        with pytest.raises(DisconnectedError):
+            table.path(2)
+
+
+class TestRelayLinkUtility:
+    def test_off_path(self, diamond):
+        r = link_vcg_payments(diamond, 2, 0)
+        assert relay_link_utility(diamond, r, 3) == 0.0
+
+    def test_on_path_truthful_nonnegative(self, diamond):
+        r = link_vcg_payments(diamond, 2, 0)
+        assert relay_link_utility(diamond, r, 1) >= 0.0
+
+
+class TestHarnessIntegration:
+    @given(digraph_with_endpoints(max_nodes=12))
+    @settings(max_examples=10)
+    def test_check_link_strategyproof(self, gst):
+        from repro.core.truthfulness import check_link_strategyproof
+
+        dg, s, t = gst
+        report = check_link_strategyproof(dg, s, t)
+        assert report.ok, report.describe()
+        assert report.checked > 0

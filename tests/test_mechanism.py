@@ -1,0 +1,85 @@
+"""Tests for the mechanism primitives (UnicastPayment, utilities)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mechanism import MechanismSpec, UnicastPayment, relay_utility
+
+
+@pytest.fixture
+def payment() -> UnicastPayment:
+    return UnicastPayment(
+        source=4,
+        target=0,
+        path=(4, 2, 1, 0),
+        lcp_cost=3.0,
+        payments={2: 2.5, 1: 1.5},
+    )
+
+
+class TestUnicastPayment:
+    def test_relays(self, payment):
+        assert payment.relays == (2, 1)
+
+    def test_payment_defaults_to_zero(self, payment):
+        assert payment.payment(9) == 0.0
+        assert payment.payment(2) == 2.5
+
+    def test_total_and_ratio(self, payment):
+        assert payment.total_payment == 4.0
+        assert payment.overpayment_ratio == pytest.approx(4.0 / 3.0)
+        assert payment.overpayment == pytest.approx(1.0)
+
+    def test_ratio_nan_for_zero_cost(self):
+        p = UnicastPayment(1, 0, (1, 0), 0.0, {})
+        assert np.isnan(p.overpayment_ratio)
+
+    def test_on_path(self, payment):
+        assert payment.on_path(2) and not payment.on_path(7)
+
+    def test_types_coerced(self):
+        p = UnicastPayment(np.int64(1), 0, [np.int64(1), np.int64(0)], 0.0,
+                           {np.int64(3): np.float64(1.5)})
+        assert isinstance(p.path[0], int)
+        assert p.payments[3] == 1.5
+
+    def test_describe_mentions_route(self, payment):
+        text = payment.describe()
+        assert "4 -> 2 -> 1 -> 0" in text and "vcg" in text
+
+    def test_empty_path(self):
+        p = UnicastPayment(0, 0, (), 0.0, {})
+        assert p.relays == () and p.total_payment == 0.0
+        assert "(empty)" in p.describe()
+
+
+class TestRelayUtility:
+    def test_on_path_relay(self, payment):
+        costs = np.array([0.0, 1.0, 2.0, 0.0, 0.0])
+        assert relay_utility(payment, costs, 2) == pytest.approx(0.5)
+        assert relay_utility(payment, costs, 1) == pytest.approx(0.5)
+
+    def test_off_path_node_keeps_payment(self, payment):
+        # off-path with a (collusion-scheme) payment: no cost incurred
+        p2 = UnicastPayment(4, 0, (4, 2, 1, 0), 3.0, {7: 1.0})
+        costs = np.zeros(8) + 5.0
+        assert relay_utility(p2, costs, 7) == pytest.approx(1.0)
+
+    def test_endpoints_incur_no_cost(self, payment):
+        costs = np.full(5, 9.0)
+        assert relay_utility(payment, costs, 4) == 0.0  # source, no payment
+
+    def test_mapping_costs(self, payment):
+        costs = {1: 1.0, 2: 2.0}
+        assert relay_utility(payment, costs, 2) == pytest.approx(0.5)
+
+
+class TestMechanismSpec:
+    def test_callable(self):
+        def fake(graph, source, target):
+            return UnicastPayment(source, target, (source, target), 0.0, {})
+
+        spec = MechanismSpec(name="fake", compute=fake, properties=("toy",))
+        out = spec(None, 1, 0)
+        assert out.source == 1 and spec.name == "fake"
+        assert "toy" in spec.properties

@@ -1,0 +1,124 @@
+"""Tests for mobility models and the pricing-churn experiment."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.churn import mobility_churn_experiment
+from repro.wireless.geometry import PAPER_REGION, Region, uniform_points
+from repro.wireless.mobility import GaussianDrift, RandomWaypoint, mobility_trace
+
+
+class TestGaussianDrift:
+    def test_points_stay_in_region(self):
+        region = Region(100.0, 100.0)
+        model = GaussianDrift(region=region, sigma=40.0)
+        pts = uniform_points(region, 200, seed=1)
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            pts = model.step(pts, rng)
+            assert region.contains(pts).all()
+
+    def test_zero_sigma_is_static(self):
+        model = GaussianDrift(region=PAPER_REGION, sigma=0.0)
+        pts = uniform_points(PAPER_REGION, 20, seed=1)
+        moved = model.step(pts, np.random.default_rng(0))
+        assert np.allclose(moved, pts)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianDrift(region=PAPER_REGION, sigma=-1.0)
+
+    def test_step_magnitude_scales_with_sigma(self):
+        pts = uniform_points(PAPER_REGION, 500, seed=3)
+        small = GaussianDrift(PAPER_REGION, 5.0).step(pts, np.random.default_rng(1))
+        large = GaussianDrift(PAPER_REGION, 50.0).step(pts, np.random.default_rng(1))
+        d_small = np.linalg.norm(small - pts, axis=1).mean()
+        d_large = np.linalg.norm(large - pts, axis=1).mean()
+        assert d_large > 5 * d_small
+
+
+class TestRandomWaypoint:
+    def test_points_stay_in_region(self):
+        region = Region(200.0, 200.0)
+        model = RandomWaypoint(region=region, speed=30.0)
+        pts = uniform_points(region, 100, seed=4)
+        rng = np.random.default_rng(5)
+        for _ in range(15):
+            pts = model.step(pts, rng)
+            assert region.contains(pts).all()
+
+    def test_moves_at_speed(self):
+        model = RandomWaypoint(region=PAPER_REGION, speed=25.0)
+        pts = uniform_points(PAPER_REGION, 50, seed=6)
+        moved = model.step(pts, np.random.default_rng(7))
+        steps = np.linalg.norm(moved - pts, axis=1)
+        assert (steps <= 25.0 + 1e-9).all()
+        assert steps.max() > 20.0  # most nodes are far from their waypoint
+
+    def test_speed_validation(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(region=PAPER_REGION, speed=0.0)
+
+
+class TestTrace:
+    def test_trace_length_and_first_epoch(self):
+        model = GaussianDrift(PAPER_REGION, 10.0)
+        pts = uniform_points(PAPER_REGION, 10, seed=8)
+        frames = list(mobility_trace(model, pts, epochs=4, seed=9))
+        assert len(frames) == 5
+        assert np.allclose(frames[0], pts)
+        assert not np.allclose(frames[1], frames[0])
+
+    def test_trace_deterministic(self):
+        model_a = GaussianDrift(PAPER_REGION, 10.0)
+        model_b = GaussianDrift(PAPER_REGION, 10.0)
+        pts = uniform_points(PAPER_REGION, 10, seed=8)
+        a = list(mobility_trace(model_a, pts, epochs=3, seed=11))
+        b = list(mobility_trace(model_b, pts, epochs=3, seed=11))
+        for fa, fb in zip(a, b):
+            assert np.array_equal(fa, fb)
+
+    def test_negative_epochs_rejected(self):
+        model = GaussianDrift(PAPER_REGION, 1.0)
+        with pytest.raises(ValueError):
+            list(mobility_trace(model, np.zeros((3, 2)), epochs=-1))
+
+
+class TestChurnExperiment:
+    def test_static_network_has_zero_churn(self):
+        model = GaussianDrift(PAPER_REGION, sigma=0.0)
+        result = mobility_churn_experiment(
+            model, n=60, epochs=2, seed=13
+        )
+        assert len(result.transitions) == 2
+        for t in result.transitions:
+            assert t.route_churn == 0.0
+            assert t.payment_churn == 0.0
+            assert t.repriced_fraction == 0.0
+
+    def test_motion_causes_repricing(self):
+        model = GaussianDrift(PAPER_REGION, sigma=60.0)
+        result = mobility_churn_experiment(model, n=80, epochs=3, seed=14)
+        assert result.mean("repriced_fraction") > 0.1
+        # payments are more fragile than next hops: detours move first
+        assert (
+            result.mean("repriced_fraction")
+            >= result.mean("next_hop_churn") - 1e-9
+        )
+
+    def test_more_motion_more_churn(self):
+        slow = mobility_churn_experiment(
+            GaussianDrift(PAPER_REGION, sigma=10.0), n=80, epochs=3, seed=15
+        )
+        fast = mobility_churn_experiment(
+            GaussianDrift(PAPER_REGION, sigma=150.0), n=80, epochs=3, seed=15
+        )
+        assert (
+            fast.mean("route_churn") >= slow.mean("route_churn") - 1e-9
+        )
+
+    def test_describe(self):
+        result = mobility_churn_experiment(
+            GaussianDrift(PAPER_REGION, 30.0), n=50, epochs=1, seed=16
+        )
+        assert "route churn" in result.describe()

@@ -1,0 +1,59 @@
+"""All-sources node-model batch payments vs per-source Algorithm 1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.node_table import all_sources_node_payments
+from repro.core.vcg_unicast import vcg_unicast_payments
+from repro.errors import DisconnectedError
+from repro.graph import generators as gen
+from repro.graph.node_graph import NodeWeightedGraph
+
+from conftest import biconnected_graphs
+
+
+class TestAgainstPerSource:
+    @given(biconnected_graphs(min_nodes=5, max_nodes=18))
+    @settings(max_examples=25)
+    def test_matches_fast_payments(self, g):
+        table = all_sources_node_payments(g, root=0)
+        for i in table.sources():
+            single = vcg_unicast_payments(g, i, 0, method="fast", on_monopoly="inf")
+            batch = table.payment_result(i)
+            # both run source-first: i ... root
+            assert batch.path == single.path
+            assert batch.lcp_cost == pytest.approx(single.lcp_cost)
+            for k in single.relays:
+                assert batch.payment(k) == pytest.approx(
+                    single.payment(k), abs=1e-7
+                )
+
+    def test_monopoly_marked_infinite(self):
+        g = NodeWeightedGraph(3, [(0, 1), (1, 2)], [0.0, 2.0, 1.0])
+        table = all_sources_node_payments(g, root=0)
+        assert table.payments[2][1] == float("inf")
+
+    def test_unreachable_sources_excluded(self):
+        g = NodeWeightedGraph(4, [(0, 1), (2, 3)], np.ones(4))
+        table = all_sources_node_payments(g, root=0)
+        assert list(table.sources()) == [1]
+        with pytest.raises(DisconnectedError):
+            table.path(2)
+
+    def test_totals_and_paths(self, random_graph):
+        table = all_sources_node_payments(random_graph, root=0)
+        for i in table.sources():
+            path = table.path(i)
+            assert path[0] == i and path[-1] == 0
+            assert table.total_payment(i) == pytest.approx(
+                sum(table.payments[i].values())
+            )
+
+    def test_overpayment_summary_integration(self, random_graph):
+        from repro.core.overpayment import overpayment_summary
+
+        table = all_sources_node_payments(random_graph, root=0)
+        results = [table.payment_result(i) for i in table.sources()]
+        s = overpayment_summary(results)
+        assert s.tor >= 1.0

@@ -1,0 +1,107 @@
+"""Tests for the nuglet-counter protocol simulation."""
+
+import numpy as np
+import pytest
+
+from repro.accounting.sessions import Session, uniform_workload
+from repro.baselines.nuglet_counters import simulate_nuglet_counters
+from repro.graph import generators as gen
+from repro.graph.node_graph import NodeWeightedGraph
+
+
+@pytest.fixture
+def g():
+    return gen.random_biconnected_graph(24, extra_edge_prob=0.12, seed=6)
+
+
+def workload(g, count=300, seed=2):
+    return list(uniform_workload(g.n, count, seed=seed, packet_range=(1, 3)))
+
+
+class TestCounterDynamics:
+    def test_counters_stay_non_negative(self, g):
+        res = simulate_nuglet_counters(g, workload(g), initial_nuglets=5.0)
+        assert (res.counters >= -1e-12).all()
+
+    def test_conservation(self, g):
+        """Nuglets are only transferred, never minted after the jump-start."""
+        res = simulate_nuglet_counters(g, workload(g), initial_nuglets=7.0)
+        assert res.counters.sum() == pytest.approx(7.0 * g.n)
+        assert res.earned.sum() == pytest.approx(res.spent.sum())
+
+    def test_zero_endowment_blocks_everything_multihop(self, g):
+        res = simulate_nuglet_counters(g, workload(g), initial_nuglets=0.0)
+        # only zero-relay (direct) sessions can ever succeed, and they
+        # charge nothing; nobody ever earns because nobody multi-hop sends
+        assert res.earned.sum() == 0.0
+
+    def test_generous_endowment_unblocks(self, g):
+        poor = simulate_nuglet_counters(g, workload(g), initial_nuglets=1.0)
+        rich = simulate_nuglet_counters(g, workload(g), initial_nuglets=1e6)
+        assert rich.delivery_ratio >= poor.delivery_ratio
+        assert rich.sessions_broke == 0
+
+    def test_broke_source_blocked(self):
+        # line: 2 - 1 - 0; node 2 needs 1 nuglet per packet to reach 0
+        g = NodeWeightedGraph(3, [(0, 1), (1, 2), (0, 2)], np.ones(3))
+        # remove direct link to force a relay: rebuild as a path + detour
+        g = NodeWeightedGraph(4, [(2, 1), (1, 0), (2, 3), (3, 0)], np.ones(4))
+        sessions = [Session(source=2, packets=2), Session(source=2, packets=2)]
+        res = simulate_nuglet_counters(g, sessions, initial_nuglets=2.0)
+        assert res.sessions_delivered == 1  # second one: counter exhausted
+        assert res.sessions_broke == 1
+
+    def test_negative_endowment_rejected(self, g):
+        with pytest.raises(ValueError):
+            simulate_nuglet_counters(g, [], initial_nuglets=-1.0)
+
+
+class TestStructuralCritique:
+    def test_earning_is_topology_determined(self, g):
+        """Central nodes earn, edge nodes starve — the imbalance the
+        paper's footnote derives (1 - 1/h of transmissions are transit)."""
+        res = simulate_nuglet_counters(
+            g, workload(g, count=600), initial_nuglets=3.0
+        )
+        assert res.earned.max() > 0
+        # some node never earns (leaf of the min-hop tree)
+        assert (res.earned == 0).any()
+
+    def test_transit_fraction_matches_footnote(self, g):
+        """On delivered sessions with average hop count h, the transit
+        fraction of transmissions approaches 1 - 1/h."""
+        res = simulate_nuglet_counters(
+            g, workload(g, count=600), initial_nuglets=1e6
+        )
+        total_tx = res.earned.sum() + res.spent.sum() / 1.0  # transit + ...
+        # transmissions: source sends (1 per packet) + each relay sends.
+        relayed = res.earned.sum()  # one nuglet per relayed packet
+        # count source transmissions = delivered packets
+        # (recover from spent: spent = relays * packets summed)
+        # Use the identity: transit fraction = relayed / (relayed + packets)
+        # where packets = number of origin transmissions.
+        # We can't see packets directly; bound the fraction instead:
+        assert relayed > 0
+        frac = relayed / (relayed + res.sessions_delivered)
+        assert 0.3 < frac < 1.0  # multi-hop regime: most traffic is transit
+
+    def test_starving_nodes_listed(self, g):
+        res = simulate_nuglet_counters(g, workload(g), initial_nuglets=0.5)
+        for node in res.starving_nodes():
+            assert res.counters[node] < 1.0
+
+    def test_describe(self, g):
+        res = simulate_nuglet_counters(g, workload(g, 50), initial_nuglets=3.0)
+        assert "delivered" in res.describe()
+
+
+class TestRoutingModes:
+    def test_min_hop_vs_energy_routing(self, g):
+        a = simulate_nuglet_counters(
+            g, workload(g), initial_nuglets=20.0, min_hop_routing=True
+        )
+        b = simulate_nuglet_counters(
+            g, workload(g), initial_nuglets=20.0, min_hop_routing=False
+        )
+        # both run; min-hop never pays more relays than energy routing
+        assert a.spent.sum() <= b.spent.sum() + 1e-9

@@ -1,0 +1,112 @@
+"""Tests for the TOR/IOR/worst overpayment metrics (Section III.G)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.core.link_vcg import all_sources_link_payments
+from repro.core.mechanism import UnicastPayment
+from repro.core.overpayment import (
+    HopBucket,
+    overpayment_summary,
+    per_hop_breakdown,
+)
+from repro.graph import generators as gen
+
+from conftest import robust_digraphs
+
+
+def up(source, path, cost, payments):
+    return UnicastPayment(source, 0, path, cost, payments)
+
+
+class TestSummary:
+    def test_hand_computed(self):
+        results = [
+            up(1, (1, 2, 0), 2.0, {2: 3.0}),      # ratio 1.5
+            up(3, (3, 4, 0), 4.0, {4: 5.0}),      # ratio 1.25
+        ]
+        s = overpayment_summary(results)
+        assert s.n_sources == 2
+        assert s.tor == pytest.approx(8.0 / 6.0)
+        assert s.ior == pytest.approx((1.5 + 1.25) / 2)
+        assert s.worst == pytest.approx(1.5)
+        assert s.worst_source == 1
+
+    def test_trivial_sources_skipped(self):
+        results = [
+            up(1, (1, 0), 0.0, {}),               # one hop: skipped
+            up(2, (2, 3, 0), 1.0, {3: 2.0}),
+        ]
+        s = overpayment_summary(results)
+        assert s.n_sources == 1 and s.skipped_trivial == 1
+
+    def test_monopoly_sources_skipped(self):
+        results = [
+            up(1, (1, 2, 0), 2.0, {2: float("inf")}),
+            up(2, (2, 3, 0), 1.0, {3: 2.0}),
+        ]
+        s = overpayment_summary(results)
+        assert s.n_sources == 1 and s.skipped_monopoly == 1
+        assert np.isfinite(s.tor)
+
+    def test_empty(self):
+        s = overpayment_summary([])
+        assert s.n_sources == 0
+        assert np.isnan(s.tor) and np.isnan(s.ior)
+
+    def test_describe(self):
+        s = overpayment_summary([up(1, (1, 2, 0), 2.0, {2: 3.0})])
+        assert "TOR" in s.describe() and "IOR" in s.describe()
+
+    @given(robust_digraphs(min_nodes=6, max_nodes=16))
+    def test_vcg_ratios_at_least_one(self, dg):
+        """VCG never underpays, so every ratio (and the aggregates) is >= 1."""
+        table = all_sources_link_payments(dg, 0)
+        s = overpayment_summary(table)
+        if s.n_sources:
+            assert s.tor >= 1.0 - 1e-9
+            assert s.ior >= 1.0 - 1e-9
+            assert s.worst >= s.ior - 1e-12
+
+    @given(robust_digraphs(min_nodes=6, max_nodes=14))
+    def test_tor_is_payment_weighted(self, dg):
+        """TOR equals total payment / total cost recomputed by hand."""
+        table = all_sources_link_payments(dg, 0)
+        tot_p = tot_c = 0.0
+        for i in table.sources():
+            r = table.payment_result(i)
+            if r.lcp_cost > 0 and np.isfinite(r.total_payment):
+                tot_p += r.total_payment
+                tot_c += r.lcp_cost
+        s = overpayment_summary(table)
+        if tot_c > 0:
+            assert s.tor == pytest.approx(tot_p / tot_c)
+
+
+class TestPerHop:
+    def test_bucketing(self):
+        results = [
+            up(1, (1, 2, 0), 2.0, {2: 3.0}),          # 2 hops, ratio 1.5
+            up(3, (3, 4, 0), 4.0, {4: 8.0}),          # 2 hops, ratio 2.0
+            up(5, (5, 6, 7, 0), 2.0, {6: 2.0, 7: 2.0}),  # 3 hops, ratio 2.0
+        ]
+        buckets = per_hop_breakdown(results)
+        assert [b.hops for b in buckets] == [2, 3]
+        b2 = buckets[0]
+        assert b2.count == 2
+        assert b2.mean_ratio == pytest.approx(1.75)
+        assert b2.max_ratio == pytest.approx(2.0)
+
+    def test_max_hops_filter(self):
+        results = [
+            up(1, (1, 2, 0), 2.0, {2: 3.0}),
+            up(5, (5, 6, 7, 0), 2.0, {6: 2.0, 7: 2.0}),
+        ]
+        buckets = per_hop_breakdown(results, max_hops=2)
+        assert [b.hops for b in buckets] == [2]
+
+    def test_from_table(self, random_digraph):
+        buckets = per_hop_breakdown(all_sources_link_payments(random_digraph, 0))
+        assert all(isinstance(b, HopBucket) for b in buckets)
+        assert all(b.max_ratio >= b.mean_ratio - 1e-12 for b in buckets)

@@ -1,0 +1,134 @@
+"""Algorithm 2 security: audits, adversaries, detection guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.core.vcg_unicast import vcg_unicast_payments
+from repro.distributed.adversary import (
+    LinkHiderSptNode,
+    PaymentInflatorNode,
+    SilentNode,
+)
+from repro.distributed.payment_protocol import run_distributed_payments
+from repro.distributed.secure import (
+    SecurePaymentNode,
+    run_secure_distributed_payments,
+)
+from repro.distributed.spt_protocol import run_distributed_spt
+from repro.graph import generators as gen
+
+
+class TestHonestSecureRun:
+    def test_no_findings_and_same_payments(self, random_graph):
+        res, reports = run_secure_distributed_payments(random_graph, root=0)
+        assert reports == []
+        for i in range(1, random_graph.n):
+            cent = vcg_unicast_payments(
+                random_graph, i, 0, method="naive", on_monopoly="inf"
+            )
+            for k in cent.relays:
+                assert res.payment(i, k) == pytest.approx(cent.payment(k), abs=1e-7)
+
+    def test_many_seeds_no_false_positives(self):
+        for seed in range(12):
+            g = gen.random_biconnected_graph(
+                14, extra_edge_prob=0.25, seed=seed
+            )
+            res, reports = run_secure_distributed_payments(g, root=0)
+            assert reports == [], (seed, [r.describe() for r in reports[:2]])
+            assert not res.all_flags
+
+
+class TestPaymentInflator:
+    @pytest.mark.parametrize("scale", [0.5, 1.7])
+    def test_manipulation_is_detected(self, scale):
+        g = gen.random_biconnected_graph(16, extra_edge_prob=0.25, seed=5)
+
+        class Cheat(PaymentInflatorNode):
+            pass
+
+        Cheat.scale = scale
+        res, reports = run_secure_distributed_payments(
+            g, root=0, payment_overrides={7: Cheat}
+        )
+        suspects = {r.suspect for r in reports}
+        assert 7 in suspects
+        # every report names a real mismatch
+        for r in reports:
+            assert abs(r.announced - r.expected) > 1e-9
+            assert "p^" in r.describe()
+
+    def test_scale_one_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            PaymentInflatorNode(
+                0, 1.0, 1.0, (), (), is_root=False, scale=1.0,
+                declared_costs=np.ones(3),
+            )
+
+    def test_honest_nodes_unaffected_in_their_own_entries(self):
+        """The cheater can only distort entries that *depend* on it; the
+        audit still localizes blame to the cheater, not its neighbours."""
+        g = gen.random_biconnected_graph(16, extra_edge_prob=0.25, seed=6)
+        res, reports = run_secure_distributed_payments(
+            g, root=0, payment_overrides={3: PaymentInflatorNode}
+        )
+        assert {r.suspect for r in reports} <= {3}
+
+
+class TestLinkHider:
+    def test_fig2_hider_is_flagged(self):
+        g, src, ap = gen.fig2_example()
+        hider = LinkHiderSptNode(src, float(g.costs[src]), hidden_neighbor=2)
+        res = run_distributed_payments(g, root=ap, spt_processes={src: hider})
+        assert any(
+            f.suspect == src and "challenge" in f.reason for f in res.all_flags
+        )
+
+    def test_hider_flagged_by_the_hidden_neighbor(self):
+        g, src, ap = gen.fig2_example()
+        hider = LinkHiderSptNode(src, float(g.costs[src]), hidden_neighbor=2)
+        res = run_distributed_spt(g, root=ap, processes={src: hider})
+        witnesses = {f.witness for f in res.stats.flags if f.suspect == src}
+        assert 2 in witnesses
+
+    def test_hiding_a_useless_link_goes_unnoticed(self):
+        """Hiding a link that is never route-relevant produces no flags —
+        detection keys on announced distances being improvable."""
+        g, src, ap = gen.fig2_example()
+        # node 6 (expensive branch) hides its link to the source: the
+        # source never routes through 6 anyway.
+        hider = LinkHiderSptNode(6, float(g.costs[6]), hidden_neighbor=1)
+        res = run_distributed_spt(g, root=ap, processes={6: hider})
+        assert not any(f.suspect == 6 for f in res.stats.flags)
+
+
+class TestSilentNode:
+    def test_network_routes_around_crash(self):
+        g = gen.random_biconnected_graph(15, seed=8)
+        res = run_distributed_payments(
+            g, root=0, spt_processes={9: SilentNode(9)}
+        )
+        assert res.stats.converged
+        # distances match the graph with node 9 removed
+        from repro.graph.dijkstra import node_weighted_spt
+
+        spt = node_weighted_spt(g, 0, forbidden=[9], backend="python")
+        for i in range(1, g.n):
+            if i == 9:
+                continue
+            assert res.spt.dist[i] == pytest.approx(float(spt.dist[i]))
+
+
+class TestSecureNodeInternals:
+    def test_audit_without_announcements_is_empty(self):
+        node = SecurePaymentNode(
+            1, 1.0, 2.0, (3,), (1.5,), declared_costs=np.ones(5)
+        )
+        assert node.audit() == []
+
+    def test_candidate_for_unknown_relay_without_public_costs(self):
+        node = SecurePaymentNode(1, 1.0, 2.0, (3,), (1.5,), declared_costs=None)
+        node.sent = node._announcement()
+        assert (
+            node._candidate_for(4, node.sent["prices"], {3}, 3.0, 1.0) is None
+        )

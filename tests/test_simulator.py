@@ -1,0 +1,168 @@
+"""Tests for the round-based message-passing simulator."""
+
+import pytest
+
+from repro.distributed.node_proc import NodeProcess
+from repro.distributed.simulator import Simulator
+from repro.errors import ProtocolError
+
+
+class Echo(NodeProcess):
+    """Broadcasts once at start; counts what it hears."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.heard: list[tuple[int, dict]] = []
+
+    def start(self, api):
+        api.broadcast({"hello": self.node_id})
+
+    def on_message(self, api, sender, payload):
+        self.heard.append((sender, dict(payload)))
+
+
+class Chatter(NodeProcess):
+    """Re-broadcasts a hop-limited token."""
+
+    def __init__(self, node_id, start_token=False):
+        super().__init__(node_id)
+        self.start_token = start_token
+        self.seen = 0
+
+    def start(self, api):
+        if self.start_token:
+            api.broadcast({"ttl": 3})
+
+    def on_message(self, api, sender, payload):
+        self.seen += 1
+        ttl = payload["ttl"]
+        if ttl > 0:
+            api.broadcast({"ttl": ttl - 1})
+
+
+class Unicaster(NodeProcess):
+    def __init__(self, node_id, dest=None):
+        super().__init__(node_id)
+        self.dest = dest
+        self.got = []
+
+    def start(self, api):
+        if self.dest is not None:
+            api.send(self.dest, {"direct": True})
+
+    def on_message(self, api, sender, payload):
+        self.got.append(sender)
+
+
+LINE = [[1], [0, 2], [1]]  # path 0 - 1 - 2
+
+
+class TestDelivery:
+    def test_broadcast_reaches_only_neighbors(self):
+        procs = [Echo(i) for i in range(3)]
+        stats = Simulator(LINE, procs).run()
+        assert stats.converged
+        # node 0 hears only node 1; node 1 hears both ends
+        assert [s for s, _ in procs[0].heard] == [1]
+        assert sorted(s for s, _ in procs[1].heard) == [0, 2]
+
+    def test_provenance_is_engine_stamped(self):
+        procs = [Echo(i) for i in range(3)]
+        Simulator(LINE, procs).run()
+        for s, payload in procs[1].heard:
+            assert payload["hello"] == s  # payload agrees with engine stamp
+
+    def test_rounds_count_ttl(self):
+        procs = [Chatter(0, start_token=True), Chatter(1), Chatter(2)]
+        stats = Simulator(LINE, procs).run()
+        # ttl 3 -> 4 generations of messages (3,2,1,0), then quiescence
+        assert stats.converged
+        assert stats.rounds == 4
+
+    def test_unicast_to_non_neighbor_counts_remote(self):
+        procs = [Unicaster(0, dest=2), Unicaster(1), Unicaster(2)]
+        stats = Simulator(LINE, procs).run()
+        assert procs[2].got == [0]
+        assert stats.unicasts == 1 and stats.remote_unicasts == 1
+
+    def test_self_send_rejected(self):
+        class SelfSend(NodeProcess):
+            def start(self, api):
+                api.send(self.node_id, {})
+
+            def on_message(self, api, sender, payload):
+                pass
+
+        with pytest.raises(ProtocolError, match="itself"):
+            Simulator(LINE, [SelfSend(0), Echo(1), Echo(2)]).run()
+
+    def test_flags_collected(self):
+        class Flagger(Echo):
+            def start(self, api):
+                api.flag(2, "testing")
+
+        procs = [Flagger(0), Echo(1), Echo(2)]
+        stats = Simulator(LINE, procs).run()
+        assert len(stats.flags) == 1
+        f = stats.flags[0]
+        assert (f.witness, f.suspect, f.reason) == (0, 2, "testing")
+
+
+class TestConstruction:
+    def test_process_count_mismatch(self):
+        with pytest.raises(ProtocolError, match="processes"):
+            Simulator(LINE, [Echo(0)])
+
+    def test_node_id_mismatch(self):
+        with pytest.raises(ProtocolError, match="node_id"):
+            Simulator(LINE, [Echo(0), Echo(2), Echo(1)])
+
+    def test_from_graph_node_model(self, small_graph):
+        procs = [Echo(i) for i in range(small_graph.n)]
+        sim = Simulator.from_graph(small_graph, procs)
+        assert sim.adjacency[0] == (1, 5)
+
+    def test_from_graph_link_model(self, random_digraph):
+        procs = [Echo(i) for i in range(random_digraph.n)]
+        sim = Simulator.from_graph(random_digraph, procs)
+        heads, _ = random_digraph.out_neighbors(0)
+        assert sim.adjacency[0] == tuple(heads.tolist())
+
+    def test_max_rounds_cap(self):
+        class Forever(NodeProcess):
+            def start(self, api):
+                api.broadcast({})
+
+            def on_message(self, api, sender, payload):
+                api.broadcast({})
+
+        procs = [Forever(i) for i in range(3)]
+        stats = Simulator(LINE, procs).run(max_rounds=5)
+        assert stats.rounds == 5 and not stats.converged
+
+    def test_max_rounds_validation(self):
+        with pytest.raises(ValueError):
+            Simulator(LINE, [Echo(i) for i in range(3)]).run(max_rounds=0)
+
+    def test_transmission_counter(self):
+        procs = [Echo(i) for i in range(3)]
+        stats = Simulator(LINE, procs).run()
+        assert stats.transmissions == stats.broadcasts == 3
+        assert stats.deliveries == 4  # line graph: 2 + 1 + 1
+
+
+class TestTraceRecording:
+    def test_disabled_by_default(self):
+        procs = [Echo(i) for i in range(3)]
+        sim = Simulator(LINE, procs)
+        sim.run()
+        assert sim.trace == []
+
+    def test_records_deliveries_with_provenance(self):
+        procs = [Echo(i) for i in range(3)]
+        sim = Simulator(LINE, procs, record_trace=True)
+        stats = sim.run()
+        assert len(sim.trace) == stats.deliveries
+        for sender, dest, rnd, payload in sim.trace:
+            assert dest in (0, 1, 2) and rnd >= 1
+            assert payload["hello"] == sender  # engine-stamped provenance

@@ -1,0 +1,116 @@
+"""Tests for the ShortestPathTree structure (paths, order, branch labels)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.errors import DisconnectedError
+from repro.graph.dijkstra import node_weighted_spt
+from repro.graph.spt import ShortestPathTree
+
+from conftest import biconnected_graphs
+
+
+@pytest.fixture
+def tree() -> ShortestPathTree:
+    """Hand-built tree: 0 -> 1 -> 2, 0 -> 3; node 4 unreachable."""
+    dist = np.array([0.0, 1.0, 2.0, 1.5, np.inf])
+    parent = np.array([-1, 0, 1, 0, -1])
+    return ShortestPathTree(0, dist, parent)
+
+
+class TestPaths:
+    def test_path_from_root(self, tree):
+        assert tree.path_from_root(2) == [0, 1, 2]
+        assert tree.path_from_root(0) == [0]
+
+    def test_path_to_root(self, tree):
+        assert tree.path_to_root(2) == [2, 1, 0]
+
+    def test_relays(self, tree):
+        assert tree.relays(2) == [1]
+        assert tree.relays(3) == []
+
+    def test_first_hop(self, tree):
+        assert tree.first_hop(2) == 1
+        assert tree.first_hop(0) == -1
+
+    def test_unreachable_raises(self, tree):
+        with pytest.raises(DisconnectedError):
+            tree.path_from_root(4)
+        assert not tree.reachable(4)
+
+    def test_hops(self, tree):
+        assert tree.hops(2) == 2
+        assert tree.hops(0) == 0
+
+    def test_hop_counts_vector(self, tree):
+        hops = tree.hop_counts()
+        assert hops.tolist() == [0, 1, 2, 1, -1]
+
+    def test_on_tree_path(self, tree):
+        assert tree.on_tree_path(2, 1)
+        assert not tree.on_tree_path(3, 1)
+
+
+class TestStructure:
+    def test_children(self, tree):
+        kids = tree.children()
+        assert kids[0] == [1, 3]
+        assert kids[1] == [2]
+
+    def test_topological_order_parent_first(self, tree):
+        order = tree.topological_order().tolist()
+        assert order.index(0) < order.index(1) < order.index(2)
+        assert 4 not in order
+
+    def test_topological_order_handles_distance_ties(self):
+        """Regression: children at the same distance as the root (internal
+        node cost convention) must still come after their parent."""
+        # node 2 is the root; node 0 is its child at distance 0.
+        dist = np.array([0.0, 0.0, 0.0])
+        parent = np.array([2, 0, -1])
+        t = ShortestPathTree(2, dist, parent)
+        order = t.topological_order().tolist()
+        assert order.index(2) < order.index(0) < order.index(1)
+
+    def test_subtree(self, tree):
+        assert tree.subtree(1) == {1, 2}
+        assert tree.subtree(0) == {0, 1, 2, 3}
+
+    def test_iter_yields_topological(self, tree):
+        assert list(iter(tree)) == tree.topological_order().tolist()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ShortestPathTree(0, np.zeros(3), np.zeros(2, dtype=np.int64))
+
+
+class TestBranchLabels:
+    def test_labels_on_fixture(self, tree):
+        # path 0 -> 1 -> 2: node 3 branches at 0 (level 0)
+        labels = tree.branch_labels([0, 1, 2])
+        assert labels[0] == 0 and labels[1] == 1 and labels[2] == 2
+        assert labels[3] == 0
+        assert labels[4] == -1
+
+    def test_path_must_start_at_root(self, tree):
+        with pytest.raises(ValueError, match="root"):
+            tree.branch_labels([1, 2])
+
+    @given(biconnected_graphs(max_nodes=18))
+    def test_labels_match_definition(self, g):
+        """level(x) is the index of the last path node on the tree path
+        from the root to x (the paper's step-2 definition)."""
+        spt = node_weighted_spt(g, 0, backend="python")
+        target = g.n - 1
+        path = spt.path_from_root(target)
+        pos = {node: i for i, node in enumerate(path)}
+        labels = spt.branch_labels(path)
+        for x in range(g.n):
+            if not spt.reachable(x):
+                assert labels[x] == -1
+                continue
+            tree_path = spt.path_from_root(x)
+            expected = max(pos[v] for v in tree_path if v in pos)
+            assert labels[x] == expected

@@ -1,0 +1,140 @@
+"""Unit tests of the stage-1 challenge machinery (Algorithm 2 rules)."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.spt_protocol import CHALLENGE_PATIENCE, SptNode
+
+
+class FakeApi:
+    """Minimal NodeAPI capturing outgoing traffic and flags."""
+
+    def __init__(self, node_id=1, round_=0, neighbors=()):
+        self.node_id = node_id
+        self.round = round_
+        self.neighbors = tuple(neighbors)
+        self.broadcasts = []
+        self.sent = []
+        self.flags = []
+
+    def broadcast(self, payload):
+        self.broadcasts.append(dict(payload))
+
+    def send(self, dest, payload):
+        self.sent.append((dest, dict(payload)))
+
+    def flag(self, suspect, reason):
+        self.flags.append((suspect, reason))
+
+
+def announcement(dist, route=(), route_costs=(), cost=1.0):
+    via = dist + cost if np.isfinite(dist) else np.inf
+    return {
+        "type": "spt",
+        "via_cost": via,
+        "dist": dist,
+        "route": route,
+        "route_costs": route_costs,
+        "cost": cost,
+    }
+
+
+class TestChallengeLifecycle:
+    def test_worse_neighbor_gets_challenged(self):
+        node = SptNode(1, declared_cost=2.0)
+        node.dist = 3.0  # established route
+        api = FakeApi()
+        # neighbour 5 announces a distance worse than 3 + 2 = 5
+        node.on_message(api, 5, announcement(dist=9.0, route=(5, 0), route_costs=(1.0,)))
+        challenges = [m for _, m in api.sent if m["type"] == "spt-challenge"]
+        assert challenges and challenges[0]["via_cost"] == pytest.approx(5.0)
+        assert 5 in node._challenges
+
+    def test_better_neighbor_not_challenged_but_adopted(self):
+        node = SptNode(1, declared_cost=2.0)
+        node.dist = 10.0
+        api = FakeApi()
+        node.on_message(api, 5, announcement(dist=1.0, cost=1.5, route=(5, 0), route_costs=(1.5,)))
+        assert node.dist == pytest.approx(2.5)
+        assert node.first_hop == 5
+        assert not any(m["type"] == "spt-challenge" for _, m in api.sent)
+
+    def test_matching_ack_clears_challenge(self):
+        node = SptNode(1, declared_cost=2.0)
+        node.dist = 3.0
+        api = FakeApi()
+        node.on_message(api, 5, announcement(dist=9.0))
+        nonce = node._challenges[5][2]
+        node.on_message(api, 5, {"type": "spt-challenge-ack", "dist": 4.0, "nonce": nonce})
+        assert 5 not in node._challenges
+        assert not api.flags  # 4.0 <= offer 5.0: compliant
+
+    def test_noncompliant_ack_flags(self):
+        node = SptNode(1, declared_cost=2.0)
+        node.dist = 3.0
+        api = FakeApi()
+        node.on_message(api, 5, announcement(dist=9.0))
+        nonce = node._challenges[5][2]
+        node.on_message(api, 5, {"type": "spt-challenge-ack", "dist": 8.0, "nonce": nonce})
+        assert api.flags == [(5, "rejected a strictly better route offer")]
+        assert 5 in node._flagged
+
+    def test_stale_ack_ignored(self):
+        """Regression for the async correlation bug: an ack carrying the
+        wrong nonce must neither clear the challenge nor flag anyone."""
+        node = SptNode(1, declared_cost=2.0)
+        node.dist = 3.0
+        api = FakeApi()
+        node.on_message(api, 5, announcement(dist=9.0))
+        node.on_message(
+            api, 5, {"type": "spt-challenge-ack", "dist": 8.0, "nonce": -999}
+        )
+        assert 5 in node._challenges
+        assert not api.flags
+
+    def test_timeout_flags_and_stops_rechallenging(self):
+        node = SptNode(1, declared_cost=2.0)
+        node.dist = 3.0
+        api = FakeApi(round_=0)
+        node.on_message(api, 5, announcement(dist=9.0))
+        api.round = CHALLENGE_PATIENCE
+        node.on_round_end(api)
+        assert api.flags == [(5, "ignored a route-correction challenge")]
+        # flagged suspects are never re-challenged (quiescence)
+        api.sent.clear()
+        node.on_round_end(api)
+        assert not any(m["type"] == "spt-challenge" for _, m in api.sent)
+
+    def test_resend_while_waiting(self):
+        node = SptNode(1, declared_cost=2.0)
+        node.dist = 3.0
+        api = FakeApi(round_=0)
+        node.on_message(api, 5, announcement(dist=9.0))
+        api.sent.clear()
+        api.round = 1
+        node.on_round_end(api)
+        resends = [m for _, m in api.sent if m["type"] == "spt-challenge"]
+        assert resends and resends[0]["nonce"] == node._challenges[5][2]
+
+    def test_patience_validation(self):
+        with pytest.raises(ValueError):
+            SptNode(0, 1.0, challenge_patience=0)
+
+
+class TestLoopGuard:
+    def test_never_adopts_route_through_self(self):
+        node = SptNode(1, declared_cost=2.0)
+        node.dist = 10.0
+        api = FakeApi()
+        # a tempting offer whose route passes through node 1 itself
+        node.on_message(
+            api, 5,
+            announcement(dist=0.5, cost=0.1, route=(5, 1, 0), route_costs=(0.1, 2.0)),
+        )
+        assert node.dist == 10.0  # rejected
+
+    def test_root_never_relaxes(self):
+        root = SptNode(0, declared_cost=1.0, is_root=True)
+        api = FakeApi(node_id=0)
+        root.on_message(api, 3, announcement(dist=0.0, cost=0.1, route=(3,), route_costs=(0.1,)))
+        assert root.dist == 0.0 and root.first_hop == -1

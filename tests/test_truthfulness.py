@@ -1,0 +1,149 @@
+"""Property tests of the mechanism-design guarantees (IC, IR, group-IC).
+
+These exercise the *verification harness itself* as well as the two
+schemes: plain VCG (Section III.A) must pass IC + IR but fail pair-IC
+somewhere (Theorem 7); the neighbour scheme (Section III.E) must pass
+IC + IR and resist off-path-neighbour pairs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.collusion import NEIGHBOR_COLLUSION_VCG
+from repro.core.mechanism import MechanismSpec, UnicastPayment
+from repro.core.truthfulness import (
+    check_group_strategyproof,
+    check_individual_rationality,
+    check_strategyproof,
+    default_deviations,
+)
+from repro.core.vcg_unicast import VCG_UNICAST
+from repro.graph import generators as gen
+
+from conftest import graph_with_endpoints
+
+
+class TestDefaultDeviations:
+    def test_includes_shading_and_inflation(self):
+        devs = default_deviations(4.0)
+        assert 0.0 in devs and max(devs) >= 40.0
+        assert all(d >= 0 for d in devs)
+
+    def test_zero_cost(self):
+        devs = default_deviations(0.0)
+        assert 0.0 in devs and 1.0 in devs
+
+
+class TestVcgIsTruthful:
+    @given(graph_with_endpoints(min_nodes=5, max_nodes=14))
+    @settings(max_examples=15)
+    def test_individual_rationality(self, gst):
+        g, s, t = gst
+        assert check_individual_rationality(VCG_UNICAST, g, s, t).ok
+
+    @given(graph_with_endpoints(min_nodes=5, max_nodes=12))
+    @settings(max_examples=10)
+    def test_incentive_compatibility(self, gst):
+        g, s, t = gst
+        report = check_strategyproof(VCG_UNICAST, g, s, t)
+        assert report.ok, report.describe()
+        assert report.checked > 0
+
+    def test_report_describe_mentions_counts(self, random_graph):
+        report = check_strategyproof(VCG_UNICAST, random_graph, 0, 5)
+        assert "deviations" in report.describe()
+        assert bool(report) is report.ok
+
+
+class TestTheorem7:
+    """No LCP mechanism is 2-agent strategyproof: witnesses must exist."""
+
+    def test_plain_vcg_fails_some_pair(self):
+        found = False
+        for seed in range(8):
+            g = gen.random_neighbor_safe_graph(12, seed=200 + seed)
+            relays = None
+            from repro.core.vcg_unicast import vcg_unicast_payments
+
+            r = vcg_unicast_payments(g, 0, 6)
+            relays = list(r.relays)
+            for k in relays:
+                for t in g.neighbors(k):
+                    t = int(t)
+                    if t in (0, 6) or t == k:
+                        continue
+                    rep = check_group_strategyproof(
+                        VCG_UNICAST, g, 0, 6, [k, t], max_combinations=49
+                    )
+                    if not rep.ok:
+                        found = True
+                        worst = max(rep.violations, key=lambda v: v.gain)
+                        assert worst.gain > 0
+                        return
+        assert found, "expected a Theorem-7 witness on at least one instance"
+
+    def test_find_two_agent_collusion_finds_witness(self):
+        from repro.core.collusion import find_two_agent_collusion
+
+        for seed in range(20):
+            g = gen.random_biconnected_graph(12, seed=seed)
+            w = find_two_agent_collusion(g, 0, 5)
+            if w is not None:
+                assert w.gain > 0
+                assert w.liar != w.beneficiary
+                return
+        pytest.fail("no collusion witness found across 20 instances")
+
+
+class TestGroupHarness:
+    def test_endpoint_in_group_rejected(self, random_graph):
+        with pytest.raises(ValueError, match="endpoint"):
+            check_group_strategyproof(VCG_UNICAST, random_graph, 0, 5, [0, 2])
+
+    def test_group_report_covers_grid(self, random_graph):
+        rep = check_group_strategyproof(
+            VCG_UNICAST, random_graph, 0, 5, [2], deviations=[0.0, 100.0]
+        )
+        assert rep.checked == 2
+
+    def test_singleton_group_matches_unilateral_ic(self):
+        g = gen.random_neighbor_safe_graph(10, seed=3)
+        rep = check_group_strategyproof(VCG_UNICAST, g, 0, 5, [2])
+        assert rep.ok  # single-agent IC via the group interface
+
+
+class TestHarnessCatchesBrokenMechanisms:
+    """A deliberately broken mechanism must be flagged by the checkers."""
+
+    def _first_price(self) -> MechanismSpec:
+        """'First-price' scheme: pay each relay its declared cost. This is
+        the textbook non-truthful mechanism (relays should inflate)."""
+        from repro.graph.dijkstra import node_weighted_spt
+
+        def compute(g, source, target, **_):
+            spt = node_weighted_spt(g, source, backend="python")
+            path = spt.path_from_root(target)
+            payments = {k: float(g.costs[k]) for k in path[1:-1]}
+            return UnicastPayment(
+                source, target, tuple(path), float(spt.dist[target]), payments,
+                scheme="first-price",
+            )
+
+        return MechanismSpec(name="first-price", compute=compute)
+
+    def test_first_price_fails_ic(self):
+        mech = self._first_price()
+        found = False
+        for seed in range(10):
+            g = gen.random_biconnected_graph(10, seed=seed)
+            rep = check_strategyproof(mech, g, 0, 5)
+            if not rep.ok:
+                found = True
+                break
+        assert found, "first-price must be manipulable somewhere"
+
+    def test_first_price_is_ir(self):
+        # paying the declared cost is individually rational at truth
+        g = gen.random_biconnected_graph(10, seed=1)
+        assert check_individual_rationality(self._first_price(), g, 0, 5).ok

@@ -1,0 +1,171 @@
+"""Tests for the indexed and lazy heaps backing the shortest-path code."""
+
+import heapq
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.heap import IndexedMinHeap, LazyMinHeap
+
+
+class TestIndexedMinHeap:
+    def test_push_pop_single(self):
+        h = IndexedMinHeap(4)
+        h.push(2, 1.5)
+        assert len(h) == 1 and 2 in h
+        assert h.pop() == (2, 1.5)
+        assert len(h) == 0 and 2 not in h
+
+    def test_pop_order_is_priority_order(self):
+        h = IndexedMinHeap(10)
+        for item, prio in [(3, 5.0), (1, 2.0), (7, 9.0), (0, 0.5)]:
+            h.push(item, prio)
+        out = [h.pop() for _ in range(4)]
+        assert out == [(0, 0.5), (1, 2.0), (3, 5.0), (7, 9.0)]
+
+    def test_decrease_key_moves_item_up(self):
+        h = IndexedMinHeap(5)
+        h.push(0, 10.0)
+        h.push(1, 5.0)
+        h.decrease_key(0, 1.0)
+        assert h.pop() == (0, 1.0)
+
+    def test_push_existing_lowers_priority(self):
+        h = IndexedMinHeap(5)
+        h.push(3, 10.0)
+        h.push(3, 4.0)  # acts as decrease-key
+        assert len(h) == 1
+        assert h.pop() == (3, 4.0)
+
+    def test_push_existing_higher_priority_is_ignored(self):
+        h = IndexedMinHeap(5)
+        h.push(3, 4.0)
+        h.push(3, 10.0)
+        assert h.pop() == (3, 4.0)
+
+    def test_decrease_key_rejects_increase(self):
+        h = IndexedMinHeap(5)
+        h.push(3, 4.0)
+        with pytest.raises(ValueError):
+            h.decrease_key(3, 9.0)
+
+    def test_decrease_key_missing_item(self):
+        h = IndexedMinHeap(5)
+        with pytest.raises(KeyError):
+            h.decrease_key(1, 0.0)
+
+    def test_pop_empty(self):
+        with pytest.raises(IndexError):
+            IndexedMinHeap(3).pop()
+
+    def test_peek_does_not_remove(self):
+        h = IndexedMinHeap(3)
+        h.push(1, 2.0)
+        assert h.peek() == (1, 2.0)
+        assert len(h) == 1
+
+    def test_priority_query(self):
+        h = IndexedMinHeap(3)
+        h.push(2, 7.5)
+        assert h.priority(2) == 7.5
+        with pytest.raises(KeyError):
+            h.priority(0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            IndexedMinHeap(-1)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 49), st.floats(0, 1e6)),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_matches_heapq_semantics(self, ops):
+        """Pushing (with implicit decrease-key) then draining equals the
+        min over the final priority of each distinct item."""
+        h = IndexedMinHeap(50)
+        best: dict[int, float] = {}
+        for item, prio in ops:
+            h.push(item, prio)
+            best[item] = min(best.get(item, float("inf")), prio)
+        drained = {}
+        order = []
+        while h:
+            item, prio = h.pop()
+            drained[item] = prio
+            order.append(prio)
+        assert drained == pytest.approx(best)
+        assert order == sorted(order)
+
+    @given(st.lists(st.floats(0, 100), min_size=1, max_size=100))
+    def test_dijkstra_style_usage_sorts(self, values):
+        h = IndexedMinHeap(len(values))
+        for i, v in enumerate(values):
+            h.push(i, v)
+        out = []
+        while h:
+            out.append(h.pop()[1])
+        assert out == sorted(values)
+
+
+class TestLazyMinHeap:
+    def test_pop_valid_skips_invalid(self):
+        h = LazyMinHeap()
+        h.push(1.0, "dead")
+        h.push(2.0, "alive")
+        got = h.pop_valid(lambda p: p == "alive")
+        assert got == (2.0, "alive")
+        assert len(h) == 0  # the invalid entry was discarded
+
+    def test_peek_valid_keeps_entry(self):
+        h = LazyMinHeap()
+        h.push(3.0, "x")
+        assert h.peek_valid(lambda p: True) == (3.0, "x")
+        assert len(h) == 1
+
+    def test_peek_valid_drops_invalid_prefix(self):
+        h = LazyMinHeap()
+        h.push(1.0, 1)
+        h.push(2.0, 2)
+        h.push(3.0, 3)
+        assert h.peek_valid(lambda p: p >= 2) == (2.0, 2)
+        assert len(h) == 2
+
+    def test_exhausted_returns_none(self):
+        h = LazyMinHeap()
+        h.push(1.0, "x")
+        assert h.pop_valid(lambda p: False) is None
+        assert h.peek_valid(lambda p: True) is None
+
+    def test_payloads_never_compared(self):
+        """Equal priorities with uncomparable payloads must not raise."""
+        h = LazyMinHeap()
+        h.push(1.0, {"a": 1})
+        h.push(1.0, {"b": 2})
+        assert h.pop_valid(lambda p: True)[0] == 1.0
+
+    def test_drain_sorted(self):
+        h = LazyMinHeap()
+        vals = [5.0, 1.0, 3.0]
+        for v in vals:
+            h.push(v, v)
+        assert [p for p, _ in h.drain()] == sorted(vals)
+
+    @given(st.lists(st.floats(0, 1e6), max_size=100))
+    def test_matches_plain_heapq(self, values):
+        h = LazyMinHeap()
+        ref = []
+        for v in values:
+            h.push(v, None)
+            heapq.heappush(ref, v)
+        out = []
+        while True:
+            entry = h.pop_valid(lambda p: True)
+            if entry is None:
+                break
+            out.append(entry[0])
+        assert out == [heapq.heappop(ref) for _ in range(len(ref))]

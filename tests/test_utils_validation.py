@@ -1,0 +1,88 @@
+"""Tests for eager input validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidGraphError, NodeNotFoundError
+from repro.utils.validation import (
+    check_cost_array,
+    check_node_index,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckCostArray:
+    def test_valid_list(self):
+        arr = check_cost_array([1.0, 2.0, 3.0])
+        assert arr.dtype == np.float64 and arr.shape == (3,)
+
+    def test_length_mismatch(self):
+        with pytest.raises(InvalidGraphError, match="length"):
+            check_cost_array([1.0], n=2)
+
+    def test_negative_rejected_with_index(self):
+        with pytest.raises(InvalidGraphError, match="index 1"):
+            check_cost_array([0.0, -1.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidGraphError, match="NaN"):
+            check_cost_array([0.0, float("nan")])
+
+    def test_inf_rejected_by_default(self):
+        with pytest.raises(InvalidGraphError, match="infinite"):
+            check_cost_array([0.0, float("inf")])
+
+    def test_inf_allowed_when_requested(self):
+        arr = check_cost_array([0.0, float("inf")], allow_inf=True)
+        assert np.isinf(arr[1])
+
+    def test_2d_rejected(self):
+        with pytest.raises(InvalidGraphError, match="1-D"):
+            check_cost_array([[1.0, 2.0]])
+
+    def test_returns_independent_copy_semantics(self):
+        src = np.array([1.0, 2.0])
+        arr = check_cost_array(src)
+        # Contiguous float64 input may be shared; mutating the validated
+        # array must never be needed by callers, but the values match.
+        assert np.array_equal(arr, src)
+
+
+class TestCheckNodeIndex:
+    def test_ok(self):
+        assert check_node_index(3, 5) == 3
+
+    @pytest.mark.parametrize("node", [-1, 5, 100])
+    def test_out_of_range(self, node):
+        with pytest.raises(NodeNotFoundError):
+            check_node_index(node, 5)
+
+    def test_error_carries_context(self):
+        try:
+            check_node_index(9, 4)
+        except NodeNotFoundError as e:
+            assert e.node == 9 and e.n == 4
+
+
+class TestScalarChecks:
+    def test_probability_bounds(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.5)
+        with pytest.raises(ValueError):
+            check_probability(-0.1)
+
+    def test_positive(self):
+        assert check_positive(2.5) == 2.5
+        for bad in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(ValueError):
+                check_positive(bad)
+
+    def test_non_negative(self):
+        assert check_non_negative(0.0) == 0.0
+        for bad in (-1.0, float("inf"), float("nan")):
+            with pytest.raises(ValueError):
+                check_non_negative(bad)

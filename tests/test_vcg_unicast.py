@@ -1,0 +1,134 @@
+"""Tests for the Section III.A VCG unicast mechanism (naive path)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.vcg_unicast import vcg_payment_to_node, vcg_unicast_payments
+from repro.errors import DisconnectedError, MonopolyError
+from repro.graph import generators as gen
+from repro.graph.node_graph import NodeWeightedGraph
+
+from conftest import graph_with_endpoints
+
+
+class TestBasics:
+    def test_ring_by_hand(self, small_graph):
+        # ring 0-1-2-3-4-5, costs [0,1,2,3,4,5]; request 0 -> 3.
+        r = vcg_unicast_payments(small_graph, 0, 3, method="naive")
+        assert r.path == (0, 1, 2, 3)
+        assert r.lcp_cost == pytest.approx(3.0)
+        # detour for any relay is the other arc: cost 9
+        assert r.payment(1) == pytest.approx(9 - 3 + 1)
+        assert r.payment(2) == pytest.approx(9 - 3 + 2)
+        assert r.total_payment == pytest.approx(15.0)
+
+    def test_same_endpoints(self, small_graph):
+        r = vcg_unicast_payments(small_graph, 2, 2)
+        assert r.path == () and r.total_payment == 0.0
+
+    def test_adjacent_endpoints_pay_nothing(self, small_graph):
+        r = vcg_unicast_payments(small_graph, 0, 1)
+        assert r.relays == () and r.total_payment == 0.0
+
+    def test_disconnected(self):
+        g = NodeWeightedGraph(4, [(0, 1), (2, 3)], np.ones(4))
+        with pytest.raises(DisconnectedError):
+            vcg_unicast_payments(g, 0, 3, method="naive")
+
+    def test_monopoly_raises(self):
+        g = NodeWeightedGraph(3, [(0, 1), (1, 2)], np.ones(3))
+        with pytest.raises(MonopolyError):
+            vcg_unicast_payments(g, 0, 2, method="naive")
+
+    def test_monopoly_inf_mode(self):
+        g = NodeWeightedGraph(3, [(0, 1), (1, 2)], np.ones(3))
+        r = vcg_unicast_payments(g, 0, 2, method="naive", on_monopoly="inf")
+        assert r.payment(1) == float("inf")
+
+    def test_bad_method(self, small_graph):
+        with pytest.raises(ValueError, match="method"):
+            vcg_unicast_payments(small_graph, 0, 3, method="magic")
+
+    def test_bad_monopoly_mode(self, small_graph):
+        with pytest.raises(ValueError, match="on_monopoly"):
+            vcg_unicast_payments(small_graph, 0, 3, on_monopoly="ignore")
+
+
+class TestVcgStructure:
+    @given(graph_with_endpoints(max_nodes=18))
+    def test_payment_at_least_declared_cost(self, gst):
+        """IR in payment form: every on-path relay is paid >= its cost."""
+        g, s, t = gst
+        r = vcg_unicast_payments(g, s, t, method="naive")
+        for k in r.relays:
+            assert r.payment(k) >= float(g.costs[k]) - 1e-9
+
+    @given(graph_with_endpoints(max_nodes=18))
+    def test_off_path_nodes_unpaid(self, gst):
+        g, s, t = gst
+        r = vcg_unicast_payments(g, s, t, method="naive")
+        for k in range(g.n):
+            if k not in r.path:
+                assert r.payment(k) == 0.0
+
+    @given(graph_with_endpoints(max_nodes=18))
+    def test_total_payment_at_least_path_cost(self, gst):
+        g, s, t = gst
+        r = vcg_unicast_payments(g, s, t, method="naive")
+        assert r.total_payment >= r.lcp_cost - 1e-9
+
+    @given(graph_with_endpoints(max_nodes=14))
+    def test_payment_formula_against_definitions(self, gst):
+        """p_i^k == ||P_{-k}|| - ||P|| + d_k, recomputed from scratch."""
+        from repro.graph.avoiding import avoiding_distance
+
+        g, s, t = gst
+        r = vcg_unicast_payments(g, s, t, method="naive")
+        for k in r.relays:
+            detour = avoiding_distance(g, s, t, k, backend="python")
+            assert r.payment(k) == pytest.approx(
+                detour - r.lcp_cost + float(g.costs[k]), abs=1e-9
+            )
+
+    @given(graph_with_endpoints(max_nodes=14), st.floats(0.1, 5.0))
+    def test_declaration_independence_while_on_path(self, gst, shade):
+        """Lemma 4 flavour: while the output path is unchanged, a relay's
+        payment does not depend on its own declaration."""
+        g, s, t = gst
+        r = vcg_unicast_payments(g, s, t, method="naive")
+        if not r.relays:
+            return
+        k = r.relays[0]
+        lowered = g.with_declaration(k, float(g.costs[k]) * min(shade, 1.0) * 0.5)
+        r2 = vcg_unicast_payments(lowered, s, t, method="naive")
+        if r2.path == r.path:
+            # payment uses the *declared* cost: p = detour - ||P(d)|| + d_k;
+            # both change by the same delta, so the payment is unchanged.
+            assert r2.payment(k) == pytest.approx(r.payment(k), abs=1e-8)
+
+
+class TestPaymentToNode:
+    def test_off_path_is_zero(self, small_graph):
+        r = vcg_unicast_payments(small_graph, 0, 3, method="naive")
+        for k in range(small_graph.n):
+            expected = r.payment(k) if k in r.relays else 0.0
+            assert vcg_payment_to_node(small_graph, 0, 3, k) == pytest.approx(expected)
+
+    def test_monopoly_raises(self):
+        g = NodeWeightedGraph(3, [(0, 1), (1, 2)], np.ones(3))
+        with pytest.raises(MonopolyError):
+            vcg_payment_to_node(g, 0, 2, 1)
+
+
+class TestOverpaymentExample:
+    def test_theta_graph_payment_is_second_best(self):
+        """On disjoint branches, each cheap-branch relay is overpaid by the
+        gap to the runner-up branch — the canonical VCG intuition."""
+        g, s, t = gen.theta_graph([[2.0, 2.0], [7.0], [9.0]])
+        r = vcg_unicast_payments(g, s, t, method="naive")
+        assert r.lcp_cost == pytest.approx(4.0)
+        for k in r.relays:
+            assert r.payment(k) == pytest.approx(2.0 + (7.0 - 4.0))
+        assert r.total_payment == pytest.approx(10.0)

@@ -1,0 +1,118 @@
+"""Tests for the Watchdog/Pathrater baseline and the paper's critique."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.watchdog import (
+    MISBEHAVIOR_THRESHOLD,
+    WatchdogNetwork,
+)
+from repro.errors import DisconnectedError
+from repro.graph import generators as gen
+from repro.graph.node_graph import NodeWeightedGraph
+
+
+@pytest.fixture
+def g():
+    return gen.random_biconnected_graph(16, extra_edge_prob=0.2, seed=8)
+
+
+class TestReputation:
+    def test_initial_ratings_neutral(self, g):
+        net = WatchdogNetwork(g, seed=0)
+        assert net.rating(3) == pytest.approx(0.5)
+        assert net.flagged() == ()
+
+    def test_honest_nodes_build_reputation(self, g):
+        net = WatchdogNetwork(g, seed=0)
+        report = net.run_campaign(sessions=300)
+        assert report.delivery_ratio == 1.0
+        used = [i for i in range(g.n) if net.trials[i] > 10]
+        assert used, "some relays must have been exercised"
+        for i in used:
+            assert net.rating(i) > 0.8
+
+    def test_dropper_gets_flagged_and_avoided(self, g):
+        probs = np.ones(g.n)
+        dropper = 5
+        probs[dropper] = 0.0
+        net = WatchdogNetwork(g, forwarding_prob=probs, seed=1)
+        report = net.run_campaign(sessions=400)
+        assert dropper in report.flagged
+        # once flagged, pathrater routes around it
+        for s in range(1, g.n):
+            if s == dropper:
+                continue
+            try:
+                path = net.most_reliable_path(s, 0)
+            except DisconnectedError:
+                continue
+            assert dropper not in path[1:-1]
+
+    def test_validation(self, g):
+        with pytest.raises(ValueError):
+            WatchdogNetwork(g, forwarding_prob=np.ones(3))
+        with pytest.raises(ValueError):
+            WatchdogNetwork(g, forwarding_prob=np.full(g.n, 1.5))
+        net = WatchdogNetwork(g)
+        with pytest.raises(ValueError):
+            net.run_campaign(sessions=-1)
+
+
+class TestPapersCritique:
+    def test_depleted_node_wrongfully_labelled(self, g):
+        """The Section II.D critique, verbatim: a node that refuses because
+        its battery cannot support relaying "will be wrongfully labelled
+        as misbehaving" — indistinguishable from a malicious dropper."""
+        depleted = 7
+        net = WatchdogNetwork(g, refuses=[depleted], seed=2)
+        net.run_campaign(sessions=400)
+        if net.trials[depleted] >= 5:  # it was actually asked to relay
+            assert net.rating(depleted) < MISBEHAVIOR_THRESHOLD
+            assert depleted in net.flagged()
+
+    def test_reputation_cannot_tell_malice_from_poverty(self, g):
+        """A 0%-forwarding attacker and a battery-refusing honest node end
+        up with statistically indistinguishable ratings."""
+        malicious, poor = 5, 7
+        probs = np.ones(g.n)
+        probs[malicious] = 0.0
+        net = WatchdogNetwork(g, forwarding_prob=probs, refuses=[poor], seed=3)
+        net.run_campaign(sessions=600)
+        r_mal, r_poor = net.rating(malicious), net.rating(poor)
+        if net.trials[malicious] >= 5 and net.trials[poor] >= 5:
+            assert abs(r_mal - r_poor) < 0.25
+
+    def test_vcg_by_contrast_pays_the_poor_node(self, g):
+        """Under the paper's mechanism the same node is *paid* to relay —
+        its refusal reason disappears instead of being punished."""
+        from repro.core.vcg_unicast import vcg_unicast_payments
+
+        poor = 7
+        for s in range(1, g.n):
+            if s == poor:
+                continue
+            r = vcg_unicast_payments(g, s, 0)
+            if poor in r.relays:
+                assert r.payment(poor) >= float(g.costs[poor])
+                return
+        pytest.skip("node 7 never on an LCP in this instance")
+
+
+class TestRouting:
+    def test_most_reliable_path_valid(self, g):
+        net = WatchdogNetwork(g, seed=4)
+        path = net.most_reliable_path(3, 0)
+        assert path[0] == 3 and path[-1] == 0
+        assert g.is_path(path)
+
+    def test_low_rating_raises_path_cost(self):
+        # line 0-1-2 plus detour 0-3-4-2: flagging 1 forces the detour
+        g = NodeWeightedGraph(
+            5, [(0, 1), (1, 2), (0, 3), (3, 4), (4, 2)], np.ones(5)
+        )
+        net = WatchdogNetwork(g, seed=5)
+        net.trials[1] = 100
+        net.successes[1] = 10  # rating ~0.11 -> flagged
+        path = net.most_reliable_path(0, 2)
+        assert path == [0, 3, 4, 2]

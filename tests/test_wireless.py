@@ -1,0 +1,179 @@
+"""Tests for the wireless substrate: geometry, energy, topology, deployment."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.connectivity import single_failure_robust
+from repro.wireless.deployment import (
+    sample_heterogeneous_deployment,
+    sample_udg_deployment,
+)
+from repro.wireless.energy import (
+    PAPER_FIRST_SIM,
+    PowerModel,
+    link_cost_matrix,
+    paper_second_sim_model,
+)
+from repro.wireless.geometry import (
+    PAPER_REGION,
+    Region,
+    pairwise_distances,
+    uniform_points,
+)
+from repro.wireless.topology import (
+    build_link_digraph,
+    heterogeneous_adjacency,
+    udg_adjacency,
+)
+
+
+class TestGeometry:
+    def test_region_validation(self):
+        with pytest.raises(ValueError):
+            Region(0.0, 10.0)
+
+    def test_region_properties(self):
+        r = Region(30.0, 40.0)
+        assert r.area == 1200.0
+        assert r.diameter == pytest.approx(50.0)
+
+    def test_paper_region(self):
+        assert PAPER_REGION.width == PAPER_REGION.height == 2000.0
+
+    def test_uniform_points_inside(self):
+        pts = uniform_points(PAPER_REGION, 500, seed=1)
+        assert pts.shape == (500, 2)
+        assert PAPER_REGION.contains(pts).all()
+
+    def test_uniform_points_deterministic(self):
+        a = uniform_points(PAPER_REGION, 10, seed=3)
+        b = uniform_points(PAPER_REGION, 10, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_points(PAPER_REGION, -1)
+
+    def test_pairwise_distances_symmetric_zero_diag(self):
+        pts = uniform_points(PAPER_REGION, 40, seed=2)
+        d = pairwise_distances(pts)
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_pairwise_matches_norm(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0]])
+        assert pairwise_distances(pts)[0, 1] == pytest.approx(5.0)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError, match=r"\(n, 2\)"):
+            pairwise_distances(np.zeros((3, 3)))
+
+
+class TestEnergy:
+    def test_first_sim_model(self):
+        d = np.array([[0.0, 10.0], [10.0, 0.0]])
+        costs = PAPER_FIRST_SIM.costs(d)
+        assert costs[0, 1] == pytest.approx(100.0)  # d^2
+
+    def test_kappa_validation(self):
+        with pytest.raises(ValueError, match="kappa"):
+            PowerModel(0.0, 1.0, 0.0)
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(-1.0, 1.0, 2.0)
+
+    def test_per_node_coefficients_broadcast(self):
+        model = PowerModel(alpha=np.array([1.0, 2.0]), beta=np.array([1.0, 0.0]), kappa=2.0)
+        d = np.array([[0.0, 3.0], [3.0, 0.0]])
+        costs = model.costs(d)
+        assert costs[0, 1] == pytest.approx(1.0 + 9.0)
+        assert costs[1, 0] == pytest.approx(2.0)  # beta_1 = 0
+
+    def test_with_kappa(self):
+        assert PAPER_FIRST_SIM.with_kappa(2.5).kappa == 2.5
+
+    def test_second_sim_ranges(self):
+        model = paper_second_sim_model(50, seed=0)
+        alpha = np.asarray(model.alpha)
+        beta = np.asarray(model.beta)
+        assert ((alpha >= 300) & (alpha <= 500)).all()
+        assert ((beta >= 10) & (beta <= 50)).all()
+
+    def test_second_sim_bad_ranges(self):
+        with pytest.raises(ValueError):
+            paper_second_sim_model(5, c1_range=(500, 300))
+
+    def test_link_cost_matrix_masks_and_diagonal(self):
+        d = np.array([[0.0, 1.0], [1.0, 0.0]])
+        adj = np.array([[False, True], [False, False]])
+        mat = link_cost_matrix(d, PAPER_FIRST_SIM, adj)
+        assert mat[0, 1] == 1.0
+        assert mat[1, 0] == np.inf
+        assert mat[0, 0] == 0.0
+
+
+class TestTopology:
+    def test_udg_adjacency(self):
+        d = np.array([[0.0, 100.0, 400.0], [100.0, 0.0, 200.0], [400.0, 200.0, 0.0]])
+        adj = udg_adjacency(d, 300.0)
+        assert adj[0, 1] and not adj[0, 2] and adj[1, 2]
+        assert not adj.diagonal().any()
+        assert (adj == adj.T).all()  # UDG is symmetric
+
+    def test_udg_range_validation(self):
+        with pytest.raises(ValueError):
+            udg_adjacency(np.zeros((2, 2)), 0.0)
+
+    def test_heterogeneous_asymmetry(self):
+        d = np.array([[0.0, 150.0], [150.0, 0.0]])
+        adj = heterogeneous_adjacency(d, np.array([200.0, 100.0]))
+        assert adj[0, 1] and not adj[1, 0]
+
+    def test_heterogeneous_range_validation(self):
+        with pytest.raises(ValueError):
+            heterogeneous_adjacency(np.zeros((2, 2)), np.array([1.0, 0.0]))
+
+    def test_build_link_digraph_weights(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0], [100.0, 0.0]])
+        adj = udg_adjacency(pairwise_distances(pts), 95.0)
+        dg = build_link_digraph(pts, PAPER_FIRST_SIM, adj)
+        assert dg.arc_weight(0, 1) == pytest.approx(100.0)
+        assert dg.arc_weight(1, 2) == pytest.approx(8100.0)
+        assert not dg.has_arc(0, 2)
+
+
+class TestDeployment:
+    def test_udg_deployment_defaults(self):
+        dep = sample_udg_deployment(80, seed=11)
+        assert dep.kind == "udg"
+        assert dep.n <= 80
+        assert (dep.ranges == 300.0).all()
+        assert dep.access_point == 0
+
+    def test_udg_strict_robustness(self):
+        dep = sample_udg_deployment(120, seed=1, require_robust=True, max_resamples=400)
+        assert dep.dropped == 0
+        assert single_failure_robust(dep.digraph, 0)
+
+    def test_heterogeneous_deployment(self):
+        dep = sample_heterogeneous_deployment(90, seed=4)
+        assert dep.kind == "heterogeneous"
+        assert dep.n + dep.dropped == 90
+        assert ((dep.ranges >= 100) & (dep.ranges <= 500)).all()
+
+    def test_determinism(self):
+        a = sample_udg_deployment(60, seed=9)
+        b = sample_udg_deployment(60, seed=9)
+        assert np.array_equal(a.points, b.points)
+        assert a.digraph == b.digraph
+
+    @given(st.integers(40, 90), st.integers(0, 1000))
+    def test_every_kept_node_reaches_the_ap(self, n, seed):
+        dep = sample_udg_deployment(n, seed=seed)
+        from repro.graph.dijkstra import link_weighted_spt
+
+        spt = link_weighted_spt(dep.digraph, 0, direction="to")
+        assert np.isfinite(spt.dist).all()
