@@ -2,13 +2,23 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full experiments experiments-full examples lint-docs all
+.PHONY: install test bench bench-full experiments experiments-full examples lint lint-docs all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Config lives in pyproject.toml ([tool.ruff]). Skips gracefully when
+# ruff is not on PATH (e.g. the minimal runtime container); CI installs
+# it and fails hard.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping lint (CI runs it)"; \
+	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -8,7 +8,6 @@
 """
 
 import numpy as np
-import pytest
 
 from repro.baselines.adhoc_vcg import eidenbenz_overpayment_bound
 from repro.baselines.nuglets import nuglet_network_summary

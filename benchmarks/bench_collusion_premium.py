@@ -8,7 +8,6 @@ schemes.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.collusion import neighbor_collusion_payments
 from repro.core.vcg_unicast import vcg_unicast_payments

@@ -6,7 +6,6 @@ bench measures rounds and transmissions as n grows and spot-checks the
 converged payments against the centralized mechanism.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.vcg_unicast import vcg_unicast_payments

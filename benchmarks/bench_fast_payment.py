@@ -9,7 +9,6 @@ scaling test asserts the fast path's advantage grows with n.
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.core.vcg_unicast import vcg_unicast_payments

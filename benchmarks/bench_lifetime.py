@@ -14,7 +14,6 @@ resulting delivery ratios and death counts:
 * GTFT balance heuristic [1] — partial cooperation without money.
 """
 
-import numpy as np
 
 from repro.accounting.sessions import uniform_workload
 from repro.graph import generators as gen

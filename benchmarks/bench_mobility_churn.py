@@ -7,7 +7,6 @@ have to re-run in a mobile deployment. (Extension experiment; see
 DESIGN.md and `repro.analysis.churn`.)
 """
 
-import numpy as np
 
 from repro.analysis.churn import mobility_churn_experiment
 from repro.utils.tables import ascii_table

@@ -1,0 +1,107 @@
+"""Disabled-instrumentation overhead on the Algorithm-1 hot path.
+
+The observability layer promises a ~zero-cost no-op fast path: with the
+registry and tracer off, instrumented code pays one attribute check per
+flush site and a shared null context manager per timed/span site. This
+bench verifies the promise on ``fast_vcg_payments`` (n = 100):
+
+* measure the disabled-mode runtime of one payment computation;
+* measure the *actual* per-site cost of the no-op primitives (null
+  ``timed()``, null ``span()``, ``enabled`` checks) and scale it by the
+  number of instrumentation sites one run crosses;
+* assert the estimated instrumentation share stays **under 5%** of the
+  run — the pre-instrumentation baseline is the run minus exactly those
+  sites, so this bounds the regression directly;
+* cross-check that enabling full metrics collection also stays cheap
+  (sanity print, not asserted — enabled mode is allowed to cost more).
+"""
+
+import time
+
+from repro.core.fast_payment import fast_vcg_payments
+from repro.graph import generators as gen
+from repro.obs.metrics import REGISTRY
+from repro.obs.tracing import TRACER
+
+from conftest import emit
+
+N = 100
+#: Instrumentation sites one fast_vcg_payments(n=100, auto backend) run
+#: crosses: 1 timed + 4 spans (whole + 3 phases) + 2 Dijkstra flushes +
+#: 2 counter-flush guards. Kept deliberately generous.
+SITES_PER_RUN = 16
+
+
+def _instance():
+    g = gen.random_biconnected_graph(N, extra_edge_prob=4.0 / N, seed=99)
+    return g, 0, N // 2
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _noop_site_cost(iterations: int = 20_000) -> float:
+    """Measured seconds per disabled instrumentation site."""
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        with REGISTRY.timed("bench.noop"):
+            pass
+        with TRACER.span("bench.noop"):
+            pass
+        if REGISTRY.enabled:  # the counter-flush guard pattern
+            REGISTRY.add("bench.noop", 1)
+    elapsed = time.perf_counter() - t0
+    return elapsed / (3 * iterations)
+
+
+def test_disabled_overhead_under_5_percent(benchmark):
+    g, s, t = _instance()
+    REGISTRY.disable()
+    TRACER.disable()
+
+    fast_vcg_payments(g, s, t)  # warm-up (scipy import, allocations)
+    t_disabled = _best_of(lambda: fast_vcg_payments(g, s, t))
+
+    site = _noop_site_cost()
+    est_overhead = site * SITES_PER_RUN
+    share = est_overhead / t_disabled
+
+    REGISTRY.reset()
+    REGISTRY.enable()
+    t_enabled = _best_of(lambda: fast_vcg_payments(g, s, t))
+    REGISTRY.disable()
+
+    emit(
+        "obs overhead on fast_vcg_payments "
+        f"(n={N})\n"
+        f"  disabled run        {t_disabled * 1e6:9.1f} us\n"
+        f"  per-site no-op cost {site * 1e9:9.1f} ns  x {SITES_PER_RUN} sites"
+        f" = {est_overhead * 1e6:.3f} us ({share:.3%} of the run)\n"
+        f"  metrics-enabled run {t_enabled * 1e6:9.1f} us "
+        f"({t_enabled / t_disabled:.2f}x)"
+    )
+    benchmark.pedantic(
+        lambda: fast_vcg_payments(g, s, t), rounds=3, iterations=1
+    )
+    assert share < 0.05, (
+        f"disabled instrumentation costs {share:.2%} of a fast_payment run; "
+        "the no-op fast path must stay under 5%"
+    )
+
+
+def test_disabled_mode_records_nothing(benchmark):
+    g, s, t = _instance()
+    REGISTRY.disable()
+    REGISTRY.reset()
+    TRACER.reset()
+    benchmark.pedantic(
+        lambda: fast_vcg_payments(g, s, t), rounds=3, iterations=1
+    )
+    assert not REGISTRY.snapshot()
+    assert TRACER.records == []

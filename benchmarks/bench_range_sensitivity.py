@@ -6,7 +6,6 @@ smaller incentive premiums, while sparse networks approach the monopoly
 cliff the biconnectivity assumption exists to avoid.
 """
 
-import numpy as np
 
 from repro.analysis.sensitivity import range_sensitivity
 from repro.utils.tables import ascii_table

@@ -15,6 +15,8 @@ from dataclasses import dataclass
 
 import pytest
 
+from repro.obs.metrics import REGISTRY
+
 
 @dataclass(frozen=True)
 class BenchScale:
@@ -51,6 +53,30 @@ def _resolve_scale() -> BenchScale:
 @pytest.fixture(scope="session")
 def scale() -> BenchScale:
     return _resolve_scale()
+
+
+@pytest.fixture(autouse=True)
+def bench_metrics(request):
+    """Collect operation counts for every bench and attach them to the
+    ``--benchmark-json`` output.
+
+    The process-wide registry is reset and enabled around each bench; if
+    the test used the ``benchmark`` fixture, the final snapshot lands in
+    ``benchmark.extra_info["metrics"]`` — so ``BENCH_*.json`` entries
+    carry heap pops, relaxations, message counts, ... alongside seconds.
+    (A bench that measures *disabled* overhead may flip the registry off
+    itself; the fixture restores the disabled default afterwards either
+    way.)
+    """
+    REGISTRY.reset()
+    REGISTRY.enable()
+    yield
+    snapshot = REGISTRY.snapshot()
+    REGISTRY.disable()
+    REGISTRY.reset()
+    bench = getattr(request.node, "funcargs", {}).get("benchmark")
+    if bench is not None and snapshot:
+        bench.extra_info["metrics"] = snapshot.flat()
 
 
 def emit(text: str) -> None:

@@ -42,6 +42,7 @@ from repro.errors import (
     ProtocolError,
     ReproError,
 )
+from repro import obs
 from repro.graph import generators
 from repro.graph.link_graph import LinkWeightedDigraph
 from repro.graph.node_graph import NodeWeightedGraph
@@ -69,6 +70,7 @@ __all__ = [
     "ProtocolError",
     "CheatingDetectedError",
     "generators",
+    "obs",
     "NodeWeightedGraph",
     "LinkWeightedDigraph",
     "UnicastPayment",

@@ -22,7 +22,7 @@ constructing them (they are opaque objects compared by identity).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.accounting.sessions import SessionBilling

@@ -15,8 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-import numpy as np
-
 from repro.core.link_vcg import all_sources_link_payments
 from repro.core.overpayment import (
     HopBucket,
@@ -25,8 +23,12 @@ from repro.core.overpayment import (
     per_hop_breakdown,
 )
 from repro.analysis.stats import Stats, aggregate
+from repro.obs.logging import get_logger
+from repro.obs.metrics import REGISTRY as _metrics
 from repro.utils.rng import derive_seed
 from repro.wireless.deployment import sample_deployment
+
+log = get_logger("analysis.experiments")
 
 __all__ = [
     "InstanceMetrics",
@@ -80,10 +82,25 @@ def run_overpayment_instance(
     (second simulation); extra ``deploy_kwargs`` go to the sampler
     (e.g. ``range_m`` for UDG).
     """
-    deployment = sample_deployment(kind, n, kappa=kappa, seed=seed, **deploy_kwargs)
-    table = all_sources_link_payments(deployment.digraph, root=0)
-    summary = overpayment_summary(table)
-    buckets = tuple(per_hop_breakdown(table)) if collect_hops else ()
+    with _metrics.timed("experiments.instance_time", always=True) as t:
+        deployment = sample_deployment(
+            kind, n, kappa=kappa, seed=seed, **deploy_kwargs
+        )
+        table = all_sources_link_payments(deployment.digraph, root=0)
+        summary = overpayment_summary(table)
+        buckets = tuple(per_hop_breakdown(table)) if collect_hops else ()
+    log.debug(
+        "instance priced",
+        extra={
+            "kind": kind,
+            "n": n,
+            "kappa": kappa,
+            "seed": seed,
+            "elapsed_s": round(t.elapsed, 6),
+        },
+    )
+    if _metrics.enabled:
+        _metrics.add("experiments.instances", 1)
     return InstanceMetrics(
         kind=kind,
         n=n,
@@ -167,6 +184,11 @@ def sweep_overpayment(
         raise ValueError(f"need at least one instance, got {instances}")
     points = []
     for n in n_values:
+        log.info(
+            "sweep point start",
+            extra={"label": label, "kind": kind, "n": int(n),
+                   "kappa": float(kappa), "instances": instances},
+        )
         metrics = []
         for idx in range(instances):
             seed = derive_seed(base_seed, label, kind, n, kappa, idx)

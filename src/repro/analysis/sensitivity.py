@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
 
 from repro.analysis.stats import Stats, aggregate
 from repro.core.link_vcg import all_sources_link_payments

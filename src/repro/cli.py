@@ -11,20 +11,62 @@ Subcommands:
   instance and show the neighbour scheme's premium.
 * ``distributed`` — run the two-stage distributed protocol and diff it
   against the centralized payments.
+
+Global observability flags (accepted before or after the subcommand):
+``--log-level LEVEL`` (structured key=value logs on stderr),
+``--metrics`` (print an operation-count snapshot after the subcommand)
+and ``--trace-out PATH`` (write a Chrome-loadable trace of the run).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 import numpy as np
+
+from repro.obs import logging as obs_logging
+from repro.obs.metrics import REGISTRY
+from repro.obs.tracing import TRACER
 
 __all__ = ["main", "build_parser"]
 
 _SMALL_N = (40, 70, 100)
 _SMALL_INSTANCES = 5
+
+_LOG_LEVELS = ("debug", "info", "warning", "error")
+
+log = obs_logging.get_logger("cli")
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser, suppress: bool) -> None:
+    """Attach the global observability flags.
+
+    The same flags go on the top-level parser (with real defaults) and
+    on every subparser (with ``SUPPRESS`` defaults, so an absent flag
+    after the subcommand never clobbers one given before it) — both
+    ``repro-unicast --metrics demo`` and ``repro-unicast demo
+    --metrics`` work.
+    """
+    sup = argparse.SUPPRESS
+    parser.add_argument(
+        "--log-level",
+        choices=_LOG_LEVELS,
+        default=sup if suppress else "warning",
+        help="stderr log level for structured key=value logs",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        default=sup if suppress else False,
+        help="print a metrics snapshot after the subcommand",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=sup if suppress else None,
+        help="write a Chrome trace-event JSON of the run to PATH",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    _add_obs_flags(parser, suppress=False)
     sub = parser.add_subparsers(dest="command", required=True)
 
     demo = sub.add_parser("demo", help="price one unicast request")
@@ -84,6 +127,9 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument("--epochs", type=int, default=4)
     churn.add_argument("--sigma", type=float, default=60.0)
     churn.add_argument("--seed", type=int, default=0)
+
+    for p in sub.choices.values():
+        _add_obs_flags(p, suppress=True)
     return parser
 
 
@@ -130,11 +176,15 @@ def _cmd_figure(fig: str, args) -> int:
         else:
             kwargs["n_values"] = tuple(args.nodes) if args.nodes else _SMALL_N
             kwargs["instances"] = instances or _SMALL_INSTANCES
-    start = time.perf_counter()
-    series = builder(**kwargs)
-    elapsed = time.perf_counter() - start
+    log.info("figure build start", extra={"figure": fig, **kwargs})
+    with REGISTRY.timed("cli.figure_time", always=True) as t:
+        series = builder(**kwargs)
+    log.info(
+        "figure build done",
+        extra={"figure": fig, "elapsed_s": round(t.elapsed, 3)},
+    )
     print(series.render())
-    print(f"  ({elapsed:.1f}s)")
+    print(f"  ({t.elapsed:.1f}s)")
     return 0
 
 
@@ -235,10 +285,7 @@ def _cmd_churn(args) -> int:
     return 0
 
 
-def main(argv=None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
-    np.set_printoptions(precision=4, suppress=True)
+def _dispatch(args) -> int:
     if args.command == "demo":
         return _cmd_demo(args)
     if args.command in ("fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f"):
@@ -252,6 +299,42 @@ def main(argv=None) -> int:
     if args.command == "churn":
         return _cmd_churn(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(precision=4, suppress=True)
+    obs_logging.configure(level=args.log_level)
+    if args.metrics:
+        REGISTRY.reset()
+        REGISTRY.enable()
+    if args.trace_out:
+        TRACER.reset()
+        TRACER.enable()
+    try:
+        rc = _dispatch(args)
+    finally:
+        if args.trace_out:
+            TRACER.disable()
+        if args.metrics:
+            REGISTRY.disable()
+    if args.trace_out:
+        try:
+            TRACER.export_chrome(args.trace_out)
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace_out}: {exc}",
+                  file=sys.stderr)
+            return 1
+        log.info(
+            "trace written",
+            extra={"path": args.trace_out, "spans": len(TRACER.records)},
+        )
+    if args.metrics:
+        snapshot = REGISTRY.snapshot()
+        print("-- metrics --")
+        print(snapshot.render())
+    return rc
 
 
 if __name__ == "__main__":

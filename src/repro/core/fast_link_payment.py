@@ -36,6 +36,8 @@ from repro.core.mechanism import UnicastPayment
 from repro.errors import DisconnectedError, InvalidGraphError, MonopolyError
 from repro.graph.dijkstra import link_weighted_spt
 from repro.graph.link_graph import LinkWeightedDigraph
+from repro.obs.metrics import REGISTRY as _metrics
+from repro.obs.tracing import TRACER as _tracer
 from repro.utils.heap import LazyMinHeap
 from repro.utils.validation import check_node_index
 
@@ -78,70 +80,97 @@ def fast_link_vcg_payments(
     check_symmetric(dg)
     if source == target:
         return UnicastPayment(source, target, (), 0.0, {}, scheme="link-vcg")
+    with _metrics.timed("fast_link_payment.time"), _tracer.span(
+        "fast_link_payment", n=dg.n, source=source, target=target
+    ):
+        return _fast_link_vcg_payments_impl(
+            dg, source, target, on_monopoly, backend
+        )
 
-    spt_i = link_weighted_spt(dg, source, direction="from", backend=backend)
-    if not spt_i.reachable(target):
-        raise DisconnectedError(source, target)
-    spt_j = link_weighted_spt(dg, target, direction="from", backend=backend)
-    path = spt_i.path_from_root(target)
-    s = len(path) - 1
-    lcp = float(spt_i.dist[target])
-    relay_cost = lcp - dg.arc_weight(path[0], path[1])
+
+def _fast_link_vcg_payments_impl(
+    dg: LinkWeightedDigraph,
+    source: int,
+    target: int,
+    on_monopoly: str,
+    backend: str,
+) -> UnicastPayment:
+    if _metrics.enabled:
+        _metrics.add("fast_link_payment.runs", 1)
+    with _tracer.span("fast_link_payment.spt_build"):
+        spt_i = link_weighted_spt(dg, source, direction="from", backend=backend)
+        if not spt_i.reachable(target):
+            raise DisconnectedError(source, target)
+        spt_j = link_weighted_spt(dg, target, direction="from", backend=backend)
+        path = spt_i.path_from_root(target)
+        s = len(path) - 1
+        lcp = float(spt_i.dist[target])
+        relay_cost = lcp - dg.arc_weight(path[0], path[1])
     if s <= 1:
         return UnicastPayment(
             source, target, tuple(path), relay_cost, {}, scheme="link-vcg"
         )
 
-    L = spt_i.dist  # distance from source (symmetric weights)
-    R = spt_j.dist  # distance to target
-    levels = spt_i.branch_labels(path)
-    on_path = np.zeros(dg.n, dtype=bool)
-    on_path[np.asarray(path, dtype=np.int64)] = True
+    with _tracer.span("fast_link_payment.table_sweep"):
+        L = spt_i.dist  # distance from source (symmetric weights)
+        R = spt_j.dist  # distance to target
+        levels = spt_i.branch_labels(path)
+        on_path = np.zeros(dg.n, dtype=bool)
+        on_path[np.asarray(path, dtype=np.int64)] = True
 
-    # per-level regions (steps 3-4)
-    region_nodes: dict[int, list[int]] = {}
-    for x in range(dg.n):
-        lx = int(levels[x])
-        if 1 <= lx <= s - 1 and not on_path[x]:
-            region_nodes.setdefault(lx, []).append(x)
-    c_minus = np.full(s, np.inf)
-    for l, members in region_nodes.items():
-        c_minus[l] = _region_candidate(dg, members, l, levels, L, R)
+        # per-level regions (steps 3-4)
+        region_nodes: dict[int, list[int]] = {}
+        for x in range(dg.n):
+            lx = int(levels[x])
+            if 1 <= lx <= s - 1 and not on_path[x]:
+                region_nodes.setdefault(lx, []).append(x)
+        c_minus = np.full(s, np.inf)
+        region_total = 0
+        for l, members in region_nodes.items():
+            region_total += len(members)
+            c_minus[l] = _region_candidate(dg, members, l, levels, L, R)
 
-    # crossing-edge sweep (step 5)
-    by_start: dict[int, list[tuple[float, int]]] = {}
-    seen_pairs: set[tuple[int, int]] = set()
-    for u, v, w in dg.arc_iter():
-        if u > v:
-            continue  # each undirected edge once
-        lu, lv = int(levels[u]), int(levels[v])
-        if lu < 0 or lv < 0:
-            continue
-        if lu > lv:
-            u, v, lu, lv = v, u, lv, lu
-        if lv - lu < 2 or (u, v) in seen_pairs:
-            continue
-        seen_pairs.add((u, v))
-        value = float(L[u] + w + R[v])
-        if np.isfinite(value):
-            by_start.setdefault(lu + 1, []).append((value, lv))
+        # crossing-edge sweep (step 5)
+        by_start: dict[int, list[tuple[float, int]]] = {}
+        seen_pairs: set[tuple[int, int]] = set()
+        crossing_edges = 0
+        for u, v, w in dg.arc_iter():
+            if u > v:
+                continue  # each undirected edge once
+            lu, lv = int(levels[u]), int(levels[v])
+            if lu < 0 or lv < 0:
+                continue
+            if lu > lv:
+                u, v, lu, lv = v, u, lv, lu
+            if lv - lu < 2 or (u, v) in seen_pairs:
+                continue
+            seen_pairs.add((u, v))
+            value = float(L[u] + w + R[v])
+            if np.isfinite(value):
+                by_start.setdefault(lu + 1, []).append((value, lv))
+                crossing_edges += 1
 
-    heap = LazyMinHeap()
-    payments: dict[int, float] = {}
-    for l in range(1, s):
-        for value, lv in by_start.get(l, ()):
-            heap.push(value, lv)
-        entry = heap.peek_valid(lambda lv, _l=l: lv > _l)
-        best = entry[0] if entry is not None else np.inf
-        avoid = min(best, float(c_minus[l]))
-        r_l, nxt = path[l], path[l + 1]
-        if not np.isfinite(avoid):
-            if on_monopoly == "raise":
-                raise MonopolyError(source, target, r_l)
-            payments[r_l] = float("inf")
-            continue
-        # Section III.F payment: used-link cost + detour improvement.
-        payments[r_l] = dg.arc_weight(r_l, nxt) + (avoid - lcp)
+    with _tracer.span("fast_link_payment.payment_assembly"):
+        heap = LazyMinHeap()
+        payments: dict[int, float] = {}
+        for l in range(1, s):
+            for value, lv in by_start.get(l, ()):
+                heap.push(value, lv)
+            entry = heap.peek_valid(lambda lv, _l=l: lv > _l)
+            best = entry[0] if entry is not None else np.inf
+            avoid = min(best, float(c_minus[l]))
+            r_l, nxt = path[l], path[l + 1]
+            if not np.isfinite(avoid):
+                if on_monopoly == "raise":
+                    raise MonopolyError(source, target, r_l)
+                payments[r_l] = float("inf")
+                continue
+            # Section III.F payment: used-link cost + detour improvement.
+            payments[r_l] = dg.arc_weight(r_l, nxt) + (avoid - lcp)
+    if _metrics.enabled:
+        _metrics.add("fast_link_payment.path_hops", s)
+        _metrics.add("fast_link_payment.crossing_edges", crossing_edges)
+        _metrics.add("fast_link_payment.region_nodes", region_total)
     return UnicastPayment(
         source, target, tuple(path), relay_cost, payments, scheme="link-vcg"
     )

@@ -53,6 +53,8 @@ from repro.core.mechanism import UnicastPayment
 from repro.errors import DisconnectedError, MonopolyError
 from repro.graph.dijkstra import node_weighted_spt
 from repro.graph.node_graph import NodeWeightedGraph
+from repro.obs.metrics import REGISTRY as _metrics
+from repro.obs.tracing import TRACER as _tracer
 from repro.utils.heap import LazyMinHeap
 from repro.utils.validation import check_node_index
 
@@ -127,85 +129,103 @@ def fast_vcg_payments(
         return FastPaymentResult(
             source, target, (), 0.0, {}, {}, np.full(g.n, -1, dtype=np.int64)
         )
+    with _metrics.timed("fast_payment.time"), _tracer.span(
+        "fast_payment", n=g.n, source=source, target=target
+    ):
+        return _fast_vcg_payments_impl(g, source, target, on_monopoly, backend)
 
-    # Step 1: the two shortest path trees and the LCP itself.
-    spt_i = node_weighted_spt(g, source, backend=backend)
-    if not spt_i.reachable(target):
-        raise DisconnectedError(source, target)
-    spt_j = node_weighted_spt(g, target, backend=backend)
-    path = spt_i.path_from_root(target)
-    s = len(path) - 1
-    lcp_cost = float(spt_i.dist[target])
 
-    costs = g.costs
-    l_til = spt_i.dist + costs  # L~(u); source fixed below
-    l_til[source] = 0.0
-    r_til = spt_j.dist + costs  # R~(v); target fixed below
-    r_til[target] = 0.0
+def _fast_vcg_payments_impl(
+    g: NodeWeightedGraph,
+    source: int,
+    target: int,
+    on_monopoly: str,
+    backend: str,
+) -> FastPaymentResult:
+    if _metrics.enabled:
+        _metrics.add("fast_payment.runs", 1)
+    # Steps 1-2: the two shortest path trees, the LCP, and the levels.
+    with _tracer.span("fast_payment.spt_build"):
+        spt_i = node_weighted_spt(g, source, backend=backend)
+        if not spt_i.reachable(target):
+            raise DisconnectedError(source, target)
+        spt_j = node_weighted_spt(g, target, backend=backend)
+        path = spt_i.path_from_root(target)
+        s = len(path) - 1
+        lcp_cost = float(spt_i.dist[target])
 
-    # Step 2: levels (branch labels along P in SPT(v_i)).
-    levels = spt_i.branch_labels(path)
+        costs = g.costs
+        l_til = spt_i.dist + costs  # L~(u); source fixed below
+        l_til[source] = 0.0
+        r_til = spt_j.dist + costs  # R~(v); target fixed below
+        r_til[target] = 0.0
+
+        # Step 2: levels (branch labels along P in SPT(v_i)).
+        levels = spt_i.branch_labels(path)
 
     if s <= 1:  # direct edge: nothing to pay
         return FastPaymentResult(
             source, target, tuple(path), lcp_cost, {}, {}, levels
         )
 
-    on_path = np.zeros(g.n, dtype=bool)
-    on_path[np.asarray(path, dtype=np.int64)] = True
+    # Steps 3-5 setup: regions and the crossing-edge table.
+    with _tracer.span("fast_payment.table_sweep"):
+        on_path = np.zeros(g.n, dtype=bool)
+        on_path[np.asarray(path, dtype=np.int64)] = True
 
-    # Steps 3-4: per-level boundary Dijkstra over the (disjoint) regions.
-    region_nodes: dict[int, list[int]] = {}
-    for x in range(g.n):
-        lx = int(levels[x])
-        if 1 <= lx <= s - 1 and not on_path[x]:
-            region_nodes.setdefault(lx, []).append(x)
+        # Steps 3-4: per-level boundary Dijkstra over the (disjoint) regions.
+        region_nodes: dict[int, list[int]] = {}
+        for x in range(g.n):
+            lx = int(levels[x])
+            if 1 <= lx <= s - 1 and not on_path[x]:
+                region_nodes.setdefault(lx, []).append(x)
 
-    c_minus = np.full(s, np.inf)  # c^{-l}, indexed by l (entries 1..s-1 used)
-    region_total = 0
-    for l, members in region_nodes.items():
-        region_total += len(members)
-        c_minus[l] = _region_candidate(
-            g, members, l, levels, l_til, r_til
-        )
+        c_minus = np.full(s, np.inf)  # c^{-l}, indexed by l (entries 1..s-1)
+        region_total = 0
+        for l, members in region_nodes.items():
+            region_total += len(members)
+            c_minus[l] = _region_candidate(
+                g, members, l, levels, l_til, r_til
+            )
 
-    # Step 5: crossing-edge sweep with a lazy-deletion heap.
-    by_start: dict[int, list[tuple[float, int]]] = {}
-    heap_edges = 0
-    for u, v in g.edge_iter():
-        lu, lv = int(levels[u]), int(levels[v])
-        if lu < 0 or lv < 0:
-            continue
-        if lu > lv:
-            u, v, lu, lv = v, u, lv, lu
-        if lv - lu < 2:
-            continue  # no level strictly between: never a crossing edge
-        value = float(l_til[u] + r_til[v])
-        if not np.isfinite(value):
-            continue
-        # Valid for every removal level l with lu < l < lv; enters the
-        # sweep at l = lu + 1 and lazily expires once l >= lv.
-        by_start.setdefault(lu + 1, []).append((value, lv))
-        heap_edges += 1
+        # Step 5: crossing-edge sweep with a lazy-deletion heap.
+        by_start: dict[int, list[tuple[float, int]]] = {}
+        heap_edges = 0
+        for u, v in g.edge_iter():
+            lu, lv = int(levels[u]), int(levels[v])
+            if lu < 0 or lv < 0:
+                continue
+            if lu > lv:
+                u, v, lu, lv = v, u, lv, lu
+            if lv - lu < 2:
+                continue  # no level strictly between: never a crossing edge
+            value = float(l_til[u] + r_til[v])
+            if not np.isfinite(value):
+                continue
+            # Valid for every removal level l with lu < l < lv; enters the
+            # sweep at l = lu + 1 and lazily expires once l >= lv.
+            by_start.setdefault(lu + 1, []).append((value, lv))
+            heap_edges += 1
 
-    heap = LazyMinHeap()
-    avoiding: dict[int, float] = {}
-    payments: dict[int, float] = {}
-    for l in range(1, s):
-        for value, lv in by_start.get(l, ()):
-            heap.push(value, lv)
-        entry = heap.peek_valid(lambda lv, _l=l: lv > _l)
-        best = entry[0] if entry is not None else np.inf
-        avoid = min(best, float(c_minus[l]))
-        r_l = path[l]
-        if not np.isfinite(avoid):
-            if on_monopoly == "raise":
-                raise MonopolyError(source, target, r_l)
-            avoiding[r_l] = float("inf")
-            payments[r_l] = float("inf")
-            continue
-        avoiding[r_l] = avoid
-        payments[r_l] = avoid - lcp_cost + float(costs[r_l])  # step 6
+    with _tracer.span("fast_payment.payment_assembly"):
+        heap = LazyMinHeap()
+        avoiding: dict[int, float] = {}
+        payments: dict[int, float] = {}
+        for l in range(1, s):
+            for value, lv in by_start.get(l, ()):
+                heap.push(value, lv)
+            entry = heap.peek_valid(lambda lv, _l=l: lv > _l)
+            best = entry[0] if entry is not None else np.inf
+            avoid = min(best, float(c_minus[l]))
+            r_l = path[l]
+            if not np.isfinite(avoid):
+                if on_monopoly == "raise":
+                    raise MonopolyError(source, target, r_l)
+                avoiding[r_l] = float("inf")
+                payments[r_l] = float("inf")
+                continue
+            avoiding[r_l] = avoid
+            payments[r_l] = avoid - lcp_cost + float(costs[r_l])  # step 6
 
     stats = {
         "path_hops": s,
@@ -213,6 +233,10 @@ def fast_vcg_payments(
         "region_nodes": region_total,
         "regions": len(region_nodes),
     }
+    if _metrics.enabled:
+        _metrics.add("fast_payment.path_hops", s)
+        _metrics.add("fast_payment.crossing_edges", heap_edges)
+        _metrics.add("fast_payment.region_nodes", region_total)
     return FastPaymentResult(
         source,
         target,

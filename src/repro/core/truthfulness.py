@@ -25,7 +25,6 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-import numpy as np
 
 from repro.core.mechanism import MechanismSpec, relay_utility
 from repro.errors import MonopolyError

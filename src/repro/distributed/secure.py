@@ -27,7 +27,7 @@ network-wide in stage 1 — which is what lets a verifier price a relay
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping
 
 import numpy as np
 

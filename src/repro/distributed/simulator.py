@@ -27,10 +27,37 @@ from typing import Mapping, Sequence
 
 from repro.distributed.node_proc import NodeProcess
 from repro.errors import ProtocolError
+from repro.obs.metrics import REGISTRY as _metrics
 
-__all__ = ["Message", "SimulationStats", "Simulator"]
+__all__ = ["Message", "SimulationStats", "Simulator", "payload_nbytes"]
 
 BROADCAST = -1
+
+
+def payload_nbytes(obj) -> int:
+    """Deterministic wire-size estimate of a message payload.
+
+    Numbers cost 8 bytes, booleans/None 1, strings/bytes their length,
+    containers the sum of their items (plus 2 bytes of framing per
+    mapping entry). The absolute scale is nominal — what matters is that
+    the estimate is stable across runs so byte totals are comparable
+    between protocol variants.
+    """
+    if obj is None or isinstance(obj, bool):
+        return 1
+    if isinstance(obj, (int, float)):
+        return 8
+    if isinstance(obj, str):
+        return len(obj)
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, Mapping):
+        return sum(
+            payload_nbytes(k) + payload_nbytes(v) + 2 for k, v in obj.items()
+        )
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(payload_nbytes(v) for v in obj)
+    return len(repr(obj))
 
 
 @dataclass(frozen=True)
@@ -64,6 +91,12 @@ class SimulationStats:
     deliveries: int = 0
     converged: bool = False
     flags: list[Flag] = field(default_factory=list)
+    #: Messages *sent* during each engine round: index 0 is the start
+    #: round, so after a run ``len(messages_per_round) == rounds + 1``
+    #: and the list sums to :attr:`transmissions`.
+    messages_per_round: list[int] = field(default_factory=list)
+    #: Estimated payload bytes over all sends (see :func:`payload_nbytes`).
+    bytes_total: int = 0
 
     @property
     def transmissions(self) -> int:
@@ -96,6 +129,7 @@ class _Api:
             Message(self.node_id, BROADCAST, payload, self._sim._round)
         )
         self._sim.stats.broadcasts += 1
+        self._sim.stats.bytes_total += payload_nbytes(payload)
 
     def send(self, dest: int, payload: Mapping) -> None:
         """Queue a unicast payload for one recipient."""
@@ -106,6 +140,7 @@ class _Api:
             Message(self.node_id, dest, payload, self._sim._round)
         )
         self._sim.stats.unicasts += 1
+        self._sim.stats.bytes_total += payload_nbytes(payload)
         if dest not in self._sim.adjacency[self.node_id]:
             self._sim.stats.remote_unicasts += 1
 
@@ -182,15 +217,34 @@ class Simulator:
         for i in range(self.n):
             self.processes[i].start(self._apis[i])
         pending = self._collect_outbox()
+        self.stats.messages_per_round.append(len(pending))
         while pending and self._round < max_rounds:
             self._round += 1
             self._deliver(pending)
             for i in range(self.n):
                 self.processes[i].on_round_end(self._apis[i])
             pending = self._collect_outbox()
+            self.stats.messages_per_round.append(len(pending))
         self.stats.rounds = self._round
         self.stats.converged = not pending
+        self._flush_metrics()
         return self.stats
+
+    def _flush_metrics(self) -> None:
+        """Record the run's totals into the process-wide registry."""
+        if not _metrics.enabled:
+            return
+        stats = self.stats
+        _metrics.add("simulator.runs", 1)
+        _metrics.add("simulator.rounds", stats.rounds)
+        _metrics.add("simulator.messages", stats.transmissions)
+        _metrics.add("simulator.broadcasts", stats.broadcasts)
+        _metrics.add("simulator.unicasts", stats.unicasts)
+        _metrics.add("simulator.deliveries", stats.deliveries)
+        _metrics.add("simulator.bytes", stats.bytes_total)
+        _metrics.add("simulator.flags", len(stats.flags))
+        if stats.converged:
+            _metrics.add("simulator.quiescent_runs", 1)
 
     # -- internals ----------------------------------------------------------
 

@@ -34,6 +34,7 @@ from repro.errors import GraphError
 from repro.graph.link_graph import LinkWeightedDigraph
 from repro.graph.node_graph import NodeWeightedGraph
 from repro.graph.spt import ShortestPathTree
+from repro.obs.metrics import REGISTRY as _metrics
 from repro.utils.heap import IndexedMinHeap
 from repro.utils.validation import check_node_index
 
@@ -69,6 +70,31 @@ def _check_backend(backend: str) -> str:
     if backend not in _BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
     return backend
+
+
+def _flush_python_counters(pushes: int, pops: int, relaxations: int) -> None:
+    """Record one pure-Python Dijkstra run's operation counts.
+
+    The loop accumulates plain local ints; this single guarded flush is
+    the only registry interaction, so the disabled-mode cost is one
+    attribute check per SPT build.
+    """
+    if _metrics.enabled:
+        _metrics.add("dijkstra.runs", 1)
+        _metrics.add("dijkstra.heap_pushes", pushes)
+        _metrics.add("dijkstra.heap_pops", pops)
+        _metrics.add("dijkstra.edge_relaxations", relaxations)
+
+
+def _flush_scipy_counters(spt: ShortestPathTree) -> ShortestPathTree:
+    """Record one compiled-backend run (no per-op counts are visible)."""
+    if _metrics.enabled:
+        _metrics.add("dijkstra.runs", 1)
+        _metrics.add("dijkstra.scipy_runs", 1)
+        _metrics.add(
+            "dijkstra.settled_nodes", int(np.isfinite(spt.dist).sum())
+        )
+    return spt
 
 
 # ---------------------------------------------------------------------------
@@ -116,8 +142,10 @@ def _node_spt_python(
     dist[root] = 0.0
     heap.push(root, 0.0)
     costs, indptr, indices = g.costs, g.indptr, g.indices
+    pushes, pops, relaxations = 1, 0, 0
     while heap:
         u, du = heap.pop()
+        pops += 1
         if done[u]:
             continue
         done[u] = True
@@ -127,10 +155,13 @@ def _node_spt_python(
         for w in indices[indptr[u] : indptr[u + 1]]:
             if done[w]:
                 continue
+            relaxations += 1
             if step < dist[w]:
                 dist[w] = step
                 parent[w] = u
                 heap.push(int(w), step)
+                pushes += 1
+    _flush_python_counters(pushes, pops, relaxations)
     if mask is not None:
         dist[mask] = np.inf
         parent[mask] = -1
@@ -153,7 +184,7 @@ def _node_spt_scipy(g: NodeWeightedGraph, root: int) -> ShortestPathTree:
     dist[~np.isfinite(edge_dist)] = np.inf
     parent = pred.astype(np.int64)
     parent[parent < 0] = -1
-    return ShortestPathTree(root, dist, parent)
+    return _flush_scipy_counters(ShortestPathTree(root, dist, parent))
 
 
 def node_weighted_distance(
@@ -220,8 +251,10 @@ def _link_spt_python(
     dist[root] = 0.0
     heap.push(root, 0.0)
     indptr, indices, weights = dg.indptr, dg.indices, dg.weights
+    pushes, pops, relaxations = 1, 0, 0
     while heap:
         u, du = heap.pop()
+        pops += 1
         if done[u]:
             continue
         done[u] = True
@@ -229,11 +262,14 @@ def _link_spt_python(
             w = indices[e]
             if done[w]:
                 continue
+            relaxations += 1
             cand = du + weights[e]
             if cand < dist[w]:
                 dist[w] = cand
                 parent[w] = u
                 heap.push(int(w), cand)
+                pushes += 1
+    _flush_python_counters(pushes, pops, relaxations)
     if mask is not None:
         dist[mask] = np.inf
         parent[mask] = -1
@@ -255,7 +291,7 @@ def _link_spt_scipy(dg: LinkWeightedDigraph, root: int) -> ShortestPathTree:
     dist[dist < 1e-250] = 0.0
     parent = pred.astype(np.int64)
     parent[parent < 0] = -1
-    return ShortestPathTree(root, dist, parent)
+    return _flush_scipy_counters(ShortestPathTree(root, dist, parent))
 
 
 def link_weighted_distance(

@@ -23,7 +23,6 @@ import numpy as np
 
 from repro.errors import InvalidGraphError
 from repro.utils.validation import (
-    as_int_array,
     check_cost_array,
     check_node_index,
 )

@@ -23,8 +23,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.accounting.sessions import Session
-from repro.core.vcg_unicast import vcg_unicast_payments
-from repro.errors import DisconnectedError, MonopolyError
+from repro.errors import DisconnectedError
 from repro.graph.dijkstra import node_weighted_spt
 from repro.graph.node_graph import NodeWeightedGraph
 from repro.lifetime.battery import BatteryBank

@@ -1,0 +1,56 @@
+"""repro.obs — metrics, tracing, and structured logging.
+
+The observability layer the rest of the library records into:
+
+* :mod:`repro.obs.metrics` — process-wide counters/gauges/timers behind
+  a disabled-by-default registry with a no-op fast path;
+* :mod:`repro.obs.tracing` — nestable spans + Chrome trace-event export;
+* :mod:`repro.obs.logging` — stdlib loggers with ``key=value`` or JSON
+  formatting, configured once via :func:`configure`;
+* :mod:`repro.obs.export` — JSON / Prometheus exposition of snapshots.
+
+Everything is off until opted into (CLI ``--metrics`` / ``--trace-out``
+/ ``--log-level``, the benchmark harness, or an explicit
+:func:`enable`), so instrumented hot paths pay ~zero cost by default.
+"""
+
+from __future__ import annotations
+
+from repro.obs import export
+from repro.obs.logging import configure, get_logger
+from repro.obs.metrics import (
+    REGISTRY,
+    MetricsRegistry,
+    MetricsSnapshot,
+    timed,
+)
+from repro.obs.tracing import TRACER, Tracer, span
+
+__all__ = [
+    "REGISTRY",
+    "TRACER",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Tracer",
+    "configure",
+    "get_logger",
+    "timed",
+    "span",
+    "export",
+    "enable",
+    "disable",
+]
+
+
+def enable(metrics: bool = True, tracing: bool = False) -> None:
+    """Turn on the process-wide collectors (registry and/or tracer)."""
+    if metrics:
+        REGISTRY.enable()
+    if tracing:
+        TRACER.enable()
+
+
+def disable() -> None:
+    """Turn off both process-wide collectors."""
+    REGISTRY.disable()
+    TRACER.disable()

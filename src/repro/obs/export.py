@@ -1,0 +1,127 @@
+"""Exposition of a :class:`~repro.obs.metrics.MetricsSnapshot`.
+
+Two formats:
+
+* **JSON** — the snapshot as one document, round-trippable via
+  :func:`snapshot_from_json` (used by the benchmark harness to attach
+  operation counts to ``--benchmark-json`` output);
+* **Prometheus text exposition** — ``# TYPE`` lines plus samples, with
+  timers rendered as summaries (``_count`` / ``_sum`` plus ``quantile``
+  labels). :func:`parse_prometheus_text` reads the subset this module
+  writes, enough for the round-trip tests and for scrapers.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.obs.metrics import MetricsSnapshot, TimerStats
+
+__all__ = [
+    "snapshot_to_json",
+    "snapshot_from_json",
+    "to_prometheus_text",
+    "parse_prometheus_text",
+]
+
+
+def snapshot_to_json(snapshot: MetricsSnapshot, indent: int | None = None) -> str:
+    """Serialize a snapshot to a JSON document."""
+    doc = {
+        "counters": dict(snapshot.counters),
+        "gauges": dict(snapshot.gauges),
+        "timers": {k: v.as_dict() for k, v in snapshot.timers.items()},
+    }
+    return json.dumps(doc, sort_keys=True, indent=indent)
+
+
+def snapshot_from_json(text: str) -> MetricsSnapshot:
+    """Inverse of :func:`snapshot_to_json`."""
+    doc = json.loads(text)
+    timers = {
+        name: TimerStats(
+            count=int(st["count"]),
+            sum=float(st["sum"]),
+            min=float(st["min"]),
+            max=float(st["max"]),
+            p50=float(st["p50"]),
+            p95=float(st["p95"]),
+        )
+        for name, st in doc.get("timers", {}).items()
+    }
+    return MetricsSnapshot(
+        counters=dict(doc.get("counters", {})),
+        gauges=dict(doc.get("gauges", {})),
+        timers=timers,
+    )
+
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    full = f"{prefix}_{name}" if prefix else name
+    full = _NAME_SANITIZER.sub("_", full)
+    if full and full[0].isdigit():
+        full = "_" + full
+    return full
+
+
+def to_prometheus_text(snapshot: MetricsSnapshot, prefix: str = "repro") -> str:
+    """Render the snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name in sorted(snapshot.counters):
+        pname = _prom_name(name, prefix)
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {_num(snapshot.counters[name])}")
+    for name in sorted(snapshot.gauges):
+        pname = _prom_name(name, prefix)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {_num(snapshot.gauges[name])}")
+    for name in sorted(snapshot.timers):
+        st = snapshot.timers[name]
+        pname = _prom_name(name, prefix)
+        lines.append(f"# TYPE {pname} summary")
+        lines.append(f'{pname}{{quantile="0.5"}} {_num(st.p50)}')
+        lines.append(f'{pname}{{quantile="0.95"}} {_num(st.p95)}')
+        lines.append(f"{pname}_count {_num(st.count)}")
+        lines.append(f"{pname}_sum {_num(st.sum)}")
+        lines.append(f"{pname}_min {_num(st.min)}")
+        lines.append(f"{pname}_max {_num(st.max)}")
+    return "\n".join(lines) + "\n"
+
+
+def _num(value) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+
+
+def parse_prometheus_text(text: str) -> dict[str, float]:
+    """Parse the subset emitted by :func:`to_prometheus_text`.
+
+    Returns a flat ``name -> value`` mapping; labelled samples key as
+    ``name{labels}``. Comment and blank lines are skipped.
+    """
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _SAMPLE.match(line)
+        if m is None:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        key = m.group("name")
+        if m.group("labels"):
+            key = f'{key}{{{m.group("labels")}}}'
+        out[key] = float(m.group("value"))
+    return out

@@ -1,0 +1,140 @@
+"""Structured logging on top of the stdlib.
+
+``get_logger(name)`` returns an ordinary :mod:`logging` logger inside
+the ``repro`` namespace; ``configure(level=..., json=...)`` installs one
+stderr handler on the namespace root with either a ``key=value``
+formatter or a JSON-lines formatter. Extra structured fields ride on the
+stdlib ``extra=`` mechanism::
+
+    log = get_logger("analysis.experiments")
+    log.info("instance priced", extra={"n": 200, "seed": 17})
+    # 2026-08-06T12:00:00 level=INFO logger=repro.analysis.experiments \
+    #     msg="instance priced" n=200 seed=17
+
+Nothing is configured at import time: until ``configure()`` runs, the
+library stays silent below WARNING (stdlib last-resort behaviour) and
+stdout is never touched — result output and logs cannot interleave.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO
+
+__all__ = ["get_logger", "configure", "KeyValueFormatter", "JsonFormatter"]
+
+#: Namespace root every library logger hangs under.
+ROOT_NAME = "repro"
+
+#: ``LogRecord`` attributes that are plumbing, not user-supplied fields.
+_STANDARD_ATTRS = frozenset(
+    (
+        "args", "asctime", "created", "exc_info", "exc_text", "filename",
+        "funcName", "levelname", "levelno", "lineno", "module", "msecs",
+        "msg", "message", "name", "pathname", "process", "processName",
+        "relativeCreated", "stack_info", "thread", "threadName",
+        "taskName",
+    )
+)
+
+
+def _extra_fields(record: logging.LogRecord) -> dict:
+    return {
+        k: v
+        for k, v in record.__dict__.items()
+        if k not in _STANDARD_ATTRS and not k.startswith("_")
+    }
+
+
+def _quote(value: object) -> str:
+    text = str(value)
+    if " " in text or "=" in text or '"' in text or not text:
+        return '"' + text.replace('"', r"\"") + '"'
+    return text
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``ts=... level=... logger=... msg=... key=value ...`` lines."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        ts = time.strftime(
+            "%Y-%m-%dT%H:%M:%S", time.localtime(record.created)
+        )
+        parts = [
+            ts,
+            f"level={record.levelname}",
+            f"logger={record.name}",
+            f"msg={_quote(record.getMessage())}",
+        ]
+        parts.extend(
+            f"{k}={_quote(v)}" for k, v in sorted(_extra_fields(record).items())
+        )
+        if record.exc_info:
+            parts.append(f"exc={_quote(self.formatException(record.exc_info))}")
+        return " ".join(parts)
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; extras become top-level keys."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "ts": record.created,
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for k, v in _extra_fields(record).items():
+            try:
+                json.dumps(v)
+            except TypeError:
+                v = str(v)
+            doc[k] = v
+        if record.exc_info:
+            doc["exc"] = self.formatException(record.exc_info)
+        return json.dumps(doc, sort_keys=True)
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A stdlib logger under the ``repro`` namespace.
+
+    ``get_logger("cli")`` and ``get_logger("repro.cli")`` both return
+    the ``repro.cli`` logger; ``get_logger()`` returns the root.
+    """
+    if not name or name == ROOT_NAME:
+        return logging.getLogger(ROOT_NAME)
+    if name.startswith(ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_NAME}.{name}")
+
+
+def configure(
+    level: int | str = "info",
+    json: bool = False,
+    stream: IO[str] | None = None,
+) -> logging.Logger:
+    """Install one handler on the ``repro`` namespace root (idempotent).
+
+    Re-running replaces the previous obs-installed handler, so tests and
+    repeated CLI invocations never stack duplicate output. Logs go to
+    ``stream`` (default ``sys.stderr``) — never stdout, which belongs to
+    result output.
+    """
+    root = logging.getLogger(ROOT_NAME)
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+        if not isinstance(level, int):
+            raise ValueError(f"unknown log level {level!r}")
+    root.setLevel(level)
+    root.propagate = False
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json else KeyValueFormatter())
+    handler._repro_obs = True
+    root.addHandler(handler)
+    return root

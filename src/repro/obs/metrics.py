@@ -1,0 +1,335 @@
+"""Process-wide metrics: counters, gauges, and timer histograms.
+
+The registry is **disabled by default** and every recording call is a
+no-op behind a single attribute check, so instrumented hot paths pay
+~zero cost unless someone opts in (the CLI ``--metrics`` flag, the
+benchmark harness, or a test). The pattern instrumented code follows:
+
+* loop-level counts are accumulated in plain local ints and flushed once
+  per call, guarded by ``if REGISTRY.enabled:`` — the loop itself never
+  calls into the registry;
+* timings use ``with REGISTRY.timed("name"):`` which returns a shared
+  null context manager while disabled (no ``perf_counter`` call at all).
+
+Snapshots are plain data (:class:`MetricsSnapshot`), decoupled from the
+live registry; exporters live in :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "TimerStats",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "REGISTRY",
+    "timed",
+    "enable",
+    "disable",
+]
+
+#: Ring-buffer capacity for timer samples backing the percentiles. Past
+#: this many observations the oldest samples are overwritten (a recent
+#: window beats a biased forever-prefix for long-running processes).
+TIMER_SAMPLE_CAP = 4096
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        """Add ``n`` (must be >= 0) to the counter."""
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (n={n})")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+
+
+@dataclass(frozen=True)
+class TimerStats:
+    """Summary of one timer's observations."""
+
+    count: int
+    sum: float
+    min: float
+    max: float
+    p50: float
+    p95: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+        }
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile over a pre-sorted sample list."""
+    if not ordered:
+        return 0.0
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+class Timer:
+    """A duration histogram: count/sum/min/max plus sampled percentiles."""
+
+    __slots__ = ("name", "count", "sum", "min", "max", "_samples", "_next")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self._samples: list[float] = []
+        self._next = 0  # ring-buffer write head once the cap is hit
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration in seconds."""
+        seconds = float(seconds)
+        self.count += 1
+        self.sum += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+        if len(self._samples) < TIMER_SAMPLE_CAP:
+            self._samples.append(seconds)
+        else:
+            self._samples[self._next] = seconds
+            self._next = (self._next + 1) % TIMER_SAMPLE_CAP
+
+    def stats(self) -> TimerStats:
+        ordered = sorted(self._samples)
+        return TimerStats(
+            count=self.count,
+            sum=self.sum,
+            min=self.min if self.count else 0.0,
+            max=self.max,
+            p50=_percentile(ordered, 0.50),
+            p95=_percentile(ordered, 0.95),
+        )
+
+
+class _NullTimed:
+    """Shared no-op context manager handed out while metrics are off."""
+
+    __slots__ = ()
+
+    #: Elapsed seconds; always 0.0 on the null instance so callers that
+    #: read ``.elapsed`` never need to branch on the enabled state.
+    elapsed = 0.0
+
+    def __enter__(self) -> "_NullTimed":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_TIMED = _NullTimed()
+
+
+class _Timed:
+    """Measuring context manager; records into ``timer`` if given."""
+
+    __slots__ = ("_timer", "_start", "elapsed")
+
+    def __init__(self, timer: Timer | None) -> None:
+        self._timer = timer
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "_Timed":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        if self._timer is not None:
+            self._timer.observe(self.elapsed)
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable view of a registry at one point in time."""
+
+    counters: Mapping[str, float]
+    gauges: Mapping[str, float]
+    timers: Mapping[str, TimerStats]
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.timers)
+
+    def flat(self) -> dict[str, float]:
+        """One flat ``name -> number`` mapping (timers expand to
+        ``name.count``, ``name.sum``, ... sub-keys)."""
+        out: dict[str, float] = dict(self.counters)
+        out.update(self.gauges)
+        for name, st in self.timers.items():
+            for k, v in st.as_dict().items():
+                out[f"{name}.{k}"] = v
+        return out
+
+    def render(self) -> str:
+        """Human-readable listing, one metric per line, sorted by name."""
+        lines = []
+        for name in sorted(self.counters):
+            lines.append(f"{name} {self.counters[name]:g}")
+        for name in sorted(self.gauges):
+            lines.append(f"{name} {self.gauges[name]:g}")
+        for name in sorted(self.timers):
+            st = self.timers[name]
+            lines.append(
+                f"{name} count={st.count} sum={st.sum:.6f}s "
+                f"min={st.min:.6f}s max={st.max:.6f}s "
+                f"p50={st.p50:.6f}s p95={st.p95:.6f}s"
+            )
+        return "\n".join(lines)
+
+
+class MetricsRegistry:
+    """Named counters/gauges/timers behind one enabled/disabled switch."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every metric (the enabled flag is left as-is)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+
+    # -- instrument access (creates lazily) ---------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            with self._lock:
+                c = self._counters.setdefault(name, Counter(name))
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            with self._lock:
+                g = self._gauges.setdefault(name, Gauge(name))
+        return g
+
+    def timer(self, name: str) -> Timer:
+        t = self._timers.get(name)
+        if t is None:
+            with self._lock:
+                t = self._timers.setdefault(name, Timer(name))
+        return t
+
+    # -- recording shortcuts ------------------------------------------------
+
+    def add(self, name: str, n: int | float = 1) -> None:
+        """Increment counter ``name`` by ``n``; no-op while disabled."""
+        if self.enabled:
+            self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name``; no-op while disabled."""
+        if self.enabled:
+            self.gauge(name).set(value)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record a duration on timer ``name``; no-op while disabled."""
+        if self.enabled:
+            self.timer(name).observe(seconds)
+
+    def timed(self, name: str, always: bool = False):
+        """Context manager timing its body into timer ``name``.
+
+        Disabled registry: returns a shared null manager (zero cost)
+        unless ``always=True``, which measures regardless — so callers
+        that *display* the elapsed time (the CLI) still work with
+        metrics off — but records only while enabled.
+        """
+        if self.enabled:
+            return _Timed(self.timer(name))
+        return _Timed(None) if always else _NULL_TIMED
+
+    # -- reading ------------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            return MetricsSnapshot(
+                counters={k: v.value for k, v in self._counters.items()},
+                gauges={k: v.value for k, v in self._gauges.items()},
+                timers={k: v.stats() for k, v in self._timers.items()},
+            )
+
+    def names(self) -> Iterator[str]:
+        yield from self._counters
+        yield from self._gauges
+        yield from self._timers
+
+
+#: The process-wide registry every instrumented module records into.
+REGISTRY = MetricsRegistry(enabled=False)
+
+
+def timed(name: str, always: bool = False):
+    """Module-level shortcut for ``REGISTRY.timed``."""
+    return REGISTRY.timed(name, always=always)
+
+
+def enable() -> None:
+    """Turn on the process-wide registry."""
+    REGISTRY.enable()
+
+
+def disable() -> None:
+    """Turn off the process-wide registry."""
+    REGISTRY.disable()

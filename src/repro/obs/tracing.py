@@ -1,0 +1,198 @@
+"""Nestable spans with a Chrome trace-event JSON exporter.
+
+A span marks one timed region (``with TRACER.span("phase", n=30):``).
+Spans nest: the tracer keeps a per-thread stack, records each finished
+span's depth and parent, and the exporter emits Chrome ``"X"`` (complete)
+events loadable in ``chrome://tracing`` / Perfetto.
+
+Like the metrics registry, the tracer is disabled by default and
+``span()`` then returns a shared null context manager, so instrumented
+code pays one attribute check and nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import IO, Mapping
+
+__all__ = ["SpanRecord", "Tracer", "TRACER", "span", "enable", "disable"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span (times in seconds relative to the tracer epoch)."""
+
+    name: str
+    start: float
+    duration: float
+    depth: int
+    parent: str | None
+    thread_id: int
+    attrs: Mapping[str, object] = field(default_factory=dict)
+
+
+class _NullSpan:
+    """Shared no-op span handed out while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set_attr(self, key: str, value) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span; finishes (and records itself) on ``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def set_attr(self, key: str, value) -> None:
+        self.attrs[key] = value
+
+    def __enter__(self) -> "_Span":
+        self._tracer._push(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        end = time.perf_counter()
+        self._tracer._pop(self, self._start, end)
+
+
+class Tracer:
+    """Collects :class:`SpanRecord` instances; exports Chrome JSON."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._epoch = time.perf_counter()
+        self._stacks = threading.local()
+        self.records: list[SpanRecord] = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        with self._lock:
+            self.records.clear()
+        self._epoch = time.perf_counter()
+        self._stacks = threading.local()
+
+    # -- span API -----------------------------------------------------------
+
+    def span(self, name: str, **attrs):
+        """Open a nestable span; null (free) while the tracer is off."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, attrs)
+
+    def _stack(self) -> list:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = []
+            self._stacks.stack = stack
+        return stack
+
+    def _push(self, span: "_Span") -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: "_Span", start: float, end: float) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        depth = len(stack)
+        parent = stack[-1].name if stack else None
+        record = SpanRecord(
+            name=span.name,
+            start=start - self._epoch,
+            duration=end - start,
+            depth=depth,
+            parent=parent,
+            thread_id=threading.get_ident(),
+            attrs=dict(span.attrs),
+        )
+        with self._lock:
+            self.records.append(record)
+
+    # -- export -------------------------------------------------------------
+
+    def chrome_trace_events(self) -> list[dict]:
+        """The records as Chrome trace-event dicts (``ph: "X"``, µs)."""
+        with self._lock:
+            records = list(self.records)
+        events = []
+        for r in records:
+            args = {k: _jsonable(v) for k, v in r.attrs.items()}
+            if r.parent is not None:
+                args["parent"] = r.parent
+            events.append(
+                {
+                    "name": r.name,
+                    "ph": "X",
+                    "ts": r.start * 1e6,
+                    "dur": r.duration * 1e6,
+                    "pid": os.getpid(),
+                    "tid": r.thread_id % 2**31,
+                    "args": args,
+                }
+            )
+        return events
+
+    def export_chrome(self, dest: str | IO[str]) -> None:
+        """Write a ``chrome://tracing``-loadable JSON file/stream."""
+        doc = {
+            "traceEvents": self.chrome_trace_events(),
+            "displayTimeUnit": "ms",
+        }
+        if hasattr(dest, "write"):
+            json.dump(doc, dest)
+        else:
+            with open(dest, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh)
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+#: The process-wide tracer instrumented modules record into.
+TRACER = Tracer(enabled=False)
+
+
+def span(name: str, **attrs):
+    """Module-level shortcut for ``TRACER.span``."""
+    return TRACER.span(name, **attrs)
+
+
+def enable() -> None:
+    """Turn on the process-wide tracer."""
+    TRACER.enable()
+
+
+def disable() -> None:
+    """Turn off the process-wide tracer."""
+    TRACER.disable()

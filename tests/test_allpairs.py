@@ -3,10 +3,8 @@
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core.allpairs import (
-    NetworkEconomy,
     TrafficMatrix,
     network_economy,
     pairwise_vcg_payments,

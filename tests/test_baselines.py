@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.baselines.adhoc_vcg import (
     adhoc_vcg_payments,
@@ -13,7 +12,6 @@ from repro.baselines.nisan_ronen import nisan_ronen_payments
 from repro.baselines.nuglets import nuglet_network_summary, nuglet_outcome
 from repro.core.link_vcg import link_vcg_payments
 from repro.errors import MonopolyError
-from repro.graph import generators as gen
 from repro.graph.link_graph import LinkWeightedDigraph
 
 from conftest import robust_digraphs

@@ -8,7 +8,6 @@ together.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
 
 from repro.core.collusion import (
     NEIGHBOR_COLLUSION_VCG,
@@ -22,12 +21,11 @@ from repro.core.truthfulness import (
     check_individual_rationality,
     check_strategyproof,
 )
-from repro.core.vcg_unicast import VCG_UNICAST, vcg_unicast_payments
+from repro.core.vcg_unicast import vcg_unicast_payments
 from repro.errors import MonopolyError
 from repro.graph import generators as gen
 from repro.graph.node_graph import NodeWeightedGraph
 
-from conftest import biconnected_graphs
 
 
 def neighbor_safe_instances(count=5, n=12):

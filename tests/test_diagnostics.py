@@ -9,7 +9,6 @@ from repro.analysis.diagnostics import (
     relay_gaps,
 )
 from repro.core.link_vcg import all_sources_link_payments
-from repro.graph import generators as gen
 from repro.wireless.deployment import sample_udg_deployment
 
 
@@ -95,7 +94,6 @@ class TestFrugality:
         assert s.total_payment == pytest.approx(direct, rel=1e-9)
 
     def test_empty_table(self):
-        from repro.core.link_vcg import LinkPaymentTable
         from repro.graph.link_graph import LinkWeightedDigraph
 
         dg = LinkWeightedDigraph(2, [(1, 0, 1.0), (0, 1, 1.0)])

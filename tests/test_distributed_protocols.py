@@ -3,12 +3,10 @@
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core.vcg_unicast import vcg_unicast_payments
 from repro.distributed.payment_protocol import run_distributed_payments
 from repro.distributed.spt_protocol import run_distributed_spt
-from repro.graph import generators as gen
 from repro.graph.dijkstra import node_weighted_spt
 
 from conftest import biconnected_graphs

@@ -8,7 +8,6 @@ Dijkstra oracle exactly, on every topology hypothesis can dream up.
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core.fast_payment import fast_vcg_payments
 from repro.core.vcg_unicast import vcg_unicast_payments

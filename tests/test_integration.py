@@ -15,7 +15,6 @@ from repro.core.vcg_unicast import VCG_UNICAST, vcg_unicast_payments
 from repro.distributed.secure import run_secure_distributed_payments
 from repro.distributed.adversary import PaymentInflatorNode
 from repro.graph import generators as gen
-from repro.graph.node_graph import NodeWeightedGraph
 from repro.wireless.deployment import sample_udg_deployment
 from repro.wireless.topology import build_node_graph_from_udg
 

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 
 from repro.core.link_vcg import all_sources_link_payments, link_vcg_payments
 from repro.distributed.link_protocol import run_distributed_link_payments
-from repro.graph import generators as gen
 from repro.graph.dijkstra import link_weighted_spt
 from repro.graph.link_graph import LinkWeightedDigraph
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core.link_vcg import (
     all_sources_link_payments,
@@ -11,7 +10,6 @@ from repro.core.link_vcg import (
     relay_link_utility,
 )
 from repro.errors import DisconnectedError, MonopolyError
-from repro.graph import generators as gen
 from repro.graph.link_graph import LinkWeightedDigraph
 
 from conftest import digraph_with_endpoints, robust_digraphs

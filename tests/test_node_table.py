@@ -7,7 +7,6 @@ from hypothesis import given, settings
 from repro.core.node_table import all_sources_node_payments
 from repro.core.vcg_unicast import vcg_unicast_payments
 from repro.errors import DisconnectedError
-from repro.graph import generators as gen
 from repro.graph.node_graph import NodeWeightedGraph
 
 from conftest import biconnected_graphs

@@ -11,7 +11,6 @@ from repro.core.overpayment import (
     overpayment_summary,
     per_hop_breakdown,
 )
-from repro.graph import generators as gen
 
 from conftest import robust_digraphs
 

@@ -151,6 +151,65 @@ class TestConstruction:
         assert stats.deliveries == 4  # line graph: 2 + 1 + 1
 
 
+class TestMessageAccounting:
+    def test_messages_per_round_shape(self):
+        procs = [Echo(i) for i in range(3)]
+        stats = Simulator(LINE, procs).run()
+        # one entry per engine round including the start round; the final
+        # (quiescent) round sent nothing
+        assert len(stats.messages_per_round) == stats.rounds + 1
+        assert stats.messages_per_round[0] == 3
+        assert stats.messages_per_round[-1] == 0
+        assert sum(stats.messages_per_round) == stats.transmissions
+
+    def test_messages_per_round_ttl_decay(self):
+        procs = [Chatter(0, start_token=True), Chatter(1), Chatter(2)]
+        stats = Simulator(LINE, procs).run()
+        assert sum(stats.messages_per_round) == stats.broadcasts
+        # generation sizes are deterministic: the ttl token fans out then dies
+        assert stats.messages_per_round[0] == 1
+        assert stats.messages_per_round[-1] == 0
+
+    def test_bytes_total_deterministic_and_positive(self):
+        runs = []
+        for _ in range(2):
+            procs = [Echo(i) for i in range(3)]
+            runs.append(Simulator(LINE, procs).run().bytes_total)
+        assert runs[0] == runs[1] > 0
+
+    def test_bytes_zero_without_messages(self):
+        procs = [Unicaster(i) for i in range(3)]  # nobody sends
+        stats = Simulator(LINE, procs).run()
+        assert stats.bytes_total == 0
+        assert stats.messages_per_round == [0]
+
+    def test_registry_counters_match_stats(self):
+        from repro.obs.metrics import REGISTRY
+
+        REGISTRY.reset()
+        REGISTRY.enable()
+        try:
+            procs = [Echo(i) for i in range(3)]
+            stats = Simulator(LINE, procs).run()
+            snap = REGISTRY.snapshot()
+        finally:
+            REGISTRY.disable()
+            REGISTRY.reset()
+        assert snap.counters["simulator.messages"] == stats.transmissions
+        assert snap.counters["simulator.bytes"] == stats.bytes_total
+        assert snap.counters["simulator.rounds"] == stats.rounds
+        assert snap.counters["simulator.deliveries"] == stats.deliveries
+
+    def test_payload_nbytes_estimator(self):
+        from repro.distributed.simulator import payload_nbytes
+
+        assert payload_nbytes({"a": 1}) == 11  # 1 + 8 + 2 framing
+        assert payload_nbytes([1.5, 2.5]) == 16
+        assert payload_nbytes("abc") == 3
+        assert payload_nbytes(None) == 1
+        assert payload_nbytes({"k": [1, 2]}) == 19
+
+
 class TestTraceRecording:
     def test_disabled_by_default(self):
         procs = [Echo(i) for i in range(3)]

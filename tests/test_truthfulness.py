@@ -8,9 +8,7 @@ IC + IR and resist off-path-neighbour pairs.
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
-from repro.core.collusion import NEIGHBOR_COLLUSION_VCG
 from repro.core.mechanism import MechanismSpec, UnicastPayment
 from repro.core.truthfulness import (
     check_group_strategyproof,
