@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full experiments experiments-full examples lint lint-docs all
+.PHONY: install test bench bench-full bench-save experiments experiments-full examples lint lint-docs all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -26,6 +26,13 @@ bench:
 # The paper's exact evaluation scale (n = 100..500, 100 instances/point).
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Save a machine-readable baseline named after the current commit, for
+# before/after comparison across perf changes (pytest-benchmark JSON,
+# with operation-count metrics attached under extra_info).
+bench-save:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only \
+		--benchmark-json=BENCH_$$(git rev-parse --short HEAD).json
 
 experiments:
 	$(PYTHON) benchmarks/generate_experiments_md.py --instances 30

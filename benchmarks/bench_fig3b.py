@@ -12,7 +12,8 @@ from conftest import emit
 
 
 def _build(scale):
-    return fig3b(n_values=scale.n_values, instances=scale.instances, seed=2004)
+    return fig3b(n_values=scale.n_values, instances=scale.instances, seed=2004,
+                 jobs=scale.jobs)
 
 
 def test_fig3b_reproduction(benchmark, scale):

@@ -13,7 +13,8 @@ from conftest import emit
 
 
 def _build(scale):
-    return fig3c(n_values=scale.n_values, instances=scale.instances, seed=2004)
+    return fig3c(n_values=scale.n_values, instances=scale.instances, seed=2004,
+                 jobs=scale.jobs)
 
 
 def test_fig3c_reproduction(benchmark, scale):

@@ -14,7 +14,8 @@ from conftest import emit
 
 
 def _build(scale):
-    return fig3d(n=scale.fig3d_n, instances=scale.instances, seed=2004)
+    return fig3d(n=scale.fig3d_n, instances=scale.instances, seed=2004,
+                 jobs=scale.jobs)
 
 
 def test_fig3d_reproduction(benchmark, scale):

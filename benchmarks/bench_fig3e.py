@@ -14,7 +14,8 @@ from conftest import emit
 
 
 def _build(scale):
-    return fig3e(n_values=scale.n_values, instances=scale.instances, seed=2004)
+    return fig3e(n_values=scale.n_values, instances=scale.instances, seed=2004,
+                 jobs=scale.jobs)
 
 
 def test_fig3e_reproduction(benchmark, scale):

@@ -11,7 +11,8 @@ from conftest import emit
 
 
 def _build(scale):
-    return fig3f(n_values=scale.n_values, instances=scale.instances, seed=2004)
+    return fig3f(n_values=scale.n_values, instances=scale.instances, seed=2004,
+                 jobs=scale.jobs)
 
 
 def test_fig3f_reproduction(benchmark, scale):

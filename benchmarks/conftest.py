@@ -3,9 +3,12 @@
 Every Figure-3 bench runs at a CI-friendly scale by default and at the
 paper's exact scale (n = 100..500 step 50, 100 instances) when
 ``REPRO_BENCH_FULL=1``. ``REPRO_BENCH_INSTANCES`` overrides the instance
-count in either mode. Each bench prints the regenerated series (the
-repository's substitute for the paper's plots) and asserts the *shape*
-the paper reports — not absolute values, which depend on the RNG stream.
+count in either mode and ``REPRO_BENCH_JOBS`` sets the sweep worker
+count (default 1 = serial; ``-1`` = all cores) — sweep results are
+bit-identical whatever the worker count, so the jobs knob changes only
+wall time. Each bench prints the regenerated series (the repository's
+substitute for the paper's plots) and asserts the *shape* the paper
+reports — not absolute values, which depend on the RNG stream.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ class BenchScale:
     instances: int
     fig3d_n: int
     full: bool
+    jobs: int = 1
 
 
 def _resolve_scale() -> BenchScale:
@@ -45,8 +49,10 @@ def _resolve_scale() -> BenchScale:
     override = os.environ.get("REPRO_BENCH_INSTANCES")
     if override:
         instances = max(1, int(override))
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
     return BenchScale(
-        n_values=n_values, instances=instances, fig3d_n=fig3d_n, full=full
+        n_values=n_values, instances=instances, fig3d_n=fig3d_n, full=full,
+        jobs=jobs,
     )
 
 

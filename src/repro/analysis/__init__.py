@@ -9,6 +9,7 @@ tables (the repository's substitute for the paper's plots).
 """
 
 from repro.analysis.stats import Stats, aggregate
+from repro.analysis.parallel import resolve_jobs, run_tasks
 from repro.analysis.experiments import (
     InstanceMetrics,
     SweepPoint,
@@ -60,4 +61,6 @@ __all__ = [
     "relay_gaps",
     "RangePoint",
     "range_sensitivity",
+    "resolve_jobs",
+    "run_tasks",
 ]

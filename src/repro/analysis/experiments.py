@@ -22,6 +22,7 @@ from repro.core.overpayment import (
     overpayment_summary,
     per_hop_breakdown,
 )
+from repro.analysis.parallel import resolve_jobs, run_tasks
 from repro.analysis.stats import Stats, aggregate
 from repro.obs.logging import get_logger
 from repro.obs.metrics import REGISTRY as _metrics
@@ -177,28 +178,39 @@ def sweep_overpayment(
     instances: int,
     base_seed: int = 2004,
     collect_hops: bool = False,
+    jobs: int | None = None,
     **deploy_kwargs,
 ) -> SweepResult:
-    """Run the full sweep; the workhorse behind every Figure-3 panel."""
+    """Run the full sweep; the workhorse behind every Figure-3 panel.
+
+    ``jobs`` fans the instances out over a process pool
+    (:mod:`repro.analysis.parallel`): ``None``/``1`` runs serially,
+    ``-1`` uses every core. Instances are pure functions of their
+    derived seed and results are reassembled in seed-derivation order,
+    so the ``SweepResult`` is bit-identical for every ``jobs`` value.
+    """
     if instances < 1:
         raise ValueError(f"need at least one instance, got {instances}")
-    points = []
+    n_jobs = resolve_jobs(jobs)
+    tasks = []
     for n in n_values:
         log.info(
             "sweep point start",
             extra={"label": label, "kind": kind, "n": int(n),
-                   "kappa": float(kappa), "instances": instances},
+                   "kappa": float(kappa), "instances": instances,
+                   "jobs": n_jobs},
         )
-        metrics = []
         for idx in range(instances):
             seed = derive_seed(base_seed, label, kind, n, kappa, idx)
-            metrics.append(
-                run_overpayment_instance(
-                    kind, int(n), float(kappa), seed,
-                    collect_hops=collect_hops, **deploy_kwargs,
-                )
-            )
+            tasks.append((
+                (kind, int(n), float(kappa), seed),
+                {"collect_hops": collect_hops, **deploy_kwargs},
+            ))
+    metrics = run_tasks(run_overpayment_instance, tasks, jobs=n_jobs)
+    points = []
+    for i, n in enumerate(n_values):
+        chunk = tuple(metrics[i * instances : (i + 1) * instances])
         points.append(
-            SweepPoint(kind=kind, n=int(n), kappa=float(kappa), instances=tuple(metrics))
+            SweepPoint(kind=kind, n=int(n), kappa=float(kappa), instances=chunk)
         )
     return SweepResult(label=label, kind=kind, kappa=float(kappa), points=tuple(points))

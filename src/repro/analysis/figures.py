@@ -79,6 +79,7 @@ def _ratio_sweep_figure(
     instances: int,
     seed: int,
     include_tor: bool,
+    jobs: int | None = None,
     **deploy_kwargs,
 ) -> FigureSeries:
     sweep = sweep_overpayment(
@@ -88,6 +89,7 @@ def _ratio_sweep_figure(
         kappa=kappa,
         instances=instances,
         base_seed=seed,
+        jobs=jobs,
         **deploy_kwargs,
     )
     series: dict[str, tuple] = {}
@@ -119,6 +121,7 @@ def fig3a(
     instances: int = 100,
     seed: int = 2004,
     range_m: float = 300.0,
+    jobs: int | None = None,
 ) -> FigureSeries:
     """Figure 3(a): IOR vs TOR on UDG with kappa = 2.
 
@@ -128,7 +131,7 @@ def fig3a(
     """
     return _ratio_sweep_figure(
         "fig3a", "IOR vs TOR (UDG, kappa=2)", "udg", 2.0,
-        n_values, instances, seed, include_tor=True, range_m=range_m,
+        n_values, instances, seed, jobs=jobs, include_tor=True, range_m=range_m,
     )
 
 
@@ -137,11 +140,12 @@ def fig3b(
     instances: int = 100,
     seed: int = 2004,
     range_m: float = 300.0,
+    jobs: int | None = None,
 ) -> FigureSeries:
     """Figure 3(b): average and worst overpayment ratio (UDG, kappa = 2)."""
     return _ratio_sweep_figure(
         "fig3b", "overpayment ratios (UDG, kappa=2)", "udg", 2.0,
-        n_values, instances, seed, include_tor=False, range_m=range_m,
+        n_values, instances, seed, jobs=jobs, include_tor=False, range_m=range_m,
     )
 
 
@@ -150,11 +154,12 @@ def fig3c(
     instances: int = 100,
     seed: int = 2004,
     range_m: float = 300.0,
+    jobs: int | None = None,
 ) -> FigureSeries:
     """Figure 3(c): average and worst overpayment ratio (UDG, kappa = 2.5)."""
     return _ratio_sweep_figure(
         "fig3c", "overpayment ratios (UDG, kappa=2.5)", "udg", 2.5,
-        n_values, instances, seed, include_tor=False, range_m=range_m,
+        n_values, instances, seed, jobs=jobs, include_tor=False, range_m=range_m,
     )
 
 
@@ -164,6 +169,7 @@ def fig3d(
     seed: int = 2004,
     range_m: float = 300.0,
     kappa: float = 2.0,
+    jobs: int | None = None,
 ) -> FigureSeries:
     """Figure 3(d): overpayment ratio vs hop distance to the source.
 
@@ -179,6 +185,7 @@ def fig3d(
         instances=instances,
         base_seed=seed,
         collect_hops=True,
+        jobs=jobs,
         range_m=range_m,
     )
     buckets = sweep.points[0].merged_hop_buckets()
@@ -201,6 +208,7 @@ def fig3e(
     n_values: Sequence[int] = PAPER_N_VALUES,
     instances: int = 100,
     seed: int = 2004,
+    jobs: int | None = None,
 ) -> FigureSeries:
     """Figure 3(e): heterogeneous-range "random graph", kappa = 2.
 
@@ -211,6 +219,7 @@ def fig3e(
     return _ratio_sweep_figure(
         "fig3e", "overpayment ratios (random graph, kappa=2)",
         "heterogeneous", 2.0, n_values, instances, seed, include_tor=False,
+        jobs=jobs,
     )
 
 
@@ -218,11 +227,13 @@ def fig3f(
     n_values: Sequence[int] = PAPER_N_VALUES,
     instances: int = 100,
     seed: int = 2004,
+    jobs: int | None = None,
 ) -> FigureSeries:
     """Figure 3(f): heterogeneous-range "random graph", kappa = 2.5."""
     return _ratio_sweep_figure(
         "fig3f", "overpayment ratios (random graph, kappa=2.5)",
         "heterogeneous", 2.5, n_values, instances, seed, include_tor=False,
+        jobs=jobs,
     )
 
 

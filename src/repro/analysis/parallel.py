@@ -1,0 +1,112 @@
+"""Parallel execution of embarrassingly-parallel sweep work.
+
+The Figure-3 evaluation is a Monte-Carlo sweep whose instances are pure
+functions of a seed derived with :func:`repro.utils.rng.derive_seed` —
+parallel by construction. This module fans such tasks out over a
+``concurrent.futures.ProcessPoolExecutor`` while preserving two
+guarantees the serial path gives for free:
+
+*determinism* — tasks are submitted in serial order and results are
+reassembled in that order (``Executor.map`` preserves it), so for pure
+task functions the ``jobs=N`` output is bit-identical to ``jobs=1``;
+
+*observability* — each worker runs its task against its own (forked)
+process-wide :data:`repro.obs.metrics.REGISTRY`; the per-task snapshot
+travels back with the result and is merged into the parent registry
+(:meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`), so counters
+and timers survive the fan-out. Tracing spans do **not** cross the
+process boundary — a ``--trace-out`` trace of a parallel run covers the
+parent process only.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence
+
+from repro.obs.logging import get_logger
+from repro.obs.metrics import REGISTRY as _metrics
+
+log = get_logger("analysis.parallel")
+
+__all__ = ["resolve_jobs", "run_tasks"]
+
+#: A task is ``(args, kwargs)``; the runner calls ``fn(*args, **kwargs)``.
+Task = "tuple[tuple, dict]"
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``jobs`` parameter to a concrete worker count.
+
+    ``None``, ``0`` and ``1`` mean serial; ``-1`` means one worker per
+    CPU (``os.cpu_count()``); any other positive integer is taken as-is.
+    Other negative values are an error.
+    """
+    if jobs is None or jobs == 0:
+        return 1
+    jobs = int(jobs)
+    if jobs == -1:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, -1 (all cores) or None, got {jobs}")
+    return jobs
+
+
+def _run_one(payload: tuple) -> tuple:
+    """Worker entry point: run one task, capture its metrics snapshot.
+
+    Must live at module level so it pickles under every multiprocessing
+    start method. ``collect`` carries the parent registry's enabled flag;
+    the worker's registry is reset around every task so each snapshot
+    covers exactly one task, whatever the executor's chunking did.
+    """
+    fn, args, kwargs, collect = payload
+    if collect:
+        _metrics.reset()
+        _metrics.enable()
+    try:
+        result = fn(*args, **kwargs)
+        snapshot = _metrics.snapshot() if collect else None
+    finally:
+        if collect:
+            _metrics.disable()
+            _metrics.reset()
+    return result, snapshot
+
+
+def run_tasks(
+    fn: Callable[..., Any],
+    tasks: Sequence[tuple[tuple, dict]],
+    jobs: int | None = None,
+    chunksize: int = 1,
+) -> list:
+    """Run ``fn(*args, **kwargs)`` for every task, serially or in a pool.
+
+    Results come back in task order. With ``jobs`` resolving to 1 (or at
+    most one task) everything runs inline in this process — the exact
+    serial code path, no pool, no pickling. Otherwise a process pool of
+    ``min(jobs, len(tasks))`` workers executes the tasks and each
+    worker-side metrics snapshot is merged into the parent registry.
+
+    ``fn``, every task's arguments, and every result must be picklable
+    (module-level functions and plain-data dataclasses are).
+    """
+    n_jobs = resolve_jobs(jobs)
+    tasks = list(tasks)
+    if n_jobs == 1 or len(tasks) <= 1:
+        return [fn(*args, **kwargs) for args, kwargs in tasks]
+    collect = _metrics.enabled
+    workers = min(n_jobs, len(tasks))
+    log.debug(
+        "parallel fan-out",
+        extra={"tasks": len(tasks), "workers": workers, "collect": collect},
+    )
+    payloads = [(fn, args, kwargs, collect) for args, kwargs in tasks]
+    results: list = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for result, snapshot in pool.map(_run_one, payloads, chunksize=chunksize):
+            if snapshot is not None:
+                _metrics.merge_snapshot(snapshot)
+            results.append(result)
+    return results

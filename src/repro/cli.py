@@ -6,7 +6,8 @@ Subcommands:
   route, the payments and the truthfulness check.
 * ``fig3a`` .. ``fig3f`` — regenerate one panel of the paper's Figure 3
   and print the series as a table (``--full`` uses the paper's scale:
-  n = 100..500, 100 instances).
+  n = 100..500, 100 instances; ``--jobs N`` fans the sweep out over N
+  worker processes with bit-identical results, ``-1`` = all cores).
 * ``collusion`` — hunt for a Theorem-7 collusion witness on a random
   instance and show the neighbour scheme's premium.
 * ``distributed`` — run the two-stage distributed protocol and diff it
@@ -93,6 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="paper scale: n=100..500 step 50, 100 instances",
         )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="worker processes for the sweep (-1 = all cores); "
+            "results are bit-identical to the serial run",
+        )
         if fig == "fig3d":
             p.add_argument("--nodes", type=int, default=None)
         else:
@@ -160,7 +169,7 @@ def _cmd_figure(fig: str, args) -> int:
     from repro.analysis.figures import ALL_FIGURES, PAPER_N_VALUES
 
     builder = ALL_FIGURES[fig]
-    kwargs: dict = {"seed": args.seed}
+    kwargs: dict = {"seed": args.seed, "jobs": args.jobs}
     instances = args.instances
     if fig == "fig3d":
         if args.full:

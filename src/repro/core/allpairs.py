@@ -23,10 +23,12 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
+from repro.core.fast_payment import fast_vcg_payments
 from repro.core.mechanism import UnicastPayment
-from repro.core.vcg_unicast import vcg_unicast_payments
 from repro.errors import InvalidGraphError
+from repro.graph.dijkstra import ShortestPathTree, node_weighted_spt
 from repro.graph.node_graph import NodeWeightedGraph
+from repro.obs.metrics import REGISTRY as _metrics
 from repro.utils.validation import check_node_index
 
 __all__ = [
@@ -42,24 +44,50 @@ def pairwise_vcg_payments(
     g: NodeWeightedGraph,
     pairs: Iterable[tuple[int, int]],
     on_monopoly: str = "inf",
+    backend: str = "auto",
 ) -> dict[tuple[int, int], UnicastPayment]:
     """VCG payments for arbitrary ordered source-target pairs.
 
-    Results are computed with Algorithm 1 and memoized per pair. In the
-    node-cost model the payment is direction-symmetric (the path cost
-    counts internal nodes only), but both orientations are priced as
-    requested — callers with symmetric traffic can halve the work by
+    Results are computed with Algorithm 1, memoized per pair, and —
+    crucially for batch workloads — the shortest path tree of every
+    distinct *endpoint* is built once and shared across all pairs that
+    touch it (an SPT rooted at ``x`` serves both roles, because paths
+    are undirected). Pricing ``k`` pairs over ``e`` distinct endpoints
+    therefore costs ``e`` Dijkstras plus ``k`` linear-time Algorithm-1
+    passes: one O(n log n + m) pass per distinct endpoint, not per pair.
+
+    In the node-cost model the payment is direction-symmetric (the path
+    cost counts internal nodes only), but both orientations are priced
+    as requested — callers with symmetric traffic can halve the work by
     canonicalizing pairs themselves.
     """
     out: dict[tuple[int, int], UnicastPayment] = {}
+    spts: dict[int, ShortestPathTree] = {}
+
+    def spt_of(x: int) -> ShortestPathTree:
+        spt = spts.get(x)
+        if spt is None:
+            spt = spts[x] = node_weighted_spt(g, x, backend=backend)
+            if _metrics.enabled:
+                _metrics.add("allpairs.spt_builds", 1)
+        return spt
+
     for i, j in pairs:
         i = check_node_index(i, g.n)
         j = check_node_index(j, g.n)
         if (i, j) in out:
             continue
-        out[(i, j)] = vcg_unicast_payments(
-            g, i, j, method="fast", on_monopoly=on_monopoly
-        )
+        out[(i, j)] = fast_vcg_payments(
+            g,
+            i,
+            j,
+            on_monopoly=on_monopoly,
+            backend=backend,
+            spt_source=spt_of(i),
+            spt_target=spt_of(j),
+        ).to_unicast_payment()
+        if _metrics.enabled:
+            _metrics.add("allpairs.pairs_priced", 1)
     return out
 
 
@@ -117,10 +145,14 @@ class TrafficMatrix:
         return cls(m)
 
     def pairs(self) -> Iterable[tuple[int, int, float]]:
-        """Yield every nonzero ``(source, target, intensity)`` entry."""
+        """Yield every nonzero ``(source, target, intensity)`` entry.
+
+        One vectorized gather — no per-element scalar indexing back into
+        the matrix; the yielded values are plain Python ints/floats.
+        """
         src, dst = np.nonzero(self.matrix)
-        for i, j in zip(src.tolist(), dst.tolist()):
-            yield i, j, float(self.matrix[i, j])
+        vals = self.matrix[src, dst]
+        yield from zip(src.tolist(), dst.tolist(), vals.tolist())
 
 
 @dataclass(frozen=True)

@@ -39,6 +39,26 @@ the internal-node cost of the spliced path.
 
 Correctness is property-tested against the naive oracle on thousands of
 random biconnected graphs (``tests/test_fast_payment.py``).
+
+Kernels and backends
+--------------------
+
+The steps above exist in two implementations selected by ``backend``,
+following the same convention as :mod:`repro.graph.dijkstra`:
+
+* ``backend="python"`` — per-node/per-edge Python loops. The reference
+  the property tests treat as the oracle.
+* any other backend (``"auto"``, ``"scipy"``, ``"numpy"``) — the step-2
+  region bucketing, the step-5 crossing-edge table and the step-3/4
+  boundary/closing scans run as whole-array numpy expressions over the
+  CSR adjacency (``arc_sources()``/``indices`` expansion plus ``levels``
+  fancy indexing). ``"numpy"`` additionally forces the pure-Python SPT
+  builder, which makes it the apples-to-apples vectorized counterpart of
+  ``"python"`` in kernel benchmarks and exact-agreement tests.
+
+Both produce bit-identical payments: every scalar reduction the numpy
+kernels replace is a min/filter whose IEEE-754 result does not depend on
+evaluation order.
 """
 
 from __future__ import annotations
@@ -53,6 +73,7 @@ from repro.core.mechanism import UnicastPayment
 from repro.errors import DisconnectedError, MonopolyError
 from repro.graph.dijkstra import node_weighted_spt
 from repro.graph.node_graph import NodeWeightedGraph
+from repro.graph.spt import ShortestPathTree
 from repro.obs.metrics import REGISTRY as _metrics
 from repro.obs.tracing import TRACER as _tracer
 from repro.utils.heap import LazyMinHeap
@@ -106,14 +127,26 @@ class FastPaymentResult:
         )
 
 
+_BACKENDS = ("auto", "python", "scipy", "numpy")
+
+
 def fast_vcg_payments(
     g: NodeWeightedGraph,
     source: int,
     target: int,
     on_monopoly: str = "raise",
     backend: str = "auto",
+    spt_source: ShortestPathTree | None = None,
+    spt_target: ShortestPathTree | None = None,
 ) -> FastPaymentResult:
     """Run Algorithm 1. See the module docstring for the plan.
+
+    ``spt_source``/``spt_target`` accept precomputed shortest path trees
+    rooted at the endpoints (as built by
+    :func:`repro.graph.dijkstra.node_weighted_spt` on the *same* graph)
+    — batch callers like :func:`repro.core.allpairs.pairwise_vcg_payments`
+    build each endpoint's SPT once and share it across every pair that
+    touches the endpoint.
 
     Raises :class:`DisconnectedError` when the endpoints are disconnected
     and :class:`MonopolyError` for monopoly relays unless
@@ -125,6 +158,16 @@ def fast_vcg_payments(
         raise ValueError(
             f"on_monopoly must be 'raise' or 'inf', got {on_monopoly!r}"
         )
+    if backend not in _BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {_BACKENDS}"
+        )
+    for spt, root in ((spt_source, source), (spt_target, target)):
+        if spt is not None and (spt.root != root or spt.n != g.n):
+            raise ValueError(
+                f"precomputed SPT (root={spt.root}, n={spt.n}) does not "
+                f"match endpoint {root} on a {g.n}-node graph"
+            )
     if source == target:
         return FastPaymentResult(
             source, target, (), 0.0, {}, {}, np.full(g.n, -1, dtype=np.int64)
@@ -132,7 +175,9 @@ def fast_vcg_payments(
     with _metrics.timed("fast_payment.time"), _tracer.span(
         "fast_payment", n=g.n, source=source, target=target
     ):
-        return _fast_vcg_payments_impl(g, source, target, on_monopoly, backend)
+        return _fast_vcg_payments_impl(
+            g, source, target, on_monopoly, backend, spt_source, spt_target
+        )
 
 
 def _fast_vcg_payments_impl(
@@ -141,15 +186,21 @@ def _fast_vcg_payments_impl(
     target: int,
     on_monopoly: str,
     backend: str,
+    spt_i: ShortestPathTree | None = None,
+    spt_j: ShortestPathTree | None = None,
 ) -> FastPaymentResult:
     if _metrics.enabled:
         _metrics.add("fast_payment.runs", 1)
+    vectorized = backend != "python"
+    spt_backend = "python" if backend in ("python", "numpy") else backend
     # Steps 1-2: the two shortest path trees, the LCP, and the levels.
     with _tracer.span("fast_payment.spt_build"):
-        spt_i = node_weighted_spt(g, source, backend=backend)
+        if spt_i is None:
+            spt_i = node_weighted_spt(g, source, backend=spt_backend)
         if not spt_i.reachable(target):
             raise DisconnectedError(source, target)
-        spt_j = node_weighted_spt(g, target, backend=backend)
+        if spt_j is None:
+            spt_j = node_weighted_spt(g, target, backend=spt_backend)
         path = spt_i.path_from_root(target)
         s = len(path) - 1
         lcp_cost = float(spt_i.dist[target])
@@ -168,52 +219,41 @@ def _fast_vcg_payments_impl(
             source, target, tuple(path), lcp_cost, {}, {}, levels
         )
 
-    # Steps 3-5 setup: regions and the crossing-edge table.
+    # Steps 3-5 setup: regions and the crossing-edge table. Both kernels
+    # produce ``c_minus`` plus the crossing-edge stream ``(starts,
+    # values, expiries)`` sorted by entry level, consumed by the sweep.
     with _tracer.span("fast_payment.table_sweep"):
         on_path = np.zeros(g.n, dtype=bool)
         on_path[np.asarray(path, dtype=np.int64)] = True
 
-        # Steps 3-4: per-level boundary Dijkstra over the (disjoint) regions.
-        region_nodes: dict[int, list[int]] = {}
-        for x in range(g.n):
-            lx = int(levels[x])
-            if 1 <= lx <= s - 1 and not on_path[x]:
-                region_nodes.setdefault(lx, []).append(x)
-
-        c_minus = np.full(s, np.inf)  # c^{-l}, indexed by l (entries 1..s-1)
-        region_total = 0
-        for l, members in region_nodes.items():
-            region_total += len(members)
-            c_minus[l] = _region_candidate(
-                g, members, l, levels, l_til, r_til
+        if vectorized:
+            c_minus, region_total, n_regions = _regions_numpy(
+                g, levels, on_path, s, l_til, r_til
             )
-
-        # Step 5: crossing-edge sweep with a lazy-deletion heap.
-        by_start: dict[int, list[tuple[float, int]]] = {}
-        heap_edges = 0
-        for u, v in g.edge_iter():
-            lu, lv = int(levels[u]), int(levels[v])
-            if lu < 0 or lv < 0:
-                continue
-            if lu > lv:
-                u, v, lu, lv = v, u, lv, lu
-            if lv - lu < 2:
-                continue  # no level strictly between: never a crossing edge
-            value = float(l_til[u] + r_til[v])
-            if not np.isfinite(value):
-                continue
-            # Valid for every removal level l with lu < l < lv; enters the
-            # sweep at l = lu + 1 and lazily expires once l >= lv.
-            by_start.setdefault(lu + 1, []).append((value, lv))
-            heap_edges += 1
+            starts, values, expiries = _crossing_edges_numpy(
+                g, levels, l_til, r_til
+            )
+        else:
+            c_minus, region_total, n_regions = _regions_python(
+                g, levels, on_path, s, l_til, r_til
+            )
+            starts, values, expiries = _crossing_edges_python(
+                g, levels, l_til, r_til
+            )
+        heap_edges = len(starts)
 
     with _tracer.span("fast_payment.payment_assembly"):
+        # Step 5: crossing-edge sweep with a lazy-deletion heap. An edge
+        # is valid for every removal level l with lu < l < lv: it enters
+        # the sweep at l = lu + 1 and lazily expires once l >= lv.
         heap = LazyMinHeap()
         avoiding: dict[int, float] = {}
         payments: dict[int, float] = {}
+        next_edge = 0
         for l in range(1, s):
-            for value, lv in by_start.get(l, ()):
-                heap.push(value, lv)
+            while next_edge < heap_edges and starts[next_edge] <= l:
+                heap.push(float(values[next_edge]), int(expiries[next_edge]))
+                next_edge += 1
             entry = heap.peek_valid(lambda lv, _l=l: lv > _l)
             best = entry[0] if entry is not None else np.inf
             avoid = min(best, float(c_minus[l]))
@@ -231,7 +271,7 @@ def _fast_vcg_payments_impl(
         "path_hops": s,
         "crossing_edges": heap_edges,
         "region_nodes": region_total,
-        "regions": len(region_nodes),
+        "regions": n_regions,
     }
     if _metrics.enabled:
         _metrics.add("fast_payment.path_hops", s)
@@ -247,6 +287,67 @@ def _fast_vcg_payments_impl(
         levels,
         stats,
     )
+
+
+# ---------------------------------------------------------------------------
+# Scalar (oracle) kernels
+# ---------------------------------------------------------------------------
+
+
+def _regions_python(
+    g: NodeWeightedGraph,
+    levels: np.ndarray,
+    on_path: np.ndarray,
+    s: int,
+    l_til: np.ndarray,
+    r_til: np.ndarray,
+) -> tuple[np.ndarray, int, int]:
+    """Steps 3-4 with per-node Python loops: bucket the off-path nodes by
+    level, then run one boundary Dijkstra per region."""
+    region_nodes: dict[int, list[int]] = {}
+    for x in range(g.n):
+        lx = int(levels[x])
+        if 1 <= lx <= s - 1 and not on_path[x]:
+            region_nodes.setdefault(lx, []).append(x)
+
+    c_minus = np.full(s, np.inf)  # c^{-l}, indexed by l (entries 1..s-1)
+    region_total = 0
+    for l, members in region_nodes.items():
+        region_total += len(members)
+        c_minus[l] = _region_candidate(g, members, l, levels, l_til, r_til)
+    return c_minus, region_total, len(region_nodes)
+
+
+def _crossing_edges_python(
+    g: NodeWeightedGraph,
+    levels: np.ndarray,
+    l_til: np.ndarray,
+    r_til: np.ndarray,
+) -> tuple[list[int], list[float], list[int]]:
+    """Step-5 table with a per-edge Python loop, as parallel lists
+    ``(entry level, L~(u) + R~(v), expiry level)`` sorted by entry level."""
+    by_start: dict[int, list[tuple[float, int]]] = {}
+    for u, v in g.edge_iter():
+        lu, lv = int(levels[u]), int(levels[v])
+        if lu < 0 or lv < 0:
+            continue
+        if lu > lv:
+            u, v, lu, lv = v, u, lv, lu
+        if lv - lu < 2:
+            continue  # no level strictly between: never a crossing edge
+        value = float(l_til[u] + r_til[v])
+        if not np.isfinite(value):
+            continue
+        by_start.setdefault(lu + 1, []).append((value, lv))
+    starts: list[int] = []
+    values: list[float] = []
+    expiries: list[int] = []
+    for start in sorted(by_start):
+        for value, lv in by_start[start]:
+            starts.append(start)
+            values.append(value)
+            expiries.append(lv)
+    return starts, values, expiries
 
 
 def _region_candidate(
@@ -308,3 +409,156 @@ def _region_candidate(
                 if cand < best:
                     best = cand
     return float(best)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized kernels
+# ---------------------------------------------------------------------------
+
+
+def _neighbor_closures(
+    g: NodeWeightedGraph,
+    levels: np.ndarray,
+    l_til: np.ndarray,
+    r_til: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-node boundary/closing minima for every region at once.
+
+    A region node ``x`` sits at level ``l = levels[x]``, so its boundary
+    closure (step 3: cheapest ``R~`` over neighbours with level > l) and
+    its closing term (step 4: cheapest ``L~`` over neighbours with
+    0 <= level < l) compare each neighbour's level against *x's own* —
+    one whole-array pass over the CSR arcs covers all regions:
+
+    * ``best_hi[x] = min(R~(y) : y ~ x, levels[y] > levels[x])``
+    * ``best_lo[x] = min(L~(u) : u ~ x, 0 <= levels[u] < levels[x])``
+
+    Minima are order-independent, so the values equal the scalar scans'
+    bit for bit.
+    """
+    n = g.n
+    best_hi = np.full(n, np.inf)
+    best_lo = np.full(n, np.inf)
+    arcs = g.indices
+    if arcs.shape[0] == 0:
+        return best_hi, best_lo
+    src = g.arc_sources()
+    l_src = levels[src]
+    l_dst = levels[arcs]
+    vals_hi = np.where(l_dst > l_src, r_til[arcs], np.inf)
+    vals_lo = np.where((l_dst >= 0) & (l_dst < l_src), l_til[arcs], np.inf)
+    # Per-node min over each CSR row. reduceat misbehaves on empty rows
+    # (it returns the *next* row's first element), so clip the offsets
+    # into range and overwrite only the rows that actually have arcs.
+    row_starts = np.minimum(g.indptr[:-1], arcs.shape[0] - 1)
+    has_arcs = g.degrees > 0
+    best_hi[has_arcs] = np.minimum.reduceat(vals_hi, row_starts)[has_arcs]
+    best_lo[has_arcs] = np.minimum.reduceat(vals_lo, row_starts)[has_arcs]
+    return best_hi, best_lo
+
+
+def _regions_numpy(
+    g: NodeWeightedGraph,
+    levels: np.ndarray,
+    on_path: np.ndarray,
+    s: int,
+    l_til: np.ndarray,
+    r_til: np.ndarray,
+) -> tuple[np.ndarray, int, int]:
+    """Steps 3-4, vectorized: mask + argsort bucketing instead of the
+    per-node loop, shared closure arrays instead of per-member neighbour
+    scans. Only the per-region Dijkstra itself stays scalar — regions
+    are disjoint, so its total work is bounded by one pass over the
+    edge set regardless."""
+    c_minus = np.full(s, np.inf)  # c^{-l}, indexed by l (entries 1..s-1)
+    mask = (levels >= 1) & (levels <= s - 1) & ~on_path
+    members_all = np.nonzero(mask)[0]
+    if members_all.size == 0:
+        return c_minus, 0, 0
+    best_hi, best_lo = _neighbor_closures(g, levels, l_til, r_til)
+    order = np.argsort(levels[members_all], kind="stable")
+    members_all = members_all[order]
+    run_breaks = np.nonzero(np.diff(levels[members_all]))[0] + 1
+    groups = np.split(members_all, run_breaks)
+    for members in groups:
+        l = int(levels[members[0]])
+        c_minus[l] = _region_candidate_numpy(g, members, best_hi, best_lo)
+    return c_minus, int(members_all.size), len(groups)
+
+
+def _region_candidate_numpy(
+    g: NodeWeightedGraph,
+    members: np.ndarray,
+    best_hi: np.ndarray,
+    best_lo: np.ndarray,
+) -> float:
+    """One region's boundary Dijkstra, seeded and closed by the
+    precomputed closure arrays (the scans `_region_candidate` does per
+    member are already folded into ``best_hi``/``best_lo``)."""
+    costs = g.costs
+    member_list = [int(x) for x in members]
+    in_region = set(member_list)
+    dist: dict[int, float] = {}
+    pq: list[tuple[float, int]] = []
+    for x in member_list:
+        if np.isfinite(best_hi[x]):
+            d0 = float(costs[x] + best_hi[x])
+            dist[x] = d0
+            heapq.heappush(pq, (d0, x))
+
+    settled: set[int] = set()
+    while pq:
+        dx, x = heapq.heappop(pq)
+        if x in settled or dx > dist.get(x, np.inf):
+            continue
+        settled.add(x)
+        for z in g.neighbors(x):
+            z = int(z)
+            if z in in_region and z not in settled:
+                cand = float(costs[z]) + dx
+                if cand < dist.get(z, np.inf):
+                    dist[z] = cand
+                    heapq.heappush(pq, (cand, z))
+
+    best = np.inf
+    for x, dx in dist.items():
+        if np.isfinite(best_lo[x]):
+            cand = float(best_lo[x]) + dx
+            if cand < best:
+                best = cand
+    return float(best)
+
+
+def _crossing_edges_numpy(
+    g: NodeWeightedGraph,
+    levels: np.ndarray,
+    l_til: np.ndarray,
+    r_til: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Step-5 table as whole-array numpy filters over the CSR arcs.
+
+    Returns the same ``(entry level, value, expiry level)`` stream as
+    :func:`_crossing_edges_python`, in the same order: the ``src < dst``
+    arc mask enumerates undirected edges exactly in ``edge_iter`` order,
+    and the stable sort groups them by entry level without reshuffling.
+    """
+    arcs = g.indices
+    empty = np.empty(0, dtype=np.int64)
+    if arcs.shape[0] == 0:
+        return empty, np.empty(0), empty
+    src = g.arc_sources()
+    keep = src < arcs
+    u = src[keep]
+    v = arcs[keep]
+    lu = levels[u]
+    lv = levels[v]
+    swap = lu > lv
+    u_low = np.where(swap, v, u)
+    v_high = np.where(swap, u, v)
+    l_low = np.minimum(lu, lv)
+    l_high = np.maximum(lu, lv)
+    value = l_til[u_low] + r_til[v_high]
+    crossing = (l_low >= 0) & (l_high - l_low >= 2) & np.isfinite(value)
+    starts = l_low[crossing] + 1
+    order = np.argsort(starts, kind="stable")
+    return starts[order], value[crossing][order], l_high[crossing][order]

@@ -46,7 +46,7 @@ class NodeWeightedGraph:
         Length-``n`` array of non-negative, finite node costs.
     """
 
-    __slots__ = ("n", "costs", "indptr", "indices", "_nx_cache")
+    __slots__ = ("n", "costs", "indptr", "indices", "_nx_cache", "_arc_src")
 
     def __init__(self, n: int, edges: Iterable[tuple[int, int]], costs) -> None:
         n = int(n)
@@ -59,6 +59,7 @@ class NodeWeightedGraph:
         self.indptr.setflags(write=False)
         self.indices.setflags(write=False)
         self._nx_cache = None
+        self._arc_src = None
 
     # -- construction --------------------------------------------------------
 
@@ -123,6 +124,7 @@ class NodeWeightedGraph:
         g.indptr = self.indptr
         g.indices = self.indices
         g._nx_cache = None
+        g._arc_src = self._arc_src  # topology-only cache, safe to share
         return g
 
     def with_declaration(self, node: int, declared_cost: float) -> "NodeWeightedGraph":
@@ -190,9 +192,20 @@ class NodeWeightedGraph:
                 if u < v:
                     yield u, int(v)
 
+    def arc_sources(self) -> np.ndarray:
+        """Source node of every CSR arc: ``indices[k]`` is a neighbour of
+        ``arc_sources()[k]``. Cached and read-only — this expansion is
+        what lets per-edge scans run as whole-array numpy expressions.
+        """
+        if self._arc_src is None:
+            src = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees)
+            src.setflags(write=False)
+            self._arc_src = src
+        return self._arc_src
+
     def edge_array(self) -> np.ndarray:
         """All undirected edges as an ``(m, 2)`` array with ``u < v`` rows."""
-        src = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees)
+        src = self.arc_sources()
         mask = src < self.indices
         return np.column_stack([src[mask], self.indices[mask]])
 

@@ -129,11 +129,33 @@ class Timer:
             self.min = seconds
         if seconds > self.max:
             self.max = seconds
+        self._sample(seconds)
+
+    def _sample(self, seconds: float) -> None:
         if len(self._samples) < TIMER_SAMPLE_CAP:
             self._samples.append(seconds)
         else:
             self._samples[self._next] = seconds
             self._next = (self._next + 1) % TIMER_SAMPLE_CAP
+
+    def merge_stats(self, st: "TimerStats") -> None:
+        """Fold another registry's :class:`TimerStats` into this timer.
+
+        Used when worker-process snapshots are merged back into the
+        parent registry. ``count``/``sum``/``min``/``max`` merge exactly;
+        the incoming ``p50``/``p95`` are inserted as representative
+        samples, so merged percentiles are approximate.
+        """
+        if st.count <= 0:
+            return
+        self.count += st.count
+        self.sum += st.sum
+        if st.min < self.min:
+            self.min = st.min
+        if st.max > self.max:
+            self.max = st.max
+        self._sample(st.p50)
+        self._sample(st.p95)
 
     def stats(self) -> TimerStats:
         ordered = sorted(self._samples)
@@ -299,6 +321,26 @@ class MetricsRegistry:
         if self.enabled:
             return _Timed(self.timer(name))
         return _Timed(None) if always else _NULL_TIMED
+
+    # -- merging ------------------------------------------------------------
+
+    def merge_snapshot(self, snapshot: MetricsSnapshot) -> None:
+        """Fold another registry's snapshot into this one.
+
+        This is the fan-in half of parallel sweeps: each worker process
+        records into its own (forked) registry, snapshots it, and the
+        parent merges the snapshots so observability survives the
+        fan-out. Counters add, gauges take the incoming value, timers
+        merge via :meth:`Timer.merge_stats`. The merge runs regardless
+        of the ``enabled`` flag — whoever collected the snapshot already
+        made the decision to observe.
+        """
+        for name, value in snapshot.counters.items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.gauges.items():
+            self.gauge(name).set(value)
+        for name, st in snapshot.timers.items():
+            self.timer(name).merge_stats(st)
 
     # -- reading ------------------------------------------------------------
 

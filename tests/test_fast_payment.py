@@ -103,6 +103,83 @@ class TestEdgeCases:
         assert up.total_payment == pytest.approx(sum(r.payments.values()))
 
 
+class TestVectorizedBackend:
+    """The numpy kernels against the scalar oracle: exact, not approx.
+
+    Every vectorized replacement is an order-independent min/filter
+    reduction over the same float64 inputs, so ``backend="numpy"`` must
+    reproduce ``backend="python"`` bit for bit — including the stats.
+    """
+
+    @staticmethod
+    def _assert_identical(a, b):
+        assert a.path == b.path
+        assert a.lcp_cost == b.lcp_cost  # exact
+        assert dict(a.payments) == dict(b.payments)  # exact
+        assert dict(a.avoiding_costs) == dict(b.avoiding_costs)
+        assert dict(a.stats) == dict(b.stats)
+
+    @given(graph_with_endpoints(max_nodes=24))
+    @settings(max_examples=60)
+    def test_numpy_matches_python_exactly(self, gst):
+        g, s, t = gst
+        scalar = fast_vcg_payments(g, s, t, on_monopoly="inf",
+                                   backend="python")
+        vec = fast_vcg_payments(g, s, t, on_monopoly="inf", backend="numpy")
+        self._assert_identical(scalar, vec)
+
+    def test_numpy_matches_python_mass(self):
+        """Thousands of seeded biconnected instances, exact agreement."""
+        rng = np.random.default_rng(2004)
+        for _ in range(2000):
+            n = int(rng.integers(5, 28))
+            g = gen.random_biconnected_graph(
+                n, extra_edge_prob=float(rng.uniform(0, 0.6)),
+                seed=int(rng.integers(2**31)),
+            )
+            s = int(rng.integers(0, n))
+            t = int(rng.integers(0, n))
+            scalar = fast_vcg_payments(g, s, t, on_monopoly="inf",
+                                       backend="python")
+            vec = fast_vcg_payments(g, s, t, on_monopoly="inf",
+                                    backend="numpy")
+            self._assert_identical(scalar, vec)
+
+    def test_scipy_backend_close(self, random_graph):
+        """The scipy SPT may break distance ties differently, so the
+        full-auto backend is compared approximately, not bitwise."""
+        g = random_graph
+        a = fast_vcg_payments(g, 0, g.n - 1, backend="python")
+        b = fast_vcg_payments(g, 0, g.n - 1, backend="auto")
+        assert a.lcp_cost == pytest.approx(b.lcp_cost)
+        for k, p in a.payments.items():
+            assert b.payments[k] == pytest.approx(p, abs=1e-7)
+
+    def test_bad_backend(self, small_graph):
+        with pytest.raises(ValueError, match="backend"):
+            fast_vcg_payments(small_graph, 0, 3, backend="fortran")
+
+    def test_precomputed_spts_identical(self, random_graph):
+        from repro.graph.dijkstra import node_weighted_spt
+
+        g = random_graph
+        s, t = 0, g.n - 1
+        spt_s = node_weighted_spt(g, s, backend="python")
+        spt_t = node_weighted_spt(g, t, backend="python")
+        plain = fast_vcg_payments(g, s, t, backend="numpy")
+        shared = fast_vcg_payments(g, s, t, backend="numpy",
+                                   spt_source=spt_s, spt_target=spt_t)
+        self._assert_identical(plain, shared)
+
+    def test_precomputed_spt_wrong_root_rejected(self, random_graph):
+        from repro.graph.dijkstra import node_weighted_spt
+
+        g = random_graph
+        wrong = node_weighted_spt(g, 1, backend="python")
+        with pytest.raises(ValueError, match="root"):
+            fast_vcg_payments(g, 0, g.n - 1, spt_source=wrong)
+
+
 class TestLevelInvariants:
     """The structural lemmas behind Algorithm 1, checked empirically."""
 
