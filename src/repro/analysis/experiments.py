@@ -195,7 +195,7 @@ def sweep_overpayment(
     tasks = []
     for n in n_values:
         log.info(
-            "sweep point start",
+            "sweep point queued",
             extra={"label": label, "kind": kind, "n": int(n),
                    "kappa": float(kappa), "instances": instances,
                    "jobs": n_jobs},

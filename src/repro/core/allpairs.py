@@ -63,11 +63,14 @@ def pairwise_vcg_payments(
     """
     out: dict[tuple[int, int], UnicastPayment] = {}
     spts: dict[int, ShortestPathTree] = {}
+    # fast_payment accepts "numpy" but the Dijkstra layer does not: mirror
+    # its mapping so every Algorithm-1 backend name works here too.
+    spt_backend = "python" if backend in ("python", "numpy") else backend
 
     def spt_of(x: int) -> ShortestPathTree:
         spt = spts.get(x)
         if spt is None:
-            spt = spts[x] = node_weighted_spt(g, x, backend=backend)
+            spt = spts[x] = node_weighted_spt(g, x, backend=spt_backend)
             if _metrics.enabled:
                 _metrics.add("allpairs.spt_builds", 1)
         return spt

@@ -448,12 +448,22 @@ def _neighbor_closures(
     vals_hi = np.where(l_dst > l_src, r_til[arcs], np.inf)
     vals_lo = np.where((l_dst >= 0) & (l_dst < l_src), l_til[arcs], np.inf)
     # Per-node min over each CSR row. reduceat misbehaves on empty rows
-    # (it returns the *next* row's first element), so clip the offsets
-    # into range and overwrite only the rows that actually have arcs.
-    row_starts = np.minimum(g.indptr[:-1], arcs.shape[0] - 1)
+    # (it returns the *next* row's first element) and rejects an offset
+    # equal to len(vals), which trailing degree-0 nodes produce. Append
+    # an inf sentinel — the identity for min — so every raw indptr
+    # offset is a valid index and every non-empty row's segment stays
+    # intact, then overwrite only the rows that actually have arcs.
+    # (Clipping the offsets instead would silently drop the last arc of
+    # the final non-empty row whenever trailing nodes have degree 0.)
+    sentinel = np.array([np.inf])
+    row_starts = g.indptr[:-1]
     has_arcs = g.degrees > 0
-    best_hi[has_arcs] = np.minimum.reduceat(vals_hi, row_starts)[has_arcs]
-    best_lo[has_arcs] = np.minimum.reduceat(vals_lo, row_starts)[has_arcs]
+    best_hi[has_arcs] = np.minimum.reduceat(
+        np.concatenate([vals_hi, sentinel]), row_starts
+    )[has_arcs]
+    best_lo[has_arcs] = np.minimum.reduceat(
+        np.concatenate([vals_lo, sentinel]), row_starts
+    )[has_arcs]
     return best_hi, best_lo
 
 

@@ -102,6 +102,18 @@ class TestPairwisePayments:
                 b[key].total_payment
             )
 
+    def test_backend_numpy_accepted(self, random_graph):
+        """Every Algorithm-1 backend name must work here, including
+        ``"numpy"``, which the Dijkstra layer itself does not know —
+        regression for the backend being forwarded to
+        ``node_weighted_spt`` unmapped (ValueError)."""
+        pairs = [(0, 5), (5, 9), (9, 0)]
+        a = pairwise_vcg_payments(random_graph, pairs, backend="numpy")
+        b = pairwise_vcg_payments(random_graph, pairs, backend="python")
+        for key in pairs:
+            assert a[key].path == b[key].path
+            assert dict(a[key].payments) == dict(b[key].payments)
+
 
 class TestNetworkEconomy:
     def test_books_balance(self, random_graph):

@@ -145,6 +145,48 @@ class TestVectorizedBackend:
                                     backend="numpy")
             self._assert_identical(scalar, vec)
 
+    def test_trailing_isolated_node_regression(self):
+        """Trailing degree-0 nodes must not perturb the closure minima.
+
+        Regression: ``_neighbor_closures`` once clipped its reduceat
+        offsets to ``len(arcs) - 1`` to keep trailing empty CSR rows in
+        range, which silently dropped the last arc of the final
+        non-empty row — the vectorized backend then reported spurious
+        monopolies (inf payments) the scalar oracle did not.
+        """
+        edges = [(0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (2, 5), (2, 6),
+                 (3, 5), (4, 6)]  # nodes 1 and 7 isolated
+        rng = np.random.default_rng(2004)
+        for _ in range(50):
+            g = NodeWeightedGraph(8, edges, rng.uniform(0.5, 20.0, 8))
+            scalar = fast_vcg_payments(g, 3, 4, on_monopoly="inf",
+                                       backend="python")
+            vec = fast_vcg_payments(g, 3, 4, on_monopoly="inf",
+                                    backend="numpy")
+            self._assert_identical(scalar, vec)
+            assert all(np.isfinite(p) for p in vec.payments.values())
+
+    def test_numpy_matches_python_with_isolated_tail(self):
+        """Biconnected core plus 1-3 trailing isolated nodes, exact."""
+        rng = np.random.default_rng(7)
+        for _ in range(300):
+            n = int(rng.integers(4, 16))
+            core = gen.random_biconnected_graph(
+                n, extra_edge_prob=float(rng.uniform(0, 0.5)),
+                seed=int(rng.integers(2**31)),
+            )
+            extra = int(rng.integers(1, 4))
+            costs = np.concatenate([core.costs,
+                                    rng.uniform(0.5, 20.0, extra)])
+            g = NodeWeightedGraph(n + extra, list(core.edge_iter()), costs)
+            s = int(rng.integers(0, n))
+            t = int(rng.integers(0, n))
+            scalar = fast_vcg_payments(g, s, t, on_monopoly="inf",
+                                       backend="python")
+            vec = fast_vcg_payments(g, s, t, on_monopoly="inf",
+                                    backend="numpy")
+            self._assert_identical(scalar, vec)
+
     def test_scipy_backend_close(self, random_graph):
         """The scipy SPT may break distance ties differently, so the
         full-auto backend is compared approximately, not bitwise."""
