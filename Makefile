@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full bench-save experiments experiments-full examples lint lint-docs all
+.PHONY: install test bench bench-full bench-save experiments experiments-full examples lint lint-docs docs all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -19,6 +19,12 @@ lint:
 	else \
 		echo "ruff not installed; skipping lint (CI runs it)"; \
 	fi
+
+# API reference into docs/api/ (markdown always; pdoc HTML when pdoc is
+# installed — CI installs it and the build fails hard on docstring or
+# import errors).
+docs:
+	$(PYTHON) tools/build_docs.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

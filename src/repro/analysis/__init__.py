@@ -6,6 +6,9 @@ one (deployment kind, n, kappa) point over many seeded instances;
 :mod:`~repro.analysis.figures` assembles the exact series each Figure-3
 panel plots; :mod:`~repro.analysis.reporting` renders them as text/markdown
 tables (the repository's substitute for the paper's plots).
+:mod:`~repro.analysis.chaos` stress-tests the distributed protocol under
+injected message loss (correctness rate and message overhead per loss
+probability).
 """
 
 from repro.analysis.stats import Stats, aggregate
@@ -35,6 +38,11 @@ from repro.analysis.diagnostics import (
     gap_by_hops,
     relay_gaps,
 )
+from repro.analysis.chaos import (
+    ChaosPoint,
+    ChaosResult,
+    chaos_convergence_experiment,
+)
 
 __all__ = [
     "Stats",
@@ -59,6 +67,9 @@ __all__ = [
     "frugality_summary",
     "gap_by_hops",
     "relay_gaps",
+    "ChaosPoint",
+    "ChaosResult",
+    "chaos_convergence_experiment",
     "RangePoint",
     "range_sensitivity",
     "resolve_jobs",

@@ -1,0 +1,231 @@
+"""Chaos experiment: protocol convergence under injected message loss.
+
+Section III.C argues the iterative payment protocol is quiescent after at
+most ``n`` rounds *on a reliable network*. This experiment measures what
+the fault-tolerant runner (:mod:`repro.distributed.faults`) salvages when
+that assumption is broken: for a sweep of loss probabilities it reruns
+the two-stage protocol over seeded instances and reports
+
+* **convergence rate** — fraction of runs reaching true quiescence (all
+  retries resolved, nothing in flight);
+* **clean rate** — fraction of runs with zero permanently failed
+  deliveries and no node down at the end (for these, every payment
+  provably equals the lossless value);
+* **payment correctness rate** — fraction of payment entries that are
+  both *resolved* (the run vouches for them) and equal to the lossless
+  baseline; unresolved entries count as incorrect, so this is the
+  end-to-end usable-output rate;
+* **false positive rate** — resolved entries that differ from the
+  baseline (the degradation report failed; expected 0 by construction);
+* **message overhead** — attempted transmissions (broadcasts + unicasts,
+  retransmissions included) relative to the lossless run of the same
+  instance.
+
+The sweep is deterministic: instance graphs and fault seeds derive from
+the experiment seed via :func:`repro.utils.rng.derive_seed`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributed.faults import FaultPlan
+from repro.distributed.payment_protocol import run_distributed_payments
+from repro.graph.generators import random_biconnected_graph
+from repro.utils.rng import derive_seed
+
+__all__ = ["ChaosPoint", "ChaosResult", "chaos_convergence_experiment"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ChaosPoint:
+    """Aggregated outcomes of all runs at one loss probability.
+
+    Attributes:
+        loss: Per-delivery drop probability of this sweep point.
+        runs: Number of (instance, fault-seed) runs aggregated.
+        converged_rate: Fraction of runs reaching true quiescence.
+        clean_rate: Fraction of runs with no permanent failure (their
+            payments are provably exact).
+        correct_rate: Fraction of payment entries resolved *and* equal
+            to the lossless baseline, over all entries of all runs.
+        unresolved_rate: Fraction of entries flagged unresolved.
+        false_rate: Fraction of entries resolved but *wrong* — a
+            soundness violation of the degradation report (expected 0).
+        overhead: Mean attempted-transmission count relative to the
+            lossless run (1.0 at loss 0; grows with retransmissions).
+        retransmissions: Mean retransmission count per run (both stages).
+        rounds: Mean engine rounds per run (both stages summed).
+        false_flags: Total punishment flags raised against honest nodes
+            across all runs (expected 0).
+    """
+
+    loss: float
+    runs: int
+    converged_rate: float
+    clean_rate: float
+    correct_rate: float
+    unresolved_rate: float
+    false_rate: float
+    overhead: float
+    retransmissions: float
+    rounds: float
+    false_flags: int
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """A full loss sweep: one :class:`ChaosPoint` per loss probability."""
+
+    nodes: int
+    instances: int
+    repeats: int
+    points: tuple[ChaosPoint, ...]
+
+    def rows(self) -> list[list]:
+        """Table rows for :func:`repro.utils.tables.ascii_table`."""
+        return [
+            [
+                f"{p.loss:.2f}",
+                f"{p.converged_rate:.0%}",
+                f"{p.clean_rate:.0%}",
+                f"{p.correct_rate:.1%}",
+                f"{p.false_rate:.1%}",
+                f"{p.overhead:.2f}x",
+                round(p.retransmissions, 1),
+                round(p.rounds, 1),
+                p.false_flags,
+            ]
+            for p in self.points
+        ]
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the sweep."""
+        lo, hi = self.points[0], self.points[-1]
+        return (
+            f"chaos sweep on {self.nodes}-node instances "
+            f"({self.instances} graphs x {self.repeats} fault seeds): "
+            f"correctness {lo.correct_rate:.1%} @ loss {lo.loss:g} -> "
+            f"{hi.correct_rate:.1%} @ loss {hi.loss:g}, "
+            f"overhead up to {max(p.overhead for p in self.points):.2f}x"
+        )
+
+
+def _attempts(result) -> int:
+    """Attempted transmissions of a two-stage run (both stages)."""
+    total = 0
+    for st in (result.spt.stats, result.stats):
+        total += st.broadcasts + st.unicasts + st.retransmissions
+    return total
+
+
+def chaos_convergence_experiment(
+    nodes: int = 16,
+    losses=(0.0, 0.05, 0.1, 0.2, 0.3),
+    instances: int = 3,
+    repeats: int = 3,
+    seed: int = 0,
+    max_delay: int = 0,
+    duplicate: float = 0.0,
+    max_retries: int | None = None,
+    max_rounds: int = 10_000,
+) -> ChaosResult:
+    """Sweep loss probability and measure what the protocol salvages.
+
+    Args:
+        nodes: Node count of each random biconnected instance.
+        losses: Loss probabilities to sweep (0.0 is a useful control —
+            it must come out with correctness 1.0 and overhead 1.0).
+        instances: Distinct random graphs per sweep point.
+        repeats: Fault seeds per graph (loss 0 runs once per graph —
+            repeats would be identical).
+        seed: Experiment seed; graphs and fault seeds derive from it.
+        max_delay: Extra delay bound forwarded to the fault plan.
+        duplicate: Duplication probability forwarded to the fault plan.
+        max_retries: Per-message retry budget (``None`` = default).
+        max_rounds: Engine round cap per stage.
+
+    Returns:
+        A :class:`ChaosResult` with one aggregated point per loss value.
+    """
+    graphs = [
+        random_biconnected_graph(
+            nodes, extra_edge_prob=0.25, seed=derive_seed(seed, "chaos-graph", i)
+        )
+        for i in range(instances)
+    ]
+    baselines = [run_distributed_payments(g, max_rounds=max_rounds) for g in graphs]
+    base_attempts = [_attempts(b) for b in baselines]
+
+    points = []
+    for li, loss in enumerate(losses):
+        n_runs = 0
+        converged = clean = 0
+        entries = correct = unresolved = wrong = 0
+        overheads: list[float] = []
+        retx: list[float] = []
+        rounds: list[float] = []
+        flags = 0
+        reps = 1 if loss == 0.0 and max_delay == 0 and duplicate == 0.0 else repeats
+        for gi, (g, base) in enumerate(zip(graphs, baselines)):
+            for rep in range(reps):
+                plan = FaultPlan(
+                    loss=float(loss),
+                    max_delay=int(max_delay),
+                    duplicate=float(duplicate),
+                    seed=derive_seed(seed, "chaos-run", li, gi, rep),
+                )
+                res = run_distributed_payments(
+                    g, faults=plan, max_retries=max_retries, max_rounds=max_rounds
+                )
+                n_runs += 1
+                report = res.fault_report
+                if report is None:  # null plan: lossless by construction
+                    converged += 1
+                    clean += 1
+                    run_ok = True
+                else:
+                    spt_report = res.spt.fault_report
+                    run_ok = report.converged and spt_report.converged
+                    converged += bool(run_ok)
+                    clean += bool(report.clean and spt_report.clean)
+                for i in range(g.n):
+                    for k, want in base.prices[i].items():
+                        entries += 1
+                        if not res.is_resolved(i, k):
+                            unresolved += 1
+                        elif abs(res.payment(i, k) - want) <= _EPS:
+                            correct += 1
+                        else:
+                            wrong += 1
+                overheads.append(_attempts(res) / base_attempts[gi])
+                retx.append(
+                    res.spt.stats.retransmissions + res.stats.retransmissions
+                )
+                rounds.append(res.spt.stats.rounds + res.stats.rounds)
+                flags += len(res.all_flags)
+        points.append(
+            ChaosPoint(
+                loss=float(loss),
+                runs=n_runs,
+                converged_rate=converged / n_runs,
+                clean_rate=clean / n_runs,
+                correct_rate=correct / entries,
+                unresolved_rate=unresolved / entries,
+                false_rate=wrong / entries,
+                overhead=float(np.mean(overheads)),
+                retransmissions=float(np.mean(retx)),
+                rounds=float(np.mean(rounds)),
+                false_flags=flags,
+            )
+        )
+    return ChaosResult(
+        nodes=nodes,
+        instances=instances,
+        repeats=repeats,
+        points=tuple(points),
+    )

@@ -11,7 +11,10 @@ Subcommands:
 * ``collusion`` — hunt for a Theorem-7 collusion witness on a random
   instance and show the neighbour scheme's premium.
 * ``distributed`` — run the two-stage distributed protocol and diff it
-  against the centralized payments.
+  against the centralized payments; ``--loss``/``--delay``/``--dup``/
+  ``--crash``/``--max-retries`` inject faults and report the outcome.
+* ``chaos`` — sweep the message-loss probability and tabulate payment
+  correctness and message overhead per loss level.
 
 Global observability flags (accepted before or after the subcommand):
 ``--log-level LEVEL`` (structured key=value logs on stderr),
@@ -121,6 +124,61 @@ def build_parser() -> argparse.ArgumentParser:
     dist.add_argument("--nodes", type=int, default=25)
     dist.add_argument("--seed", type=int, default=3)
     dist.add_argument("--secure", action="store_true")
+    dist.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help="per-delivery drop probability (enables fault injection)",
+    )
+    dist.add_argument(
+        "--delay",
+        type=int,
+        default=0,
+        metavar="R",
+        help="delay each delivery by up to R extra rounds",
+    )
+    dist.add_argument(
+        "--dup",
+        type=float,
+        default=0.0,
+        help="per-delivery duplication probability",
+    )
+    dist.add_argument(
+        "--crash",
+        action="append",
+        default=[],
+        metavar="NODE:DOWN[:UP]",
+        help="crash NODE at round DOWN (recover at UP); repeatable",
+    )
+    dist.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="per-message retransmission budget under faults",
+    )
+    dist.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the fault injection RNG",
+    )
+
+    chaos = sub.add_parser(
+        "chaos", help="sweep message-loss probability, measure degradation"
+    )
+    chaos.add_argument("--nodes", type=int, default=16)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--losses",
+        type=str,
+        default="0,0.05,0.1,0.2,0.3",
+        help="comma-separated loss probabilities to sweep",
+    )
+    chaos.add_argument("--instances", type=int, default=3)
+    chaos.add_argument("--repeats", type=int, default=3)
+    chaos.add_argument("--delay", type=int, default=0)
+    chaos.add_argument("--dup", type=float, default=0.0)
+    chaos.add_argument("--max-retries", type=int, default=None)
 
     econ = sub.add_parser(
         "economy", help="all-pairs traffic: incomes, spends, profits"
@@ -222,28 +280,107 @@ def _cmd_collusion(args) -> int:
     return 0
 
 
+def _parse_crash_spec(specs):
+    """Parse repeated ``NODE:DOWN[:UP]`` CLI specs into CrashWindows."""
+    from repro.distributed.faults import CrashWindow
+
+    windows = []
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            raise SystemExit(f"bad --crash spec {spec!r}: want NODE:DOWN[:UP]")
+        node, down = int(parts[0]), int(parts[1])
+        up = int(parts[2]) if len(parts) == 3 else None
+        windows.append(CrashWindow(node, down=down, up=up))
+    return tuple(windows)
+
+
 def _cmd_distributed(args) -> int:
     from repro import generators, vcg_unicast_payments
-    from repro.distributed import run_distributed_payments
+    from repro.distributed import FaultPlan, run_distributed_payments
     from repro.distributed.secure import run_secure_distributed_payments
 
     g = generators.random_biconnected_graph(args.nodes, seed=args.seed)
+    plan = FaultPlan(
+        loss=args.loss,
+        max_delay=args.delay,
+        duplicate=args.dup,
+        crash=_parse_crash_spec(args.crash),
+        seed=args.fault_seed,
+    )
+    faults = None if plan.is_null else plan
     if args.secure:
-        result, reports = run_secure_distributed_payments(g, root=0)
+        result, reports = run_secure_distributed_payments(
+            g, root=0, faults=faults, max_retries=args.max_retries
+        )
         print(f"secure run: {len(reports)} audit findings")
     else:
-        result = run_distributed_payments(g, root=0)
+        result = run_distributed_payments(
+            g, root=0, faults=faults, max_retries=args.max_retries
+        )
     stats = result.stats
     print(
         f"converged in {stats.rounds} rounds, "
         f"{stats.broadcasts} broadcasts, {stats.unicasts} unicasts"
     )
+    if faults is not None:
+        report = result.fault_report
+        spt_stats = result.spt.stats
+        print(
+            f"fault outcome: {report.outcome} "
+            f"(stage 1 {result.spt.fault_report.outcome}); "
+            f"drops {spt_stats.drops + stats.drops}, "
+            f"retransmissions "
+            f"{spt_stats.retransmissions + stats.retransmissions}, "
+            f"crashed rounds {spt_stats.crashed_rounds + stats.crashed_rounds}"
+        )
+        print(
+            f"unresolved payment entries: {len(result.unresolved)}"
+            + (f" {sorted(result.unresolved)}" if result.unresolved else "")
+        )
     worst = 0.0
+    skipped = 0
     for i in range(1, g.n):
         cent = vcg_unicast_payments(g, i, 0, on_monopoly="inf")
         for k in cent.relays:
+            if not result.is_resolved(i, k):
+                skipped += 1
+                continue
             worst = max(worst, abs(result.payment(i, k) - cent.payment(k)))
-    print(f"max |distributed - centralized| payment difference: {worst:.3g}")
+    label = "resolved" if faults is not None else "all"
+    print(
+        f"max |distributed - centralized| payment difference "
+        f"over {label} entries: {worst:.3g}"
+        + (f" ({skipped} unresolved entries skipped)" if skipped else "")
+    )
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.analysis.chaos import chaos_convergence_experiment
+    from repro.utils.tables import ascii_table
+
+    losses = tuple(float(tok) for tok in args.losses.split(",") if tok.strip())
+    result = chaos_convergence_experiment(
+        nodes=args.nodes,
+        losses=losses,
+        instances=args.instances,
+        repeats=args.repeats,
+        seed=args.seed,
+        max_delay=args.delay,
+        duplicate=args.dup,
+        max_retries=args.max_retries,
+    )
+    print(
+        ascii_table(
+            [
+                "loss", "converged", "clean", "correct", "wrong",
+                "overhead", "retx", "rounds", "false flags",
+            ],
+            result.rows(),
+            title=result.describe(),
+        )
+    )
     return 0
 
 
@@ -303,6 +440,8 @@ def _dispatch(args) -> int:
         return _cmd_collusion(args)
     if args.command == "distributed":
         return _cmd_distributed(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "economy":
         return _cmd_economy(args)
     if args.command == "churn":

@@ -27,6 +27,13 @@ package provides:
 * :mod:`~repro.distributed.adversary` — misbehaving node implementations
   (payment inflation, link hiding, update suppression) used by the
   failure-injection tests.
+
+* :mod:`~repro.distributed.faults` — seeded fault injection (message
+  loss, bounded delay, duplication, scheduled crashes) plus the
+  :class:`~repro.distributed.faults.ReliableNode` ack/retry transport
+  that lets the protocols above survive a lossy network. With
+  ``faults=None`` (or a null plan) every protocol entry point is
+  bit-identical to the reliable-network code path.
 """
 
 from repro.distributed.simulator import Simulator, SimulationStats, Message
@@ -48,6 +55,15 @@ from repro.distributed.link_protocol import (
     run_distributed_link_payments,
     DistributedLinkPaymentResult,
 )
+from repro.distributed.faults import (
+    CrashWindow,
+    FaultInjector,
+    FaultPlan,
+    FaultReport,
+    ReliableNode,
+    build_fault_report,
+    taint_closure,
+)
 
 __all__ = [
     "Simulator",
@@ -68,4 +84,11 @@ __all__ = [
     "AsyncSimulator",
     "run_distributed_link_payments",
     "DistributedLinkPaymentResult",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultReport",
+    "CrashWindow",
+    "ReliableNode",
+    "build_fault_report",
+    "taint_closure",
 ]

@@ -17,6 +17,15 @@ A node *lying about its cost* is deliberately **not** an adversary class:
 cost declarations are strategy, not protocol violation — the mechanism's
 strategyproofness (not detection) handles them, which the truthfulness
 tests demonstrate.
+
+**Reliability assumptions.** Detection guarantees are stated for the
+reliable network. Under fault injection (:mod:`repro.distributed.
+faults`) the audit deliberately *narrows* rather than guesses: it skips
+witness/suspect pairs whose channel permanently failed and skips
+crashed nodes, so a cheater can escape detection by genuinely losing
+its channel — but an honest node is never flagged. On clean faulty runs
+(no permanent failures) detection is as sharp as on the reliable
+network.
 """
 
 from __future__ import annotations
@@ -38,6 +47,13 @@ class PaymentInflatorNode(SecurePaymentNode):
     Internal state stays honest so the node keeps participating
     plausibly — only the wire messages lie, exactly the cheating model of
     Section III.D.
+
+    Args:
+        *args: Forwarded to :class:`~repro.distributed.secure.
+            SecurePaymentNode` (node id, declared cost, dist, relays, ...).
+        scale: Manipulation factor (must differ from 1); overrides the
+            class attribute per instance.
+        **kwargs: Forwarded to the base class.
     """
 
     #: Per-class manipulation factor; tests subclass or set per instance.
@@ -69,6 +85,15 @@ class LinkHiderSptNode(SptNode):
     hidden neighbour (omnidirectional antenna), so the neighbour sees the
     liar announce suboptimal distances, challenges it over the direct
     channel, gets no answer, and flags it.
+
+    Args:
+        node_id: This node's id.
+        declared_cost: The cost it declares in stage 1.
+        hidden_neighbor: Neighbour id whose messages it pretends never
+            to receive.
+        is_root: Whether this node is the access point.
+        **kwargs: Forwarded to :class:`~repro.distributed.spt_protocol.
+            SptNode`.
     """
 
     def __init__(self, node_id: int, declared_cost: float, hidden_neighbor: int,

@@ -14,6 +14,16 @@ so every protocol and adversary in the package can be exercised under
 both schedulers. ``tests/test_async_sim.py`` asserts that the converged
 stage-1/stage-2 state is identical to the synchronous result for many
 random schedules — the distributed-systems analogue of a property test.
+
+**Reliability assumptions.** This scheduler reorders and delays, but
+still delivers every message exactly once — it probes the *ordering*
+half of the asynchrony spectrum. Message loss, duplication and crashes
+(the *failure* half) are a round-engine feature: use
+:class:`~repro.distributed.simulator.Simulator` with a
+:class:`~repro.distributed.faults.FaultPlan`; the event-queue engine
+does not consult :meth:`~repro.distributed.node_proc.NodeProcess.
+pending_work` and therefore cannot host the ack/retry transport's
+backoff timers.
 """
 
 from __future__ import annotations
@@ -86,6 +96,15 @@ class AsyncSimulator:
     ``on_round_end`` hooks fire whenever virtual time advances past a
     node's last activity — approximating the synchronous hook closely
     enough for the challenge timers (which only need *eventual* firing).
+
+    Args:
+        adjacency: ``adjacency[i]`` = neighbour ids of node ``i``.
+        processes: One :class:`~repro.distributed.node_proc.NodeProcess`
+            per node, indexed by node id.
+        seed: RNG seed for latencies and tie-breaking (anything
+            :func:`repro.utils.rng.as_rng` accepts).
+        max_latency: Upper bound (inclusive) on per-message latency in
+            virtual time units; must be >= 1.
     """
 
     def __init__(
@@ -121,7 +140,18 @@ class AsyncSimulator:
     def from_graph(
         cls, graph, processes: Sequence[NodeProcess], seed=None, max_latency: int = 3
     ) -> "AsyncSimulator":
-        """Build the adjacency from a library graph (either model)."""
+        """Build the adjacency from a library graph (either model).
+
+        Args:
+            graph: A :class:`~repro.graph.node_graph.NodeWeightedGraph`
+                or :class:`~repro.graph.link_graph.LinkWeightedDigraph`.
+            processes: One process per node, indexed by node id.
+            seed: RNG seed (see the class docstring).
+            max_latency: Per-message latency bound, >= 1.
+
+        Returns:
+            A ready-to-run :class:`AsyncSimulator`.
+        """
         from repro.graph.link_graph import LinkWeightedDigraph
         from repro.graph.node_graph import NodeWeightedGraph
 
@@ -149,6 +179,14 @@ class AsyncSimulator:
         of ``on_round_end`` hooks that produces no new messages — the
         hooks are where buffered ("dirty") state is flushed and where
         challenge timers live.
+
+        Args:
+            max_events: Cap on delivered messages (guards against
+                non-quiescent protocols).
+
+        Returns:
+            The run's :class:`~repro.distributed.simulator.
+            SimulationStats` (``converged`` is False when the cap hit).
         """
         if max_events < 1:
             raise ValueError(f"max_events must be positive, got {max_events}")

@@ -1,0 +1,551 @@
+"""Fault injection and reliable delivery for the distributed protocols.
+
+**Reliability assumptions.** The plain :class:`~repro.distributed.
+simulator.Simulator` delivers every message exactly once, one round after
+it was sent — the reliable network Section III.C/III.D of the paper
+assumes. Real wireless links drop, delay and duplicate frames, and nodes
+crash; this module makes both halves of that gap explicit:
+
+* :class:`FaultPlan` / :class:`FaultInjector` describe and execute a
+  *seeded, reproducible* fault schedule — per-delivery message loss,
+  bounded random delay, duplication, and scheduled node crash/recovery.
+  The same seed always yields the same drop/delay/crash trace.
+* :class:`ReliableNode` wraps any :class:`~repro.distributed.node_proc.
+  NodeProcess` in a per-message acknowledge/retransmit transport
+  (sequence numbers, receiver-side deduplication, exponential backoff,
+  bounded retry budget) so the paper's protocols survive the injected
+  faults without modification.
+* :class:`FaultReport` / :func:`build_fault_report` summarise what the
+  transport layer can *prove* after a run: whether every send was
+  eventually delivered (``clean``), which sender→receiver pairs failed
+  permanently, and which nodes are therefore *tainted* (their state may
+  silently differ from the lossless fixed point).
+
+The key invariant, regression-tested in ``tests/test_faults.py``: with a
+null plan (``loss=0``, no delay, no duplication, no crashes) every
+protocol produces bit-identical results, statistics and flags to a run
+without fault injection at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.distributed.node_proc import NodeAPI, NodeProcess
+from repro.utils.rng import as_rng, derive_seed
+
+__all__ = [
+    "CrashWindow",
+    "FaultPlan",
+    "FaultInjector",
+    "ReliableNode",
+    "FaultReport",
+    "build_fault_report",
+    "taint_closure",
+    "DEFAULT_MAX_RETRIES",
+]
+
+#: Default retransmission budget per message (initial send + 6 retries).
+DEFAULT_MAX_RETRIES = 6
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """One scheduled crash: ``node`` is down in rounds [``down``, ``up``).
+
+    Args:
+        node: Node id that crashes.
+        down: First engine round during which the node is unavailable.
+        up: First round the node is available again (``None`` = never
+            recovers). While down the node executes no callbacks, sends
+            nothing, and every message addressed to it is dropped; its
+            in-memory state survives (crash-recovery with stable storage).
+
+    Returns:
+        A frozen schedule entry consumed by :class:`FaultInjector`.
+    """
+
+    node: int
+    down: int
+    up: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.down < 0:
+            raise ValueError(f"down round must be >= 0, got {self.down}")
+        if self.up is not None and self.up <= self.down:
+            raise ValueError(
+                f"up round {self.up} must be after down round {self.down}"
+            )
+
+    def covers(self, round_: int) -> bool:
+        """True when the node is crashed during engine round ``round_``."""
+        if round_ < self.down:
+            return False
+        return self.up is None or round_ < self.up
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative, seedable description of the injected faults.
+
+    Args:
+        loss: Probability in [0, 1) that any single *delivery attempt*
+            (one receiver of one transmission) is silently dropped.
+        max_delay: Maximum extra delivery delay in whole rounds; each
+            surviving delivery draws a uniform extra delay in
+            ``[0, max_delay]``. ``0`` keeps the synchronous one-round
+            latency.
+        duplicate: Probability in [0, 1) that a surviving delivery is
+            duplicated (the copy draws its own delay).
+        crash: Scheduled :class:`CrashWindow` entries (or bare
+            ``(node, down[, up])`` tuples).
+        seed: Seed for the fault RNG (anything
+            :func:`repro.utils.rng.as_rng` accepts). The same plan and
+            seed always produce the same fault trace.
+
+    Returns:
+        A frozen plan; pass it to the protocol runners' ``faults=``
+        parameter or build a :class:`FaultInjector` from it directly.
+    """
+
+    loss: float = 0.0
+    max_delay: int = 0
+    duplicate: float = 0.0
+    crash: tuple[CrashWindow, ...] = ()
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1), got {self.loss}")
+        if not 0.0 <= self.duplicate < 1.0:
+            raise ValueError(
+                f"duplicate must be in [0, 1), got {self.duplicate}"
+            )
+        if self.max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {self.max_delay}")
+        windows = tuple(
+            w if isinstance(w, CrashWindow) else CrashWindow(*w)
+            for w in self.crash
+        )
+        object.__setattr__(self, "crash", windows)
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            self.loss == 0.0
+            and self.max_delay == 0
+            and self.duplicate == 0.0
+            and not self.crash
+        )
+
+    def stage(self, label: str) -> "FaultPlan":
+        """Derive an equal plan with a stage-specific sub-seed.
+
+        Args:
+            label: Stage name (e.g. ``"spt"`` or ``"payment"``); folded
+                into the seed with :func:`repro.utils.rng.derive_seed` so
+                the two protocol stages draw independent fault streams
+                while remaining reproducible from the one plan seed.
+
+        Returns:
+            A new :class:`FaultPlan` identical except for the seed.
+        """
+        base = 0 if self.seed is None else int(self.seed)
+        return FaultPlan(
+            loss=self.loss,
+            max_delay=self.max_delay,
+            duplicate=self.duplicate,
+            crash=self.crash,
+            seed=derive_seed(base, "faults", label),
+        )
+
+
+class FaultInjector:
+    """Executable form of a :class:`FaultPlan` with a live RNG and trace.
+
+    The simulator consults :meth:`fate` once per delivery attempt, in a
+    deterministic order (send order, then receiver order), so two runs
+    with the same plan produce the identical event sequence. Every
+    consulted fate is appended to :attr:`trace` for reproducibility
+    tests and debugging.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.rng = as_rng(plan.seed)
+        #: Dropped delivery attempts (loss only; crash drops are separate).
+        self.drops = 0
+        #: Extra copies scheduled by duplication.
+        self.duplicates = 0
+        #: Deliveries that drew a non-zero extra delay.
+        self.delayed = 0
+        #: (round, sender, dest, fate) per consulted delivery attempt,
+        #: where fate is the tuple of extra delays ("()" = dropped).
+        self.trace: list[tuple[int, int, int, tuple[int, ...]]] = []
+
+    def crashed(self, node: int, round_: int) -> bool:
+        """True when ``node`` is scheduled down during ``round_``."""
+        return any(
+            w.node == node and w.covers(round_) for w in self.plan.crash
+        )
+
+    def crashed_nodes(self, round_: int) -> set[int]:
+        """Ids of all nodes scheduled down during ``round_``."""
+        return {w.node for w in self.plan.crash if w.covers(round_)}
+
+    def fate(self, round_: int, sender: int, dest: int) -> tuple[int, ...]:
+        """Decide what happens to one delivery attempt.
+
+        Args:
+            round_: Engine round at which the delivery would normally
+                happen.
+            sender: Originating node id.
+            dest: Receiving node id.
+
+        Returns:
+            A tuple of extra delays, one per scheduled copy: ``()``
+            means the delivery is dropped, ``(0,)`` is a normal on-time
+            delivery, ``(2,)`` arrives two rounds late, ``(0, 1)`` is a
+            duplicated delivery whose copy arrives one round late.
+        """
+        plan = self.plan
+        if plan.loss and self.rng.random() < plan.loss:
+            self.drops += 1
+            fate: tuple[int, ...] = ()
+        else:
+            delays = [self._draw_delay()]
+            if plan.duplicate and self.rng.random() < plan.duplicate:
+                self.duplicates += 1
+                delays.append(self._draw_delay())
+            fate = tuple(delays)
+        self.trace.append((round_, sender, dest, fate))
+        return fate
+
+    def _draw_delay(self) -> int:
+        if self.plan.max_delay == 0:
+            return 0
+        d = int(self.rng.integers(0, self.plan.max_delay + 1))
+        if d:
+            self.delayed += 1
+        return d
+
+
+class _ReliableApi:
+    """The :class:`~repro.distributed.node_proc.NodeAPI` view handed to a
+    wrapped protocol node: sends are enveloped, sequenced and tracked for
+    acknowledgement by the owning :class:`ReliableNode`."""
+
+    __slots__ = ("_transport", "_api")
+
+    def __init__(self, transport: "ReliableNode", api: NodeAPI) -> None:
+        self._transport = transport
+        self._api = api
+
+    @property
+    def node_id(self) -> int:
+        """This node's identifier."""
+        return self._api.node_id
+
+    @property
+    def round(self) -> int:
+        """Current engine round (virtual time under async delivery)."""
+        return self._api.round
+
+    @property
+    def neighbors(self) -> Sequence[int]:
+        """Ids of the nodes that hear this node's broadcasts."""
+        return self._api.neighbors
+
+    def broadcast(self, payload: Mapping) -> None:
+        """Queue a reliable broadcast (acked per neighbour)."""
+        self._transport._reliable_broadcast(self._api, payload)
+
+    def send(self, dest: int, payload: Mapping) -> None:
+        """Queue a reliable unicast (retransmitted until acked)."""
+        self._transport._reliable_send(self._api, dest, payload)
+
+    def flag(self, suspect: int, reason: str) -> None:
+        """Report a suspect to the punishment authority."""
+        self._api.flag(suspect, reason)
+
+
+@dataclass
+class _Pending:
+    """One un-acknowledged message awaiting acks or retransmission."""
+
+    seq: int
+    body: Mapping
+    expect: set[int]
+    attempts: int = 1
+    next_retry: int = 0
+
+
+class ReliableNode(NodeProcess):
+    """Acknowledge/retransmit transport around any protocol node.
+
+    Every protocol send is wrapped in a ``{"type": "rel", "seq": s,
+    "body": ...}`` envelope. Receivers acknowledge each envelope with an
+    (unreliable) ``rel-ack`` unicast and deduplicate by ``(sender,
+    seq)``, so the inner protocol sees *exactly-once* delivery even when
+    the network duplicates or the sender retransmits. Unacknowledged
+    envelopes are retransmitted to the remaining receivers with
+    exponential backoff (1, 2, 4, ... rounds) until ``max_retries``
+    retransmissions are spent, after which the transport gives up and
+    records a permanently *failed pair* — the input of
+    :func:`build_fault_report`'s taint analysis.
+
+    Args:
+        inner: The protocol node to wrap. Attribute access falls through
+            to it, so runner code reading ``proc.dist`` etc. keeps
+            working on the wrapper.
+        max_retries: Retransmissions allowed per message beyond the
+            initial send.
+
+    Returns:
+        A :class:`~repro.distributed.node_proc.NodeProcess` suitable for
+        either simulator.
+    """
+
+    def __init__(
+        self, inner: NodeProcess, max_retries: int = DEFAULT_MAX_RETRIES
+    ) -> None:
+        super().__init__(inner.node_id)
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.inner = inner
+        self.max_retries = int(max_retries)
+        self._seq = 0
+        self._pending: dict[int, _Pending] = {}
+        self._seen: set[tuple[int, int]] = set()
+        self._rapi: _ReliableApi | None = None
+        #: Retransmitted unicast copies sent by this node.
+        self.retransmissions = 0
+        #: Acks this node sent back to senders.
+        self.acks_sent = 0
+        #: Duplicate envelope deliveries suppressed by the dedup cache.
+        self.duplicates_suppressed = 0
+        #: Messages abandoned after the retry budget ran out.
+        self.retry_exhausted = 0
+        #: (self, dest) pairs whose delivery permanently failed.
+        self.failed_pairs: set[tuple[int, int]] = set()
+
+    def __getattr__(self, name: str):
+        # Fall through to the wrapped protocol node (only reached when
+        # normal attribute lookup on the wrapper fails).
+        return getattr(self.inner, name)
+
+    def _wrap(self, api: NodeAPI) -> _ReliableApi:
+        if self._rapi is None or self._rapi._api is not api:
+            self._rapi = _ReliableApi(self, api)
+        return self._rapi
+
+    # -- outgoing ----------------------------------------------------------
+
+    def _envelope(self, seq: int, body: Mapping) -> dict:
+        return {"type": "rel", "seq": seq, "body": body}
+
+    def _reliable_broadcast(self, api: NodeAPI, body: Mapping) -> None:
+        self._seq += 1
+        expect = set(api.neighbors)
+        api.broadcast(self._envelope(self._seq, body))
+        if expect:
+            self._pending[self._seq] = _Pending(
+                self._seq, body, expect, attempts=1, next_retry=api.round + 1
+            )
+
+    def _reliable_send(self, api: NodeAPI, dest: int, body: Mapping) -> None:
+        self._seq += 1
+        api.send(dest, self._envelope(self._seq, body))
+        self._pending[self._seq] = _Pending(
+            self._seq, body, {int(dest)}, attempts=1, next_retry=api.round + 1
+        )
+
+    # -- NodeProcess hooks -------------------------------------------------
+
+    def start(self, api: NodeAPI) -> None:
+        """Start the wrapped protocol node through the reliable layer."""
+        self.inner.start(self._wrap(api))
+
+    def on_message(self, api: NodeAPI, sender: int, payload: Mapping) -> None:
+        """Ack + dedup incoming envelopes; deliver bodies exactly once."""
+        kind = payload.get("type")
+        if kind == "rel-ack":
+            pend = self._pending.get(payload.get("seq"))
+            if pend is not None:
+                pend.expect.discard(sender)
+                if not pend.expect:
+                    del self._pending[pend.seq]
+            return
+        if kind == "rel":
+            seq = int(payload["seq"])
+            # Acks are deliberately unreliable: a lost ack just triggers
+            # one more retransmission, answered by a fresh ack.
+            api.send(sender, {"type": "rel-ack", "seq": seq})
+            self.acks_sent += 1
+            if (sender, seq) in self._seen:
+                self.duplicates_suppressed += 1
+                return
+            self._seen.add((sender, seq))
+            self.inner.on_message(self._wrap(api), sender, payload["body"])
+            return
+        # Plain message from an unwrapped peer: pass through untouched.
+        self.inner.on_message(self._wrap(api), sender, payload)
+
+    def on_round_end(self, api: NodeAPI) -> None:
+        """Retransmit overdue envelopes, then run the inner hook."""
+        for pend in list(self._pending.values()):
+            if api.round < pend.next_retry:
+                continue
+            if pend.attempts > self.max_retries:
+                del self._pending[pend.seq]
+                self.retry_exhausted += 1
+                for dest in sorted(pend.expect):
+                    self.failed_pairs.add((self.node_id, dest))
+                    self.inner.on_delivery_failure(
+                        self._wrap(api), dest, pend.body
+                    )
+                continue
+            env = self._envelope(pend.seq, pend.body)
+            for dest in sorted(pend.expect):
+                api.send(dest, env)
+                self.retransmissions += 1
+            pend.attempts += 1
+            pend.next_retry = api.round + (1 << (pend.attempts - 1))
+        self.inner.on_round_end(self._wrap(api))
+
+    def on_recover(self, api: NodeAPI) -> None:
+        """Reset backoff timers and wake the wrapped node after a crash."""
+        for pend in self._pending.values():
+            pend.next_retry = min(pend.next_retry, api.round + 1)
+        self.inner.on_recover(self._wrap(api))
+
+    def pending_work(self) -> bool:
+        """True while un-acked messages or inner timers are outstanding."""
+        return bool(self._pending) or self.inner.pending_work()
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """What the transport layer can prove about a faulty run.
+
+    Attributes:
+        plan: The executed :class:`FaultPlan`.
+        clean: True when every send was eventually delivered and no node
+            was down at the end — the condition under which the
+            converged state provably equals the lossless fixed point.
+        converged: The engine reached quiescence (as opposed to the
+            round cap — "partitioned/starved").
+        failed_pairs: ``(sender, dest)`` pairs whose delivery
+            permanently failed after the retry budget.
+        down_at_end: Nodes still crashed when the run stopped.
+        tainted: Nodes whose final state cannot be vouched for — the
+            adjacency closure of every failure seed (see
+            :func:`taint_closure`).
+        retransmissions: Total retransmitted unicast copies.
+        acks: Total transport acknowledgements sent.
+        duplicates_suppressed: Duplicate deliveries hidden from the
+            protocols by deduplication.
+        retry_exhausted: Messages abandoned after the retry budget.
+    """
+
+    plan: FaultPlan
+    clean: bool
+    converged: bool
+    failed_pairs: tuple[tuple[int, int], ...] = ()
+    down_at_end: tuple[int, ...] = ()
+    tainted: tuple[int, ...] = ()
+    retransmissions: int = 0
+    acks: int = 0
+    duplicates_suppressed: int = 0
+    retry_exhausted: int = 0
+
+    @property
+    def outcome(self) -> str:
+        """``"converged"``, ``"degraded"`` or ``"starved"``."""
+        if not self.converged:
+            return "starved"
+        return "converged" if self.clean else "degraded"
+
+
+def taint_closure(
+    adjacency: Sequence[Sequence[int]], seeds: Iterable[int]
+) -> set[int]:
+    """Nodes whose state may have been influenced by a failure seed.
+
+    Information flows along edges every round, so any node reachable
+    from a seed (in the undirected sense) may have built its state on
+    announcements the seed should have refined but could not. This is
+    deliberately conservative: it trades precision for the guarantee
+    that *untainted* entries equal the lossless fixed point.
+
+    Args:
+        adjacency: ``adjacency[i]`` = neighbours of node ``i``.
+        seeds: Nodes known to have missed a delivery permanently or to
+            have been down when the run stopped.
+
+    Returns:
+        The set of tainted node ids (including the seeds).
+    """
+    tainted = {int(s) for s in seeds}
+    frontier = list(tainted)
+    while frontier:
+        v = frontier.pop()
+        for u in adjacency[v]:
+            u = int(u)
+            if u not in tainted:
+                tainted.add(u)
+                frontier.append(u)
+    return tainted
+
+
+def build_fault_report(
+    sim,
+    procs: Sequence[NodeProcess],
+    injector: FaultInjector,
+) -> FaultReport:
+    """Aggregate transport counters and taint into a :class:`FaultReport`.
+
+    Also copies the transport totals onto ``sim.stats`` so they ride
+    along in :class:`~repro.distributed.simulator.SimulationStats` and
+    the metrics registry.
+
+    Args:
+        sim: The finished :class:`~repro.distributed.simulator.Simulator`.
+        procs: The processes that ran (``ReliableNode`` wrappers are
+            mined for transport counters; plain nodes contribute none).
+        injector: The injector that produced the faults.
+
+    Returns:
+        The aggregated :class:`FaultReport`.
+    """
+    stats = sim.stats
+    failed: set[tuple[int, int]] = set()
+    retrans = acks = dups = exhausted = 0
+    for proc in procs:
+        if isinstance(proc, ReliableNode):
+            failed |= proc.failed_pairs
+            retrans += proc.retransmissions
+            acks += proc.acks_sent
+            dups += proc.duplicates_suppressed
+            exhausted += proc.retry_exhausted
+    down_at_end = sorted(injector.crashed_nodes(sim.stats.rounds))
+    seeds = {d for _, d in failed} | {s for s, _ in failed} | set(down_at_end)
+    tainted = taint_closure(sim.adjacency, seeds) if seeds else set()
+    stats.retransmissions = retrans
+    stats.acks = acks
+    stats.retry_exhausted = exhausted
+    clean = stats.converged and not failed and not down_at_end
+    return FaultReport(
+        plan=injector.plan,
+        clean=clean,
+        converged=stats.converged,
+        failed_pairs=tuple(sorted(failed)),
+        down_at_end=tuple(down_at_end),
+        tainted=tuple(sorted(tainted)),
+        retransmissions=retrans,
+        acks=acks,
+        duplicates_suppressed=dups,
+        retry_exhausted=exhausted,
+    )

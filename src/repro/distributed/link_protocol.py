@@ -29,6 +29,15 @@ by its *in*-neighbours (whoever can be reached by it... more precisely,
 whoever would route *through* it needs to hear it — i.e. nodes ``i`` with
 an arc ``i -> announcer``). The runner therefore wires the simulator with
 the **reverse** adjacency.
+
+**Reliability assumptions.** This runner targets the plain reliable
+engine only: exactly-once delivery, no loss, no crashes. Fault
+injection (:mod:`repro.distributed.faults`) is currently wired through
+the node-model runners (``run_distributed_spt`` /
+``run_distributed_payments``); the link-model protocol would need its
+own taint analysis over the *reverse* adjacency before a degraded
+result could be reported honestly, so it refuses the temptation to
+half-support ``faults=``.
 """
 
 from __future__ import annotations
@@ -54,8 +63,11 @@ __all__ = [
 class LinkSptNode(NodeProcess):
     """Stage 1 participant: distance + route toward the root, arc weights.
 
-    ``out_costs`` maps out-neighbour -> declared arc cost (this node's
-    declared type vector restricted to its links).
+    Args:
+        node_id: This node's id.
+        out_costs: Out-neighbour -> declared arc cost (this node's
+            declared type vector restricted to its links).
+        is_root: Whether this node is the access point (distance 0).
     """
 
     def __init__(
@@ -107,6 +119,14 @@ class LinkPaymentNode(NodeProcess):
     except itself and the root), in route order; the corresponding next
     hops and used-link costs come along so payments can be emitted
     locally once the ``q`` entries settle.
+
+    Args:
+        node_id: This node's id.
+        out_costs: Out-neighbour -> declared arc cost.
+        dist: Stage-1 distance to the root (``inf`` if unreachable).
+        route: Stage-1 route, next hop first, ending at the root.
+        relay_links: Relay -> cost of the link it uses on this route.
+        is_root: Whether this node is the access point.
     """
 
     def __init__(
@@ -188,7 +208,16 @@ class LinkPaymentNode(NodeProcess):
 
 @dataclass(frozen=True)
 class DistributedLinkPaymentResult:
-    """Converged two-stage link-model output."""
+    """Converged two-stage link-model output.
+
+    Attributes:
+        root: The access point's node id.
+        dist: Per-node stage-1 distance to the root.
+        routes: Per-node stage-1 route (starting at the node itself).
+        prices: Per source, the finite converged payment entries.
+        spt_stats: Stage-1 :class:`SimulationStats`.
+        stats: Stage-2 :class:`SimulationStats`.
+    """
     root: int
     dist: np.ndarray
     routes: tuple[tuple[int, ...], ...]
@@ -213,6 +242,15 @@ def run_distributed_link_payments(
     Announcements travel against the arcs (a node that can transmit *to*
     ``j`` is the one that needs ``j``'s advertisements), so the simulator
     runs on the reverse adjacency.
+
+    Args:
+        dg: The link-weighted digraph (declared arc costs).
+        root: The access point node id.
+        max_rounds: Engine round cap per stage.
+
+    Returns:
+        A :class:`DistributedLinkPaymentResult` with distances, routes,
+        converged payments and both stages' statistics.
     """
     root = check_node_index(root, dg.n)
     rev_adj = [

@@ -1,4 +1,15 @@
-"""Node process interface for the round-based simulator."""
+"""Node process interface for the round-based simulator.
+
+**Reliability assumptions.** The callbacks below are written against an
+abstract transport: by default the engine delivers every send exactly
+once (the paper's reliable network). Under fault injection
+(:mod:`repro.distributed.faults`) deliveries may be dropped, delayed or
+duplicated and nodes may crash, so three additional hooks exist —
+:meth:`NodeProcess.on_recover`, :meth:`NodeProcess.on_delivery_failure`
+and :meth:`NodeProcess.pending_work` — all of which default to inert
+implementations so that protocols written for the reliable network run
+unchanged.
+"""
 
 from __future__ import annotations
 
@@ -79,3 +90,37 @@ class NodeProcess:
 
     def on_round_end(self, api: NodeAPI) -> None:  # pragma: no cover
         """Hook after all of this round's messages were handled."""
+
+    def on_recover(self, api: NodeAPI) -> None:  # pragma: no cover
+        """Hook fired when this node recovers from a scheduled crash.
+
+        The node's in-memory state survived the crash (crash-recovery
+        with stable storage) but every message addressed to it while it
+        was down is gone; implementations typically re-announce their
+        current state here. Default: do nothing.
+        """
+
+    def on_delivery_failure(
+        self, api: NodeAPI, dest: int, payload: Mapping
+    ) -> None:  # pragma: no cover
+        """Hook fired when the reliable transport gives up on a message.
+
+        Args:
+            api: The per-node API (flagging/resending is allowed).
+            dest: The receiver that never acknowledged.
+            payload: The original (un-enveloped) protocol payload.
+
+        Only fired when the node runs wrapped in a
+        :class:`~repro.distributed.faults.ReliableNode`. Default: do
+        nothing.
+        """
+
+    def pending_work(self) -> bool:
+        """True while this node holds timers the engine must wait out.
+
+        The engine only declares quiescence when no messages are in
+        flight *and* no live process reports pending work — this is how
+        retry/backoff and challenge-patience timers keep a faulty run
+        alive between retransmissions. Default: no pending work.
+        """
+        return False

@@ -24,6 +24,18 @@ Entries decrease monotonically, so the network is quiescent after at most
 The honest protocol trusts every announcement; the secure variant that
 cross-verifies announcements (Algorithm 2, second stage) lives in
 :mod:`repro.distributed.secure`.
+
+**Reliability assumptions.** The update rule is a monotone min-fixed-
+point iteration, so it tolerates reordering and duplication natively;
+loss and crashes do not corrupt entries but can leave them *too high*
+(a missed improvement is silent). :func:`run_distributed_payments`
+therefore accepts a ``faults=`` plan: nodes run behind the
+:class:`~repro.distributed.faults.ReliableNode` ack/retry transport,
+and the result degrades gracefully — entries that cannot be vouched for
+are reported in ``unresolved`` instead of being silently wrong, and the
+attached :class:`~repro.distributed.faults.FaultReport` says whether
+the run converged cleanly (in which case every resolved payment
+provably equals the lossless value).
 """
 
 from __future__ import annotations
@@ -65,6 +77,12 @@ class PaymentNode(NodeProcess):
         root), with their declared costs aligned in ``relay_costs``.
     is_root:
         The access point owns no entries and only relays information.
+    versioned:
+        When True, announcements carry a monotonically increasing ``v``
+        counter so receivers can discard announcements reordered by
+        injected delay. Off by default — the lossless wire format (and
+        therefore byte accounting) is unchanged unless faults are in
+        play.
     """
 
     def __init__(
@@ -75,6 +93,7 @@ class PaymentNode(NodeProcess):
         relays: Sequence[int],
         relay_costs: Sequence[float],
         is_root: bool = False,
+        versioned: bool = False,
     ) -> None:
         super().__init__(node_id)
         self.declared_cost = float(declared_cost)
@@ -89,11 +108,13 @@ class PaymentNode(NodeProcess):
         # provenance Algorithm 2's verification consumes.
         self.triggers: dict[int, int] = {}
         self._dirty = True
+        self.versioned = bool(versioned)
+        self._version = 0
 
     # -- announcements --------------------------------------------------------
 
     def _announcement(self) -> dict:
-        return {
+        ann = {
             "type": "price",
             "cost": self.declared_cost,
             "dist": self.dist,
@@ -101,6 +122,10 @@ class PaymentNode(NodeProcess):
             "prices": dict(self.prices),
             "triggers": dict(self.triggers),
         }
+        if self.versioned:
+            self._version += 1
+            ann["v"] = self._version
+        return ann
 
     def start(self, api: NodeAPI) -> None:
         """One-time initialization before the first round."""
@@ -149,30 +174,112 @@ class PaymentNode(NodeProcess):
             api.broadcast(self._announcement())
             self._dirty = False
 
+    def on_recover(self, api: NodeAPI) -> None:
+        """Re-announce the surviving entries after a scheduled crash.
+
+        Args:
+            api: The per-node engine API.
+
+        Entries survived in stable storage; marking the node dirty makes
+        it rebroadcast at the end of the recovery round, resynchronising
+        neighbours that progressed while it was down.
+        """
+        self._dirty = True
+
 
 @dataclass(frozen=True)
 class DistributedPaymentResult:
-    """Converged two-stage output, aligned with the centralized mechanism."""
+    """Converged two-stage output, aligned with the centralized mechanism.
+
+    Attributes:
+        root: The access point's node id.
+        spt: The stage-1 :class:`DistributedSptResult` this run built on.
+        prices: Per source, the finite converged payment entries.
+        stats: Stage-2 :class:`SimulationStats`.
+        procs: The stage-2 protocol nodes (unwrapped), for inspection.
+        fault_report: Stage-2 transport summary under fault injection
+            (``None`` for reliable runs).
+        unresolved: ``(source, relay)`` payment entries the protocol
+            cannot vouch for — still infinite at termination, or owned
+            by a tainted/crashed node. Empty for reliable runs.
+    """
 
     root: int
     spt: DistributedSptResult
     prices: tuple[Mapping[int, float], ...]
     stats: SimulationStats
     procs: tuple[NodeProcess, ...] = ()
+    fault_report: "object | None" = None
+    unresolved: tuple[tuple[int, int], ...] = ()
 
     def payment(self, source: int, relay: int) -> float:
-        """Payment to one participant (0 when unpaid)."""
+        """Payment to one participant (0 when unpaid).
+
+        Args:
+            source: Paying source node.
+            relay: Relay being paid.
+
+        Returns:
+            The converged entry, or 0.0 when no finite entry exists.
+        """
         return float(self.prices[source].get(int(relay), 0.0))
 
     def total_payment(self, source: int) -> float:
-        """Total payment across all relays."""
+        """Total payment of ``source`` across all its relays.
+
+        Args:
+            source: Paying source node.
+
+        Returns:
+            Sum of the source's finite payment entries.
+        """
         return float(sum(self.prices[source].values()))
+
+    def is_resolved(self, source: int, relay: int) -> bool:
+        """True when the entry converged and the run can vouch for it.
+
+        Args:
+            source: Paying source node.
+            relay: Relay being paid.
+
+        Returns:
+            False for entries listed in :attr:`unresolved`; True
+            otherwise. For reliable (fault-free) runs every entry is
+            resolved.
+        """
+        return (int(source), int(relay)) not in set(self.unresolved)
 
     @property
     def all_flags(self):
         """Flags raised in either stage (stage 1 flags live on the SPT
         stats, stage 2 flags on this run's stats)."""
         return list(self.spt.stats.flags) + list(self.stats.flags)
+
+
+def _unresolved_entries(spt, prices, tainted, root: int, n: int):
+    """List the payment entries the run cannot vouch for.
+
+    Args:
+        spt: The stage-1 result the payments were built on.
+        prices: Per-source finite price dicts.
+        tainted: Node ids whose state may differ from the lossless
+            fixed point (union of both stages' taint sets).
+        root: The access point id.
+        n: Node count.
+
+    Returns:
+        Sorted ``(source, relay)`` tuples: every entry of a tainted
+        source, plus every entry still infinite although the source is
+        reachable.
+    """
+    out = set()
+    for i in range(n):
+        if i == root or not np.isfinite(spt.dist[i]):
+            continue
+        for k in spt.relays(i):
+            if i in tainted or k not in prices[i]:
+                out.add((i, int(k)))
+    return tuple(sorted(out))
 
 
 def run_distributed_payments(
@@ -182,44 +289,105 @@ def run_distributed_payments(
     spt_processes: Mapping[int, NodeProcess] | None = None,
     payment_node_factory=None,
     max_rounds: int = 10_000,
+    faults=None,
+    max_retries: int | None = None,
 ) -> DistributedPaymentResult:
     """Run both stages to quiescence and collect every node's entries.
 
-    ``payment_node_factory(node_id, declared_cost, dist, relays,
-    relay_costs, is_root)`` may substitute adversarial stage-2 nodes
-    (default: honest :class:`PaymentNode`). Stage-1 substitution goes
-    through ``spt_processes``.
+    Args:
+        g: The node-weighted network.
+        root: The access point ``v_0``.
+        declared_costs: Per-node declarations; defaults to ``g.costs``.
+        spt_processes: Optional adversarial stage-1 overrides.
+        payment_node_factory: ``factory(node_id, declared_cost, dist,
+            relays, relay_costs, is_root)`` substituting adversarial
+            stage-2 nodes (default: honest :class:`PaymentNode`).
+        max_rounds: Engine round cap per stage.
+        faults: Optional :class:`~repro.distributed.faults.FaultPlan`
+            applied to *both* stages (each stage derives its own fault
+            RNG from the plan seed; the crash schedule is interpreted in
+            each stage's own round numbering). A null plan is
+            equivalent to ``faults=None``.
+        max_retries: Per-message retransmission budget (fault runs).
+
+    Returns:
+        A :class:`DistributedPaymentResult`. Under faults, ``stats``
+        carries drop/retransmission counters, ``fault_report`` says
+        whether the run was clean, and ``unresolved`` lists the entries
+        that must not be trusted — graceful degradation instead of
+        silently wrong values.
     """
+    from repro.distributed.faults import (
+        DEFAULT_MAX_RETRIES,
+        FaultInjector,
+        ReliableNode,
+        build_fault_report,
+    )
+
+    if faults is not None and faults.is_null:
+        faults = None
     declared = g.costs if declared_costs is None else np.asarray(declared_costs, float)
     spt = run_distributed_spt(
         g, root=root, declared_costs=declared, processes=spt_processes,
-        max_rounds=max_rounds,
+        max_rounds=max_rounds, faults=faults, max_retries=max_retries,
     )
     factory = payment_node_factory or PaymentNode
-    procs: list[NodeProcess] = []
+    inner: list[NodeProcess] = []
     for i in range(g.n):
         relays = spt.relays(i)
         relay_costs = spt.route_costs[i][: len(relays)]
-        procs.append(
-            factory(
-                i,
-                float(declared[i]),
-                float(spt.dist[i]) if i != root else 0.0,
-                relays,
-                relay_costs,
-                is_root=(i == root),
-            )
+        node = factory(
+            i,
+            float(declared[i]),
+            float(spt.dist[i]) if i != root else 0.0,
+            relays,
+            relay_costs,
+            is_root=(i == root),
         )
-    sim = Simulator.from_graph(g, procs)
-    stats = sim.run(max_rounds=max_rounds)
+        if faults is not None and isinstance(node, PaymentNode):
+            node.versioned = True
+        inner.append(node)
+    if faults is None:
+        procs = inner
+        sim = Simulator.from_graph(g, procs)
+        stats = sim.run(max_rounds=max_rounds)
+        report = None
+        unresolved: tuple[tuple[int, int], ...] = ()
+    else:
+        retries = (
+            DEFAULT_MAX_RETRIES if max_retries is None else int(max_retries)
+        )
+        injector = FaultInjector(faults.stage("payment"))
+        procs = [ReliableNode(p, max_retries=retries) for p in inner]
+        sim = Simulator.from_graph(g, procs, faults=injector)
+        stats = sim.run(max_rounds=max_rounds)
+        report = build_fault_report(sim, procs, injector)
     prices = tuple(
         {
             int(k): float(v)
             for k, v in getattr(p, "prices", {}).items()
             if np.isfinite(v)
         }
-        for p in procs
+        for p in inner
     )
+    if faults is not None:
+        tainted = set(report.tainted)
+        if spt.fault_report is not None:
+            tainted |= set(spt.fault_report.tainted)
+        starved = not report.converged or (
+            spt.fault_report is not None and not spt.fault_report.converged
+        )
+        if starved:
+            # A starved stage has messages still in flight: no entry
+            # anywhere can be vouched for.
+            tainted |= set(range(g.n))
+        unresolved = _unresolved_entries(spt, prices, tainted, root, g.n)
     return DistributedPaymentResult(
-        root=root, spt=spt, prices=prices, stats=stats, procs=tuple(procs)
+        root=root,
+        spt=spt,
+        prices=prices,
+        stats=stats,
+        procs=tuple(inner),
+        fault_report=report,
+        unresolved=unresolved,
     )

@@ -22,6 +22,16 @@ been delivered (so no transient state can cause false flags).
 Declared costs are treated as public knowledge — they were broadcast
 network-wide in stage 1 — which is what lets a verifier price a relay
 ``k`` that is not on its own LCP.
+
+**Reliability assumptions.** Both audit checks assume the witness has
+the suspect's *final* announcement and the suspect has processed *all*
+of the witness's — true at quiescence on a reliable network. Under
+fault injection that only holds for witness/suspect pairs whose channel
+completed in both directions, so :func:`run_secure_distributed_payments`
+skips pairs with a permanently failed delivery between them, skips
+nodes crashed at the end, and audits nothing at all when the run was
+starved (round cap hit with messages still in flight) — honest-but-
+unlucky nodes are never reported.
 """
 
 from __future__ import annotations
@@ -87,14 +97,27 @@ class SecurePaymentNode(PaymentNode):
         return ann
 
     def on_message(self, api, sender: int, payload: Mapping) -> None:
-        """Handle one delivered message (see NodeProcess)."""
+        """Handle one delivered message (see NodeProcess).
+
+        The audit cache keeps the *newest* announcement per neighbour:
+        under injected delay an old announcement can arrive after a
+        newer one, and the versioned ``v`` counter (present in
+        fault-aware runs) keeps the stale copy from clobbering the
+        cache. Unversioned (lossless) announcements always replace.
+        """
         if payload.get("type") == "price":
-            self.heard[sender] = payload
+            old = self.heard.get(sender)
+            if old is None or payload.get("v", 0) >= old.get("v", 0):
+                self.heard[sender] = payload
         super().on_message(api, sender, payload)
 
     # -- audit --------------------------------------------------------
 
-    def audit(self) -> list[CheatingReport]:
+    def audit(
+        self,
+        skip_pairs: frozenset = frozenset(),
+        skip_nodes: frozenset = frozenset(),
+    ) -> list[CheatingReport]:
         """Verify every cached neighbour announcement against own state.
 
         Two checks per entry ``k`` of a neighbour ``j`` (skipping
@@ -104,14 +127,32 @@ class SecurePaymentNode(PaymentNode):
           the value must equal our candidate exactly;
         * **min-rule check** — ``p_j^k`` must not exceed the candidate we
           offered (at quiescence ``j`` has processed all our messages).
+
+        Args:
+            skip_pairs: ``(sender, dest)`` pairs whose delivery
+                permanently failed — neither check is sound for a
+                suspect on a broken channel, so those are skipped.
+            skip_nodes: Nodes the audit must not judge (crashed at the
+                end of the run) nor act as witness for.
+
+        Returns:
+            The :class:`CheatingReport` findings of this witness.
         """
         if not self.sent or self.is_root or not np.isfinite(self.dist):
+            return []
+        if self.node_id in skip_nodes:
             return []
         reports: list[CheatingReport] = []
         my_prices = self.sent["prices"]
         my_relays = set(self.sent["relays"])
         base_self = self.declared_cost + self.dist
         for j, ann in self.heard.items():
+            if (
+                j in skip_nodes
+                or (self.node_id, j) in skip_pairs
+                or (j, self.node_id) in skip_pairs
+            ):
+                continue
             d_j = float(ann["dist"])
             if not np.isfinite(d_j):
                 continue
@@ -172,12 +213,30 @@ def run_secure_distributed_payments(
     spt_processes: Mapping[int, NodeProcess] | None = None,
     payment_overrides: Mapping[int, type] | None = None,
     max_rounds: int = 10_000,
+    faults=None,
+    max_retries: int | None = None,
 ) -> tuple[DistributedPaymentResult, list[CheatingReport]]:
     """Two-stage run with :class:`SecurePaymentNode` plus the audit pass.
 
     ``payment_overrides`` maps node id -> a :class:`PaymentNode` subclass
     (e.g. an adversary from :mod:`repro.distributed.adversary`); it is
     constructed with the same signature plus ``declared_costs``.
+
+    Args:
+        g: The node-weighted network.
+        root: The access point ``v_0``.
+        declared_costs: Per-node declarations; defaults to ``g.costs``.
+        spt_processes: Optional adversarial stage-1 overrides.
+        payment_overrides: Per-node stage-2 class substitutions.
+        max_rounds: Engine round cap per stage.
+        faults: Optional :class:`~repro.distributed.faults.FaultPlan`.
+            The audit then excludes witness/suspect pairs whose channel
+            permanently failed in either direction and nodes down at the
+            end; a starved run audits nothing (see module docstring).
+        max_retries: Per-message retransmission budget (fault runs).
+
+    Returns:
+        ``(result, reports)``: the payment result and the audit findings.
     """
     declared = (
         g.costs if declared_costs is None else np.asarray(declared_costs, float)
@@ -205,12 +264,34 @@ def run_secure_distributed_payments(
         spt_processes=spt_processes,
         payment_node_factory=factory,
         max_rounds=max_rounds,
+        faults=faults,
+        max_retries=max_retries,
     )
+    skip_pairs: frozenset = frozenset()
+    skip_nodes: frozenset = frozenset()
+    if result.fault_report is not None:
+        stage_reports = [result.fault_report]
+        if result.spt.fault_report is not None:
+            stage_reports.append(result.spt.fault_report)
+        if any(not r.converged for r in stage_reports):
+            # Starved: messages were still in flight at the round cap, so
+            # no announcement cache is final — auditing would convict
+            # honest-but-unlucky nodes. Report nothing.
+            return result, []
+        pairs = set()
+        nodes = set()
+        for r in stage_reports:
+            for a, b in r.failed_pairs:
+                pairs.add((a, b))
+                pairs.add((b, a))
+            nodes.update(r.down_at_end)
+        skip_pairs = frozenset(pairs)
+        skip_nodes = frozenset(nodes)
     reports: list[CheatingReport] = []
     # The audit pass: every node checks every cached announcement.
     # (In deployment this is the after-the-fact signed-message audit the
     # paper describes; here the runner collects the findings.)
     for proc in result.procs:
         if isinstance(proc, SecurePaymentNode):
-            reports.extend(proc.audit())
+            reports.extend(proc.audit(skip_pairs, skip_nodes))
     return result, reports

@@ -7,8 +7,19 @@ Semantics:
 * Round ``r >= 1``: messages buffered during round ``r - 1`` are
   delivered (grouped per recipient, ordered by sender id), each triggering
   :meth:`on_message`; then every process's :meth:`on_round_end` runs.
-* The run stops at *quiescence* (a round in which no messages were sent)
-  or after ``max_rounds``.
+* The run stops at *quiescence* (no messages in flight — buffered or
+  fault-delayed — and no live process reporting
+  :meth:`~repro.distributed.node_proc.NodeProcess.pending_work`) or
+  after ``max_rounds``.
+
+**Reliability assumptions.** Without a fault plan the engine is the
+reliable network of Section III.C: every send is delivered exactly once,
+one round later. Passing ``faults=`` (a :class:`~repro.distributed.
+faults.FaultPlan` or :class:`~repro.distributed.faults.FaultInjector`)
+degrades it to a lossy one — per-delivery drop, bounded random delay,
+duplication, and scheduled crash/recovery, all drawn from a seeded RNG
+so the fault trace is reproducible. With a *null* plan the engine is
+bit-identical to no plan at all (regression-tested).
 
 Determinism matters: the protocol tests assert exact convergence-round
 counts, and reproducibility of adversarial scenarios requires a fixed
@@ -93,10 +104,30 @@ class SimulationStats:
     flags: list[Flag] = field(default_factory=list)
     #: Messages *sent* during each engine round: index 0 is the start
     #: round, so after a run ``len(messages_per_round) == rounds + 1``
-    #: and the list sums to :attr:`transmissions`.
+    #: and the list sums to :attr:`transmissions`. The counter records
+    #: *attempted sends* (radio transmissions): a delivery later dropped
+    #: or delayed by fault injection still counts here, and an injected
+    #: duplicate does **not** (only :attr:`deliveries` sees the copy).
     messages_per_round: list[int] = field(default_factory=list)
     #: Estimated payload bytes over all sends (see :func:`payload_nbytes`).
+    #: Same attempted-send semantics as :attr:`messages_per_round`.
     bytes_total: int = 0
+    #: Delivery attempts dropped by injected message loss.
+    drops: int = 0
+    #: Delivery attempts dropped because the receiver was crashed.
+    crash_drops: int = 0
+    #: Extra delivery copies scheduled by injected duplication.
+    duplicates: int = 0
+    #: Deliveries that arrived late due to injected delay.
+    delayed_deliveries: int = 0
+    #: Sum over rounds of the number of crashed nodes.
+    crashed_rounds: int = 0
+    #: Retransmitted copies sent by reliable transports (runner-filled).
+    retransmissions: int = 0
+    #: Transport acknowledgements sent (runner-filled).
+    acks: int = 0
+    #: Messages abandoned after the retry budget (runner-filled).
+    retry_exhausted: int = 0
 
     @property
     def transmissions(self) -> int:
@@ -162,6 +193,14 @@ class Simulator:
         the link model pass out-neighbour lists.
     processes:
         One process per node, index-aligned.
+    record_trace:
+        When True, record every delivered message in :attr:`trace`.
+    faults:
+        Optional :class:`~repro.distributed.faults.FaultPlan` or
+        :class:`~repro.distributed.faults.FaultInjector`. ``None`` (the
+        default) keeps the reliable exactly-once engine and skips every
+        fault code path, so lossless runs stay bit-identical to the
+        pre-fault-injection engine.
     """
 
     def __init__(
@@ -169,6 +208,7 @@ class Simulator:
         adjacency: Sequence[Sequence[int]],
         processes: Sequence[NodeProcess],
         record_trace: bool = False,
+        faults=None,
     ) -> None:
         if len(adjacency) != len(processes):
             raise ProtocolError(
@@ -186,6 +226,11 @@ class Simulator:
         self._outbox: list[Message] = []
         self._round = 0
         self._apis = [_Api(self, i) for i in range(self.n)]
+        self.injector = self._coerce_injector(faults)
+        #: Fault-delayed deliveries: due round -> [(dest, message), ...].
+        self._delayed: dict[int, list[tuple[int, Message]]] = {}
+        self._crashed_now: set[int] = set()
+        self._started = [False] * self.n
         #: When enabled, every *delivered* (sender, recipient, round,
         #: payload-type) event is appended here — the audit trail the
         #: paper's signed-message record would provide. Payload bodies are
@@ -193,9 +238,35 @@ class Simulator:
         self.record_trace = bool(record_trace)
         self.trace: list[tuple[int, int, int, Mapping]] = []
 
+    @staticmethod
+    def _coerce_injector(faults):
+        if faults is None:
+            return None
+        from repro.distributed.faults import FaultInjector, FaultPlan
+
+        if isinstance(faults, FaultInjector):
+            return faults
+        if isinstance(faults, FaultPlan):
+            return FaultInjector(faults)
+        raise TypeError(
+            f"faults must be a FaultPlan or FaultInjector, got {type(faults)!r}"
+        )
+
     @classmethod
-    def from_graph(cls, graph, processes: Sequence[NodeProcess]) -> "Simulator":
-        """Build the adjacency from a library graph (either model)."""
+    def from_graph(
+        cls, graph, processes: Sequence[NodeProcess], faults=None
+    ) -> "Simulator":
+        """Build the adjacency from a library graph (either model).
+
+        Args:
+            graph: A :class:`~repro.graph.node_graph.NodeWeightedGraph`
+                or :class:`~repro.graph.link_graph.LinkWeightedDigraph`.
+            processes: One :class:`NodeProcess` per node, index-aligned.
+            faults: Optional fault plan/injector (see class docs).
+
+        Returns:
+            A ready-to-run :class:`Simulator`.
+        """
         from repro.graph.link_graph import LinkWeightedDigraph
         from repro.graph.node_graph import NodeWeightedGraph
 
@@ -207,26 +278,55 @@ class Simulator:
             ]
         else:
             raise TypeError(f"unsupported graph type {type(graph)!r}")
-        return cls(adjacency, processes)
+        return cls(adjacency, processes, faults=faults)
 
     def run(self, max_rounds: int = 10_000) -> SimulationStats:
-        """Execute until quiescence or ``max_rounds``; returns the stats."""
+        """Execute until quiescence or ``max_rounds``.
+
+        Args:
+            max_rounds: Hard cap on engine rounds (must be positive).
+
+        Returns:
+            The run's :class:`SimulationStats`. ``converged`` is True
+            only at real quiescence: nothing buffered, nothing delayed
+            in flight, and no live process reporting pending work — a
+            run stopped by the cap instead is "partitioned/starved".
+        """
         if max_rounds < 1:
             raise ValueError(f"max_rounds must be positive, got {max_rounds}")
         self._round = 0
+        inj = self.injector
+        if inj is not None:
+            self._crashed_now = inj.crashed_nodes(0)
+            self.stats.crashed_rounds += len(self._crashed_now)
         for i in range(self.n):
+            if inj is not None and i in self._crashed_now:
+                continue
             self.processes[i].start(self._apis[i])
+            self._started[i] = True
         pending = self._collect_outbox()
         self.stats.messages_per_round.append(len(pending))
-        while pending and self._round < max_rounds:
+        while (
+            pending or self._delayed or self._any_pending_work()
+        ) and self._round < max_rounds:
             self._round += 1
+            if inj is not None:
+                self._update_crashes()
             self._deliver(pending)
             for i in range(self.n):
+                if inj is not None and i in self._crashed_now:
+                    continue
                 self.processes[i].on_round_end(self._apis[i])
             pending = self._collect_outbox()
             self.stats.messages_per_round.append(len(pending))
         self.stats.rounds = self._round
-        self.stats.converged = not pending
+        self.stats.converged = (
+            not pending and not self._delayed and not self._any_pending_work()
+        )
+        if inj is not None:
+            self.stats.drops = inj.drops
+            self.stats.duplicates = inj.duplicates
+            self.stats.delayed_deliveries = inj.delayed
         self._flush_metrics()
         return self.stats
 
@@ -245,6 +345,14 @@ class Simulator:
         _metrics.add("simulator.flags", len(stats.flags))
         if stats.converged:
             _metrics.add("simulator.quiescent_runs", 1)
+        if self.injector is not None:
+            _metrics.add("simulator.faulty_runs", 1)
+            _metrics.add("simulator.drops", stats.drops)
+            _metrics.add("simulator.crash_drops", stats.crash_drops)
+            _metrics.add("simulator.duplicates", stats.duplicates)
+            _metrics.add("simulator.delayed_deliveries",
+                         stats.delayed_deliveries)
+            _metrics.add("simulator.crashed_rounds", stats.crashed_rounds)
 
     # -- internals ----------------------------------------------------------
 
@@ -252,16 +360,73 @@ class Simulator:
         out, self._outbox = self._outbox, []
         return out
 
+    def _any_pending_work(self) -> bool:
+        """True while any live process holds retry/patience timers."""
+        crashed = self._crashed_now
+        return any(
+            proc.pending_work()
+            for i, proc in enumerate(self.processes)
+            if i not in crashed
+        )
+
+    def _update_crashes(self) -> None:
+        """Apply the crash schedule at the start of engine round ``_round``.
+
+        Nodes whose window just ended are restarted: a node that was
+        down from round 0 runs its (late) :meth:`NodeProcess.start`,
+        anyone else gets :meth:`NodeProcess.on_recover`.
+        """
+        now = self.injector.crashed_nodes(self._round)
+        recovered = self._crashed_now - now
+        self._crashed_now = now
+        self.stats.crashed_rounds += len(now)
+        for i in sorted(recovered):
+            if not self._started[i]:
+                self.processes[i].start(self._apis[i])
+                self._started[i] = True
+            else:
+                self.processes[i].on_recover(self._apis[i])
+
+    def _admit(
+        self, inboxes: dict[int, list[Message]], dest: int, msg: Message
+    ) -> None:
+        """Admit one delivery attempt, dropping it if ``dest`` is down."""
+        if dest in self._crashed_now:
+            self.stats.crash_drops += 1
+            return
+        inboxes.setdefault(dest, []).append(msg)
+
     def _deliver(self, messages: list[Message]) -> None:
         # Group per recipient; deliver ordered by (sender, arrival index)
         # for determinism.
         inboxes: dict[int, list[Message]] = {}
-        for msg in messages:
-            if msg.dest == BROADCAST:
-                for nbr in self.adjacency[msg.sender]:
-                    inboxes.setdefault(nbr, []).append(msg)
-            else:
-                inboxes.setdefault(msg.dest, []).append(msg)
+        inj = self.injector
+        if inj is None:
+            for msg in messages:
+                if msg.dest == BROADCAST:
+                    for nbr in self.adjacency[msg.sender]:
+                        inboxes.setdefault(nbr, []).append(msg)
+                else:
+                    inboxes.setdefault(msg.dest, []).append(msg)
+        else:
+            # Fault-delayed deliveries due this round come first, then
+            # fresh messages in send order; the per-attempt RNG draws
+            # therefore happen in a deterministic order.
+            for dest, msg in self._delayed.pop(self._round, ()):
+                self._admit(inboxes, dest, msg)
+            for msg in messages:
+                if msg.dest == BROADCAST:
+                    receivers: Sequence[int] = self.adjacency[msg.sender]
+                else:
+                    receivers = (msg.dest,)
+                for recv in receivers:
+                    for extra in inj.fate(self._round, msg.sender, recv):
+                        if extra == 0:
+                            self._admit(inboxes, recv, msg)
+                        else:
+                            self._delayed.setdefault(
+                                self._round + extra, []
+                            ).append((recv, msg))
         for dest in sorted(inboxes):
             batch = sorted(
                 inboxes[dest], key=lambda m: (m.sender, m.round_sent)

@@ -20,6 +20,15 @@ over the reliable direct channel; an honest ``v_j`` must adopt the offer
 A node that ignores challenges is flagged for punishment. Link-hiding is
 thereby detectable — the protocol no longer relies on nodes volunteering
 their neighbourhood truthfully.
+
+**Reliability assumptions.** By default the protocol assumes the
+engine's reliable exactly-once delivery (the paper's setting). Passing
+``faults=`` to :func:`run_distributed_spt` runs every node behind a
+:class:`~repro.distributed.faults.ReliableNode` ack/retry transport and
+relaxes the punishment rule so honest-but-unlucky nodes are never
+flagged: timeout flags are withdrawn when the challenge (or its answer)
+is known to have been lost, when the suspect was crashed, or when a late
+answer eventually arrives (*exoneration*).
 """
 
 from __future__ import annotations
@@ -53,6 +62,15 @@ class SptNode(NodeProcess):
     is_root:
         True for the access point ``v_0``, which anchors ``D = 0`` and
         never relays for itself.
+    challenge_patience:
+        Rounds a challenged node gets to answer before it is flagged.
+    resend_challenges:
+        When True (default, the lossless setting) outstanding challenges
+        are re-sent every round, which keeps the network from going
+        quiescent around a stonewalling node. Under a reliable transport
+        the re-send is redundant (the transport retransmits) and the
+        :meth:`pending_work` hook keeps the engine alive instead, so the
+        fault-aware runner disables it.
     """
 
     def __init__(
@@ -61,6 +79,7 @@ class SptNode(NodeProcess):
         declared_cost: float,
         is_root: bool = False,
         challenge_patience: int = CHALLENGE_PATIENCE,
+        resend_challenges: bool = True,
     ) -> None:
         super().__init__(node_id)
         self.declared_cost = float(declared_cost)
@@ -92,6 +111,13 @@ class SptNode(NodeProcess):
         # suspects already flagged — never challenged again (so the
         # network can go quiescent around a stonewalling node)
         self._flagged: set[int] = set()
+        self.resend_challenges = bool(resend_challenges)
+        # nonce -> (suspect, offer) for challenges that timed out; a late
+        # answer exonerates the suspect (fault-aware runs only).
+        self._expired: dict[int, tuple[int, float]] = {}
+        #: (suspect, nonce) pairs whose timeout flag was answered late —
+        #: the runner withdraws the corresponding flag.
+        self.exonerations: list[tuple[int, int]] = []
 
     # -- announcements --------------------------------------------------------
 
@@ -208,10 +234,19 @@ class SptNode(NodeProcess):
             # cached view (it would just trigger pointless re-challenges)
             if acked_dist < self._offers[sender]["dist"]:
                 self._offers[sender]["dist"] = acked_dist
+        nonce = payload.get("nonce")
         if sender not in self._challenges:
+            # A late answer to a challenge that already timed out: the
+            # suspect did comply, the network was just slow/lossy.
+            expired = self._expired.pop(nonce, None)
+            if expired is not None:
+                suspect, offer = expired
+                if suspect == sender and acked_dist <= offer + 1e-12:
+                    self.exonerations.append((sender, int(nonce)))
+                    self._flagged.discard(sender)
             return
-        offer, _, nonce = self._challenges[sender]
-        if payload.get("nonce") != nonce:
+        offer, _, expected_nonce = self._challenges[sender]
+        if nonce != expected_nonce:
             return  # stale ack answering an older challenge
         del self._challenges[sender]
         if acked_dist > offer + 1e-12:
@@ -227,16 +262,60 @@ class SptNode(NodeProcess):
         for suspect, (offer, when, nonce) in self._challenges.items():
             if api.round - when >= self.challenge_patience:
                 expired.append(suspect)
-            else:
+            elif self.resend_challenges:
                 api.send(suspect, self._challenge_payload(offer, nonce))
         for suspect in expired:
-            del self._challenges[suspect]
+            offer, _, nonce = self._challenges.pop(suspect)
             self._flagged.add(suspect)
+            self._expired[nonce] = (suspect, offer)
             api.flag(suspect, "ignored a route-correction challenge")
         # Our own distance may have improved after a neighbour's last
         # announcement — re-examine the cached announcements.
         for neighbor in list(self._offers):
             self._maybe_challenge(api, neighbor)
+
+    def on_recover(self, api: NodeAPI) -> None:
+        """Re-announce the surviving state after a scheduled crash.
+
+        Args:
+            api: The per-node engine API.
+
+        The node's ``D``/``FH`` entries survived the crash; neighbours
+        may have moved on while it was down, so it re-broadcasts its
+        announcement to resynchronise (and to let neighbours re-offer).
+        """
+        api.broadcast(self._announcement())
+
+    def on_delivery_failure(
+        self, api: NodeAPI, dest: int, payload: Mapping
+    ) -> None:
+        """Withdraw a challenge whose delivery permanently failed.
+
+        Args:
+            api: The per-node engine API.
+            dest: The unreachable neighbour.
+            payload: The protocol payload the transport gave up on.
+
+        A challenge that never reached the suspect must not end in a
+        punishment flag (the suspect is unlucky, not selfish); the
+        suspect is also excluded from future challenges — the channel is
+        demonstrably broken, so re-challenging would loop forever.
+        """
+        if payload.get("type") != "spt-challenge":
+            return
+        pending = self._challenges.get(dest)
+        if pending is not None and pending[2] == payload.get("nonce"):
+            del self._challenges[dest]
+            self._flagged.add(dest)  # do not re-challenge; no flag raised
+
+    def pending_work(self) -> bool:
+        """True while challenge-patience timers must keep the engine live.
+
+        Only reported when per-round re-sending is disabled (fault-aware
+        runs); with re-sending on, the re-sent challenges themselves
+        keep the network busy, preserving the pre-fault behaviour.
+        """
+        return not self.resend_challenges and bool(self._challenges)
 
     # -- relaxation --------------------------------------------------------
 
@@ -263,7 +342,19 @@ class SptNode(NodeProcess):
 
 @dataclass(frozen=True)
 class DistributedSptResult:
-    """Converged stage-1 state, aligned with the centralized SPT."""
+    """Converged stage-1 state, aligned with the centralized SPT.
+
+    Attributes:
+        root: The access point's node id.
+        dist: ``dist[i]`` = converged ``D(v_i)`` (``inf`` when
+            unreachable or permanently starved).
+        first_hop: ``first_hop[i]`` = converged ``FH(v_i)`` (-1 unset).
+        routes: Per node, the relay chain to the root (ending with it).
+        route_costs: Declared costs aligned with each route's relays.
+        stats: The engine's :class:`SimulationStats`.
+        fault_report: Transport summary when the run was fault-injected
+            (``None`` for reliable runs).
+    """
 
     root: int
     dist: np.ndarray
@@ -271,10 +362,53 @@ class DistributedSptResult:
     routes: tuple[tuple[int, ...], ...]
     route_costs: tuple[tuple[float, ...], ...]
     stats: SimulationStats
+    fault_report: "object | None" = None
 
     def relays(self, i: int) -> tuple[int, ...]:
-        """Relays source ``i`` must pay: its route minus the root."""
+        """Relays source ``i`` must pay: its route minus the root.
+
+        Args:
+            i: Source node id.
+
+        Returns:
+            Relay ids nearest-first, excluding the root.
+        """
         return tuple(v for v in self.routes[i] if v != self.root)
+
+
+def _withdraw_unlucky_flags(stats, inner_procs, report) -> None:
+    """Drop timeout flags that fault injection — not selfishness — caused.
+
+    Args:
+        stats: The run's :class:`SimulationStats` (flags edited in place).
+        inner_procs: The unwrapped protocol nodes (exoneration records).
+        report: The run's :class:`~repro.distributed.faults.FaultReport`.
+
+    A flag for "ignored a route-correction challenge" is withdrawn when
+    the challenge or its answer is known lost (a permanently failed pair
+    between witness and suspect in either direction), when the suspect
+    was still crashed at the end of the run, or when the suspect's late
+    answer exonerated it.
+    """
+    exonerated = set()
+    for proc in inner_procs:
+        for suspect, _nonce in getattr(proc, "exonerations", ()):
+            exonerated.add((proc.node_id, suspect))
+    bad = set(report.failed_pairs)
+    bad |= {(b, a) for a, b in report.failed_pairs}
+    down = set(report.down_at_end)
+    stats.flags[:] = [
+        f
+        for f in stats.flags
+        if not (
+            f.reason == "ignored a route-correction challenge"
+            and (
+                (f.witness, f.suspect) in exonerated
+                or (f.witness, f.suspect) in bad
+                or f.suspect in down
+            )
+        )
+    ]
 
 
 def run_distributed_spt(
@@ -283,27 +417,82 @@ def run_distributed_spt(
     declared_costs=None,
     processes: Mapping[int, NodeProcess] | None = None,
     max_rounds: int = 10_000,
+    faults=None,
+    max_retries: int | None = None,
 ) -> DistributedSptResult:
     """Run stage 1 to quiescence on graph ``g``.
 
-    ``declared_costs`` defaults to ``g.costs`` (truthful declarations).
-    ``processes`` may override individual node implementations with
-    adversarial ones (keyed by node id).
+    Args:
+        g: The node-weighted network (undirected).
+        root: The access point ``v_0``.
+        declared_costs: Per-node declared costs; defaults to ``g.costs``
+            (truthful declarations).
+        processes: Optional per-node overrides with adversarial
+            implementations (keyed by node id).
+        max_rounds: Engine round cap.
+        faults: Optional :class:`~repro.distributed.faults.FaultPlan`.
+            When given (and not null), every node runs behind a
+            :class:`~repro.distributed.faults.ReliableNode` ack/retry
+            transport, the fault RNG is derived from the plan seed via
+            ``plan.stage("spt")``, and the result carries a
+            :class:`~repro.distributed.faults.FaultReport`. A null plan
+            is equivalent to ``faults=None`` (the bit-identical
+            reliable path).
+        max_retries: Retransmission budget per message (fault runs
+            only); defaults to
+            :data:`~repro.distributed.faults.DEFAULT_MAX_RETRIES`.
+
+    Returns:
+        The converged :class:`DistributedSptResult`.
     """
+    from repro.distributed.faults import (
+        DEFAULT_MAX_RETRIES,
+        FaultInjector,
+        ReliableNode,
+        build_fault_report,
+    )
+
+    if faults is not None and faults.is_null:
+        faults = None
     declared = g.costs if declared_costs is None else np.asarray(declared_costs, float)
-    procs: list[NodeProcess] = []
+    retries = DEFAULT_MAX_RETRIES if max_retries is None else int(max_retries)
+    inner: list[NodeProcess] = []
     for i in range(g.n):
         if processes is not None and i in processes:
-            procs.append(processes[i])
+            inner.append(processes[i])
+        elif faults is None:
+            inner.append(SptNode(i, float(declared[i]), is_root=(i == root)))
         else:
-            procs.append(SptNode(i, float(declared[i]), is_root=(i == root)))
-    sim = Simulator.from_graph(g, procs)
-    stats = sim.run(max_rounds=max_rounds)
+            # Under faults the transport retransmits, so per-round
+            # challenge re-sends are off and patience is stretched to
+            # cover retry backoff and injected delay.
+            patience = CHALLENGE_PATIENCE + 2 * faults.max_delay + 8
+            inner.append(
+                SptNode(
+                    i,
+                    float(declared[i]),
+                    is_root=(i == root),
+                    challenge_patience=patience,
+                    resend_challenges=False,
+                )
+            )
+    if faults is None:
+        procs = inner
+        sim = Simulator.from_graph(g, procs)
+        stats = sim.run(max_rounds=max_rounds)
+        report = None
+    else:
+        injector = FaultInjector(faults.stage("spt"))
+        procs = [ReliableNode(p, max_retries=retries) for p in inner]
+        sim = Simulator.from_graph(g, procs, faults=injector)
+        stats = sim.run(max_rounds=max_rounds)
+        report = build_fault_report(sim, procs, injector)
+        _withdraw_unlucky_flags(stats, inner, report)
     dist = np.full(g.n, np.inf)
     first_hop = np.full(g.n, -1, dtype=np.int64)
     routes: list[tuple[int, ...]] = []
     route_costs: list[tuple[float, ...]] = []
-    for i, proc in enumerate(procs):
+    for i, proc in enumerate(inner):
         d = getattr(proc, "dist", np.inf)
         dist[i] = 0.0 if i == root else d
         first_hop[i] = getattr(proc, "first_hop", -1)
@@ -317,4 +506,5 @@ def run_distributed_spt(
         routes=tuple(routes),
         route_costs=tuple(route_costs),
         stats=stats,
+        fault_report=report,
     )

@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Build the API reference for every public ``repro.*`` module.
+
+Output goes to ``docs/api/`` as one markdown file per module plus an
+``index.md``. Two rendering paths:
+
+* **pdoc** (installed in CI): renders the full HTML reference into
+  ``docs/api/html/`` and — crucially — *imports every module and parses
+  every docstring*, so a broken docstring or import error fails the
+  docs build.
+* **stdlib fallback** (minimal containers without pdoc): an
+  ``inspect``-based markdown generator producing the committed
+  ``docs/api/*.md`` files. This always runs, so the committed reference
+  never depends on an optional dependency.
+
+Exit code is non-zero on any import failure, missing module docstring,
+or (when pdoc is available) pdoc error — that is what makes ``make
+docs`` a meaningful CI gate.
+
+Usage::
+
+    python tools/build_docs.py [--out docs/api] [--no-pdoc]
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import pkgutil
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+
+
+def discover_modules() -> list[str]:
+    """Import ``repro`` and list every public submodule, sorted.
+
+    Returns:
+        Dotted module names (``repro`` first, then ``repro.*``),
+        excluding anything with an underscore-private path component.
+    """
+    sys.path.insert(0, str(SRC))
+    import repro  # noqa: F401 - imported for side effect of discovery
+
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        parts = info.name.split(".")
+        if any(p.startswith("_") for p in parts):
+            continue
+        names.append(info.name)
+    return sorted(names)
+
+
+def _signature(obj) -> str:
+    """Best-effort ``inspect.signature`` rendering (empty on failure)."""
+    try:
+        return str(inspect.signature(obj))
+    except (ValueError, TypeError):
+        return "(...)"
+
+
+def _first_paragraph(doc: str | None) -> str:
+    """First paragraph of a docstring, collapsed to one line."""
+    if not doc:
+        return ""
+    para = inspect.cleandoc(doc).split("\n\n", 1)[0]
+    return " ".join(para.split())
+
+
+def _public_members(mod) -> tuple[list, list]:
+    """Split a module's public API into (classes, functions).
+
+    Honours ``__all__`` when present; otherwise takes every non-private
+    top-level name actually defined in (not imported into) the module.
+    """
+    names = getattr(mod, "__all__", None)
+    if names is None:
+        names = [
+            n
+            for n, obj in vars(mod).items()
+            if not n.startswith("_")
+            and getattr(obj, "__module__", None) == mod.__name__
+        ]
+    classes, functions = [], []
+    for name in names:
+        obj = getattr(mod, name, None)
+        if obj is None:
+            continue
+        if inspect.isclass(obj):
+            classes.append((name, obj))
+        elif inspect.isroutine(obj):
+            functions.append((name, obj))
+    return classes, functions
+
+
+def render_module(name: str) -> tuple[str, list[str]]:
+    """Render one module's markdown page.
+
+    Args:
+        name: Dotted module name (must be importable).
+
+    Returns:
+        ``(markdown, problems)`` where ``problems`` lists docstring
+        gaps (missing module docstring) that should fail the build.
+    """
+    mod = importlib.import_module(name)
+    problems: list[str] = []
+    doc = inspect.getdoc(mod)
+    if not doc:
+        problems.append(f"{name}: missing module docstring")
+        doc = ""
+    lines = [f"# `{name}`", "", doc, ""]
+    classes, functions = _public_members(mod)
+    if classes:
+        lines.append("## Classes")
+        lines.append("")
+        for cname, cls in classes:
+            lines.append(f"### `{cname}{_signature(cls)}`")
+            lines.append("")
+            cdoc = inspect.getdoc(cls)
+            lines.append(cdoc or "*(no docstring)*")
+            lines.append("")
+            for mname, meth in sorted(vars(cls).items()):
+                if mname.startswith("_") or not inspect.isroutine(meth):
+                    continue
+                lines.append(f"- `{mname}{_signature(meth)}` — "
+                             f"{_first_paragraph(inspect.getdoc(meth))}")
+            lines.append("")
+    if functions:
+        lines.append("## Functions")
+        lines.append("")
+        for fname, fn in functions:
+            lines.append(f"### `{fname}{_signature(fn)}`")
+            lines.append("")
+            lines.append(inspect.getdoc(fn) or "*(no docstring)*")
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n", problems
+
+
+def build_markdown(out: Path, modules: list[str]) -> list[str]:
+    """Write one page per module plus the index; return problems."""
+    out.mkdir(parents=True, exist_ok=True)
+    problems: list[str] = []
+    index = [
+        "# `repro` API reference",
+        "",
+        "One page per public module. Regenerate with `make docs` "
+        "(generator: `tools/build_docs.py`).",
+        "",
+    ]
+    for name in modules:
+        try:
+            page, probs = render_module(name)
+        except Exception as exc:  # import/introspection failure = build failure
+            problems.append(f"{name}: {exc!r}")
+            continue
+        problems.extend(probs)
+        (out / f"{name}.md").write_text(page)
+        mod = importlib.import_module(name)
+        index.append(f"- [`{name}`]({name}.md) — "
+                     f"{_first_paragraph(inspect.getdoc(mod))}")
+    index.append("")
+    (out / "index.md").write_text("\n".join(index))
+    return problems
+
+
+def run_pdoc(out: Path, modules: list[str]) -> list[str]:
+    """Render the HTML reference with pdoc when it is installed.
+
+    pdoc imports every module and parses every docstring, so this is
+    the strict validation pass. Returns problems (empty when pdoc is
+    absent — the fallback generator already ran).
+    """
+    try:
+        import pdoc  # noqa: F401
+        import pdoc.web  # noqa: F401 - fail early on partial installs
+    except ImportError:
+        print("pdoc not installed; stdlib fallback only (CI runs pdoc)")
+        return []
+    import os
+    import subprocess
+
+    html = out / "html"
+    cmd = [sys.executable, "-m", "pdoc", "repro", "-o", str(html)]
+    env = {**os.environ, "PYTHONPATH": str(SRC)}
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        return [f"pdoc failed:\n{proc.stderr}"]
+    print(f"pdoc HTML written to {html}")
+    return []
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default=str(ROOT / "docs" / "api"))
+    ap.add_argument(
+        "--no-pdoc",
+        action="store_true",
+        help="skip the pdoc HTML pass even when pdoc is installed",
+    )
+    args = ap.parse_args(argv)
+    out = Path(args.out)
+
+    modules = discover_modules()
+    problems = build_markdown(out, modules)
+    if not args.no_pdoc:
+        problems += run_pdoc(out, modules)
+    print(f"documented {len(modules)} modules -> {out}")
+    if problems:
+        print("DOCS BUILD FAILED:", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
