@@ -17,16 +17,20 @@ everything around it:
 * the evaluation: overpayment ratio sweeps regenerating every panel of
   Figure 3 (Section III.G), plus the baselines of Section II.D.
 
-Quickstart::
+Quickstart (the :mod:`repro.api` facade is the uniform front door)::
 
-    from repro import generators, vcg_unicast_payments
+    from repro import api, generators
 
     g = generators.random_biconnected_graph(50, seed=7)
-    result = vcg_unicast_payments(g, source=13, target=0)
+    result = api.price(g, source=13, target=0)
     print(result.describe())
     for relay in result.relays:
         print(f"  relay {relay}: cost {g.costs[relay]:.3g}, "
               f"paid {result.payment(relay):.3g}")
+    assert api.check_truthful(g, source=13, target=0).ok
+
+For a long-lived service over a changing network (cached repricing,
+cost updates, node churn) see :class:`repro.engine.PricingEngine`.
 
 See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
 figure reproductions.
@@ -57,6 +61,8 @@ from repro.core.collusion import (
 )
 from repro.core.overpayment import overpayment_summary, per_hop_breakdown
 from repro.core.resale import find_resale_opportunities
+from repro import api
+from repro.api import check_truthful, price, price_all_pairs, price_links
 
 __version__ = "1.0.0"
 
@@ -71,6 +77,11 @@ __all__ = [
     "CheatingDetectedError",
     "generators",
     "obs",
+    "api",
+    "price",
+    "price_links",
+    "price_all_pairs",
+    "check_truthful",
     "NodeWeightedGraph",
     "LinkWeightedDigraph",
     "UnicastPayment",

@@ -1,0 +1,250 @@
+"""The uniform front door: one module, four verbs, consistent keywords.
+
+The library grew one entry point per paper section, and their keywords
+drifted (``method`` vs nothing, ``backend`` accepted here but not
+there, four result shapes). This facade reunifies them. Every function
+takes the same three knobs, validated by the shared helpers in
+:mod:`repro.core.mechanism`:
+
+``method=``
+    Which algorithm serves the request. Node model: ``"fast"``
+    (Algorithm 1, the default) or ``"naive"`` (per-relay Dijkstra
+    oracle). Link model: ``"auto"`` (Algorithm 1 when link costs are
+    symmetric, per-removal otherwise), ``"fast"``, ``"removal"``.
+``backend=``
+    Kernel selection — ``"auto"`` | ``"python"`` | ``"scipy"`` |
+    ``"numpy"`` — identical across every function
+    (:data:`repro.core.mechanism.BACKENDS`).
+``on_monopoly=``
+    ``"raise"`` or ``"inf"`` when a relay's removal disconnects the
+    endpoints (:data:`repro.core.mechanism.MONOPOLY_POLICIES`).
+
+The pre-facade entry points (``vcg_unicast_payments``,
+``link_vcg_payments``, ...) remain public and unchanged — these are
+thin delegates, not replacements. For stateful serving (cost updates,
+caching, batched traffic) use :class:`repro.engine.PricingEngine`.
+
+Quickstart::
+
+    from repro import api, generators
+
+    g = generators.random_biconnected_graph(50, seed=7)
+    result = api.price(g, source=13, target=0)
+    report = api.check_truthful(g, source=13, target=0)
+    assert report.ok
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.link_vcg import LinkPaymentTable
+from repro.core.mechanism import (
+    MechanismSpec,
+    UnicastPayment,
+    resolve_backend,
+    resolve_monopoly_policy,
+)
+from repro.graph.link_graph import LinkWeightedDigraph
+from repro.graph.node_graph import NodeWeightedGraph
+
+__all__ = ["price", "price_links", "price_all_pairs", "check_truthful"]
+
+
+def _require_model(graph, want: type, fn: str):
+    if not isinstance(graph, want):
+        raise TypeError(
+            f"{fn}() expects a {want.__name__}, got {type(graph).__name__}"
+        )
+
+
+def price(
+    graph: NodeWeightedGraph | LinkWeightedDigraph,
+    source: int,
+    target: int,
+    method: str = "fast",
+    backend: str = "auto",
+    on_monopoly: str = "raise",
+) -> UnicastPayment:
+    """VCG outcome for one unicast request, either cost model.
+
+    Dispatches on the graph type: a
+    :class:`~repro.graph.node_graph.NodeWeightedGraph` goes through
+    :func:`repro.core.vcg_unicast.vcg_unicast_payments` (Section III.A,
+    ``method`` = ``"fast"``/``"naive"``); a
+    :class:`~repro.graph.link_graph.LinkWeightedDigraph` delegates to
+    :func:`price_links` (Section III.F; pass ``method="auto"`` — the
+    node-model default ``"fast"`` is accepted there too).
+    """
+    if isinstance(graph, LinkWeightedDigraph):
+        return price_links(
+            graph,
+            source,
+            target,
+            method=method if method != "naive" else "removal",
+            backend=backend,
+            on_monopoly=on_monopoly,
+        )
+    _require_model(graph, NodeWeightedGraph, "price")
+    from repro.core.vcg_unicast import vcg_unicast_payments
+
+    return vcg_unicast_payments(
+        graph,
+        source,
+        target,
+        method=method,
+        backend=backend,
+        on_monopoly=on_monopoly,
+    )
+
+
+def price_links(
+    dg: LinkWeightedDigraph,
+    source: int,
+    target: int,
+    method: str = "auto",
+    backend: str = "auto",
+    on_monopoly: str = "raise",
+) -> UnicastPayment:
+    """VCG outcome for one request in the link-cost model (III.F).
+
+    ``method="fast"`` runs the Algorithm-1 adaptation (requires
+    symmetric link costs), ``"removal"`` the per-relay-removal oracle,
+    and ``"auto"`` picks ``"fast"`` exactly when the digraph is
+    symmetric. Both methods return identical payments on symmetric
+    inputs (property-tested).
+    """
+    _require_model(dg, LinkWeightedDigraph, "price_links")
+    from repro.core.fast_link_payment import (
+        check_symmetric,
+        fast_link_vcg_payments,
+    )
+    from repro.core.link_vcg import link_vcg_payments
+    from repro.errors import InvalidGraphError
+
+    if method == "auto":
+        try:
+            check_symmetric(dg)
+            method = "fast"
+        except InvalidGraphError:
+            method = "removal"
+    if method == "fast":
+        return fast_link_vcg_payments(
+            dg, source, target, on_monopoly=on_monopoly, backend=backend
+        )
+    if method != "removal":
+        raise ValueError(
+            f"method must be 'auto', 'fast' or 'removal', got {method!r}"
+        )
+    return link_vcg_payments(
+        dg, source, target, on_monopoly=on_monopoly, backend=backend
+    )
+
+
+def price_all_pairs(
+    graph: NodeWeightedGraph | LinkWeightedDigraph,
+    pairs: Iterable[tuple[int, int]] | None = None,
+    root: int = 0,
+    backend: str = "auto",
+    on_monopoly: str = "inf",
+    jobs: int | None = None,
+) -> Mapping[tuple[int, int], UnicastPayment] | LinkPaymentTable:
+    """Batch pricing: many pairs at once, shared work across requests.
+
+    Node model: returns ``{(source, target) -> UnicastPayment}`` via the
+    shared-SPT batch engine
+    (:func:`repro.core.allpairs.pairwise_vcg_payments`); ``pairs=None``
+    prices every node toward ``root`` (the paper's access-point
+    scenario). ``jobs`` fans the batch out over worker processes
+    (``-1`` = all cores, bit-identical results).
+
+    Link model: returns a
+    :class:`~repro.core.link_vcg.LinkPaymentTable` of every source
+    toward ``root`` via one reverse Dijkstra per interior routing-tree
+    node (``pairs``/``jobs`` do not apply and must be left at their
+    defaults).
+
+    ``on_monopoly`` defaults to ``"inf"`` here (batches report
+    monopolized sources instead of dying on the first one) — the
+    per-request functions default to ``"raise"``.
+    """
+    resolve_backend(backend)
+    resolve_monopoly_policy(on_monopoly)
+    if isinstance(graph, LinkWeightedDigraph):
+        if pairs is not None or jobs not in (None, 0, 1):
+            raise ValueError(
+                "link-model batches price all sources toward `root`; "
+                "pairs=/jobs= are node-model options"
+            )
+        from repro.core.link_vcg import all_sources_link_payments
+
+        return all_sources_link_payments(
+            graph, root, on_monopoly=on_monopoly, backend=backend
+        )
+    _require_model(graph, NodeWeightedGraph, "price_all_pairs")
+    if pairs is None:
+        pairs = [(i, root) for i in range(graph.n) if i != root]
+    from repro.analysis.parallel import resolve_jobs
+
+    if resolve_jobs(jobs) == 1:
+        from repro.core.allpairs import pairwise_vcg_payments
+
+        return pairwise_vcg_payments(
+            graph, pairs, on_monopoly=on_monopoly, backend=backend
+        )
+    from repro.engine import PricingEngine
+
+    eng = PricingEngine(graph, backend=backend, on_monopoly=on_monopoly)
+    return eng.price_many(pairs, jobs=jobs)
+
+
+def check_truthful(
+    graph: NodeWeightedGraph | LinkWeightedDigraph,
+    source: int,
+    target: int,
+    method: str = "fast",
+    backend: str = "auto",
+    agents: Iterable[int] | None = None,
+):
+    """Black-box truthfulness audit of the mechanism on one instance.
+
+    Node model: sweeps individual rationality (every relay's utility
+    non-negative at the truthful profile) and incentive compatibility
+    (no unilateral misdeclaration beats truthtelling) through
+    :mod:`repro.core.truthfulness`, against the mechanism configured
+    with these exact ``method``/``backend`` knobs. Link model: the
+    row-rescaling IC sweep of
+    :func:`~repro.core.truthfulness.check_link_strategyproof`
+    (``method``/``backend`` select nothing there and are validated
+    only).
+
+    Returns a :class:`~repro.core.truthfulness.DeviationReport`;
+    ``report.ok`` is True when no profitable deviation was found.
+    """
+    resolve_backend(backend)
+    from repro.core.truthfulness import (
+        DeviationReport,
+        check_individual_rationality,
+        check_link_strategyproof,
+        check_strategyproof,
+    )
+
+    if isinstance(graph, LinkWeightedDigraph):
+        return check_link_strategyproof(graph, source, target, agents=agents)
+    _require_model(graph, NodeWeightedGraph, "check_truthful")
+    from repro.core.vcg_unicast import vcg_unicast_payments
+
+    spec = MechanismSpec(
+        name=f"vcg-unicast[{method}]",
+        compute=lambda g, s, t, **kw: vcg_unicast_payments(
+            g, s, t, method=method, backend=backend, **kw
+        ),
+        properties=("strategyproof", "individually-rational"),
+    )
+    ir = check_individual_rationality(spec, graph, source, target)
+    ic = check_strategyproof(spec, graph, source, target, agents=agents)
+    return DeviationReport(
+        mechanism=f"{spec.name} [IR+IC]",
+        checked=ir.checked + ic.checked,
+        violations=ir.violations + ic.violations,
+    )

@@ -15,6 +15,10 @@ Subcommands:
   ``--crash``/``--max-retries`` inject faults and report the outcome.
 * ``chaos`` — sweep the message-loss probability and tabulate payment
   correctness and message overhead per loss level.
+* ``engine`` — replay a seeded query/update workload through the caching
+  :class:`~repro.engine.PricingEngine` (``--compare-naive`` shadow-checks
+  every answer against from-scratch pricing and reports the speedup;
+  ``--save-trace``/``--trace`` write and reuse JSON-lines traces).
 
 Global observability flags (accepted before or after the subcommand):
 ``--log-level LEVEL`` (structured key=value logs on stderr),
@@ -194,6 +198,54 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument("--epochs", type=int, default=4)
     churn.add_argument("--sigma", type=float, default=60.0)
     churn.add_argument("--seed", type=int, default=0)
+
+    eng = sub.add_parser(
+        "engine",
+        help="replay a pricing workload through the caching engine",
+    )
+    eng.add_argument("--nodes", type=int, default=120)
+    eng.add_argument("--seed", type=int, default=0)
+    eng.add_argument(
+        "--ops",
+        type=int,
+        default=400,
+        help="workload length (queries + updates)",
+    )
+    eng.add_argument(
+        "--update-frac",
+        type=float,
+        default=0.1,
+        help="fraction of ops that re-declare a node cost",
+    )
+    eng.add_argument(
+        "--target",
+        type=int,
+        default=0,
+        help="query destination (-1 = random target per query)",
+    )
+    eng.add_argument(
+        "--backend",
+        choices=("auto", "python", "scipy", "numpy"),
+        default="auto",
+    )
+    eng.add_argument(
+        "--compare-naive",
+        action="store_true",
+        help="shadow-check every answer against from-scratch pricing "
+        "and report the engine-vs-naive speedup",
+    )
+    eng.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="replay an existing JSON-lines trace instead of generating",
+    )
+    eng.add_argument(
+        "--save-trace",
+        metavar="PATH",
+        default=None,
+        help="write the generated workload as a JSON-lines trace",
+    )
 
     for p in sub.choices.values():
         _add_obs_flags(p, suppress=True)
@@ -431,6 +483,53 @@ def _cmd_churn(args) -> int:
     return 0
 
 
+def _cmd_engine(args) -> int:
+    from repro import generators
+    from repro.engine import (
+        PricingEngine,
+        generate_workload,
+        load_trace,
+        replay,
+        save_trace,
+    )
+
+    g = generators.random_biconnected_graph(args.nodes, seed=args.seed)
+    if args.trace is not None:
+        ops = load_trace(args.trace)
+        print(f"loaded {len(ops)} ops from {args.trace}")
+    else:
+        ops = generate_workload(
+            g,
+            n_ops=args.ops,
+            update_frac=args.update_frac,
+            seed=args.seed,
+            target=None if args.target < 0 else args.target,
+        )
+    if args.save_trace is not None:
+        save_trace(ops, args.save_trace)
+        print(f"wrote {len(ops)} ops to {args.save_trace}")
+    engine = PricingEngine(g, backend=args.backend, on_monopoly="inf")
+    # Pay one-time costs (scipy import, first allocations) outside the
+    # timed replay so the engine-vs-naive comparison is about pricing.
+    from repro.graph.dijkstra import node_weighted_spt
+
+    node_weighted_spt(g, 0, backend="auto")
+    log.info(
+        "engine replay start",
+        extra={"nodes": g.n, "ops": len(ops), "compare": args.compare_naive},
+    )
+    report = replay(engine, ops, compare=args.compare_naive)
+    print(report.describe())
+    if report.mismatches:
+        print(
+            f"error: {report.mismatches} engine answers differ from "
+            f"from-scratch pricing (e.g. {list(report.mismatch_keys)})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _dispatch(args) -> int:
     if args.command == "demo":
         return _cmd_demo(args)
@@ -446,6 +545,8 @@ def _dispatch(args) -> int:
         return _cmd_economy(args)
     if args.command == "churn":
         return _cmd_churn(args)
+    if args.command == "engine":
+        return _cmd_engine(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -24,7 +24,7 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from repro.core.fast_payment import fast_vcg_payments
-from repro.core.mechanism import UnicastPayment
+from repro.core.mechanism import UnicastPayment, spt_backend_for
 from repro.errors import InvalidGraphError
 from repro.graph.dijkstra import ShortestPathTree, node_weighted_spt
 from repro.graph.node_graph import NodeWeightedGraph
@@ -45,6 +45,7 @@ def pairwise_vcg_payments(
     pairs: Iterable[tuple[int, int]],
     on_monopoly: str = "inf",
     backend: str = "auto",
+    spt_cache: dict[int, ShortestPathTree] | None = None,
 ) -> dict[tuple[int, int], UnicastPayment]:
     """VCG payments for arbitrary ordered source-target pairs.
 
@@ -56,16 +57,20 @@ def pairwise_vcg_payments(
     therefore costs ``e`` Dijkstras plus ``k`` linear-time Algorithm-1
     passes: one O(n log n + m) pass per distinct endpoint, not per pair.
 
+    ``spt_cache`` lets a long-lived caller (the
+    :class:`~repro.engine.PricingEngine`) share its endpoint SPT cache:
+    pre-populated entries are reused, missing roots are built here and
+    left in the mapping for the caller to keep. The trees must belong to
+    *this* graph and the caller's ``backend``.
+
     In the node-cost model the payment is direction-symmetric (the path
     cost counts internal nodes only), but both orientations are priced
     as requested — callers with symmetric traffic can halve the work by
     canonicalizing pairs themselves.
     """
     out: dict[tuple[int, int], UnicastPayment] = {}
-    spts: dict[int, ShortestPathTree] = {}
-    # fast_payment accepts "numpy" but the Dijkstra layer does not: mirror
-    # its mapping so every Algorithm-1 backend name works here too.
-    spt_backend = "python" if backend in ("python", "numpy") else backend
+    spts: dict[int, ShortestPathTree] = spt_cache if spt_cache is not None else {}
+    spt_backend = spt_backend_for(backend)
 
     def spt_of(x: int) -> ShortestPathTree:
         spt = spts.get(x)

@@ -32,7 +32,13 @@ import heapq
 
 import numpy as np
 
-from repro.core.mechanism import UnicastPayment
+from repro.core.mechanism import (
+    UnicastPayment,
+    resolve_backend,
+    resolve_monopoly_policy,
+    spt_backend_for,
+    warn_renamed_kwarg,
+)
 from repro.errors import DisconnectedError, InvalidGraphError, MonopolyError
 from repro.graph.dijkstra import link_weighted_spt
 from repro.graph.link_graph import LinkWeightedDigraph
@@ -64,19 +70,24 @@ def fast_link_vcg_payments(
     target: int,
     on_monopoly: str = "raise",
     backend: str = "auto",
+    monopoly: str | None = None,
 ) -> UnicastPayment:
     """All relay payments of one request in O(n log n + m), link model.
 
     Returns the same :class:`UnicastPayment` as
     :func:`~repro.core.link_vcg.link_vcg_payments` (relay-cost
-    convention), computed without per-relay Dijkstras.
+    convention), computed without per-relay Dijkstras. The pre-facade
+    keyword ``monopoly=`` is still accepted with a
+    :class:`DeprecationWarning`.
     """
+    on_monopoly = warn_renamed_kwarg(
+        "monopoly", "on_monopoly", monopoly, on_monopoly, "raise"
+    )
     source = check_node_index(source, dg.n)
     target = check_node_index(target, dg.n)
-    if on_monopoly not in ("raise", "inf"):
-        raise ValueError(
-            f"on_monopoly must be 'raise' or 'inf', got {on_monopoly!r}"
-        )
+    resolve_backend(backend)
+    resolve_monopoly_policy(on_monopoly)
+    backend = spt_backend_for(backend)
     check_symmetric(dg)
     if source == target:
         return UnicastPayment(source, target, (), 0.0, {}, scheme="link-vcg")

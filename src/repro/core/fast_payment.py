@@ -69,7 +69,12 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.core.mechanism import UnicastPayment
+from repro.core.mechanism import (
+    UnicastPayment,
+    resolve_backend,
+    resolve_monopoly_policy,
+    spt_backend_for,
+)
 from repro.errors import DisconnectedError, MonopolyError
 from repro.graph.dijkstra import node_weighted_spt
 from repro.graph.node_graph import NodeWeightedGraph
@@ -126,8 +131,28 @@ class FastPaymentResult:
             scheme="vcg",
         )
 
+    @property
+    def path_cost(self) -> float:
+        """Cost of the chosen route (alias of ``lcp_cost``; the uniform
+        :class:`~repro.core.mechanism.PaymentResult` accessor)."""
+        return self.lcp_cost
 
-_BACKENDS = ("auto", "python", "scipy", "numpy")
+    def payment(self, node: int) -> float:
+        """Payment to ``node`` (0 when it earns nothing)."""
+        return float(self.payments.get(int(node), 0.0))
+
+    def to_dict(self) -> dict:
+        """Tagged, versioned JSON-safe encoding (see :mod:`repro.io`)."""
+        from repro import io
+
+        return io.to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FastPaymentResult":
+        """Inverse of :meth:`to_dict`; rejects payloads of other types."""
+        from repro import io
+
+        return io.decode_as(cls, payload)
 
 
 def fast_vcg_payments(
@@ -154,14 +179,8 @@ def fast_vcg_payments(
     """
     source = check_node_index(source, g.n)
     target = check_node_index(target, g.n)
-    if on_monopoly not in ("raise", "inf"):
-        raise ValueError(
-            f"on_monopoly must be 'raise' or 'inf', got {on_monopoly!r}"
-        )
-    if backend not in _BACKENDS:
-        raise ValueError(
-            f"unknown backend {backend!r}; expected one of {_BACKENDS}"
-        )
+    resolve_monopoly_policy(on_monopoly)
+    resolve_backend(backend)
     for spt, root in ((spt_source, source), (spt_target, target)):
         if spt is not None and (spt.root != root or spt.n != g.n):
             raise ValueError(
@@ -192,7 +211,7 @@ def _fast_vcg_payments_impl(
     if _metrics.enabled:
         _metrics.add("fast_payment.runs", 1)
     vectorized = backend != "python"
-    spt_backend = "python" if backend in ("python", "numpy") else backend
+    spt_backend = spt_backend_for(backend)
     # Steps 1-2: the two shortest path trees, the LCP, and the levels.
     with _tracer.span("fast_payment.spt_build"):
         if spt_i is None:

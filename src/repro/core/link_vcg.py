@@ -31,7 +31,13 @@ from typing import Iterator, Mapping
 
 import numpy as np
 
-from repro.core.mechanism import UnicastPayment
+from repro.core.mechanism import (
+    UnicastPayment,
+    resolve_backend,
+    resolve_monopoly_policy,
+    spt_backend_for,
+    warn_renamed_kwarg,
+)
 from repro.errors import DisconnectedError, MonopolyError
 from repro.graph.avoiding import (
     all_sources_removal_distances,
@@ -55,6 +61,7 @@ def link_vcg_payments(
     target: int,
     on_monopoly: str = "raise",
     backend: str = "auto",
+    monopoly: str | None = None,
 ) -> UnicastPayment:
     """VCG outcome for one source in the link-cost model.
 
@@ -62,16 +69,19 @@ def link_vcg_payments(
     cost** of the route — the path weight minus the source's own first
     transmission — mirroring the node model's internal-cost convention
     (payments compensate relays; the source's own radio energy is not
-    something it pays anyone for).
+    something it pays anyone for). The pre-facade keyword ``monopoly=``
+    is still accepted with a :class:`DeprecationWarning`.
     """
+    on_monopoly = warn_renamed_kwarg(
+        "monopoly", "on_monopoly", monopoly, on_monopoly, "raise"
+    )
     source = check_node_index(source, dg.n)
     target = check_node_index(target, dg.n)
-    if on_monopoly not in ("raise", "inf"):
-        raise ValueError(
-            f"on_monopoly must be 'raise' or 'inf', got {on_monopoly!r}"
-        )
+    resolve_backend(backend)
+    resolve_monopoly_policy(on_monopoly)
     if source == target:
         return UnicastPayment(source, target, (), 0.0, {}, scheme="link-vcg")
+    backend = spt_backend_for(backend)
     spt = link_weighted_spt(dg, source, direction="from", backend=backend)
     if not spt.reachable(target):
         raise DisconnectedError(source, target)
@@ -158,6 +168,24 @@ class LinkPaymentTable:
         first transmission) — the denominator of the overpayment ratio."""
         return float(self.dist[i] - self.first_hop_cost[i])
 
+    def path_cost(self, i: int) -> float:
+        """Alias of :meth:`relay_cost` — the uniform
+        :class:`~repro.core.mechanism.PaymentResult` accessor name."""
+        return self.relay_cost(i)
+
+    def to_dict(self) -> dict:
+        """Tagged, versioned JSON-safe encoding (see :mod:`repro.io`)."""
+        from repro import io
+
+        return io.to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LinkPaymentTable":
+        """Inverse of :meth:`to_dict`; rejects payloads of other types."""
+        from repro import io
+
+        return io.decode_as(cls, payload)
+
     def total_payment(self, i: int) -> float:
         """Total payment across all relays."""
         return float(sum(self.payments[i].values()))
@@ -185,7 +213,10 @@ class LinkPaymentTable:
 
 
 def all_sources_link_payments(
-    dg: LinkWeightedDigraph, root: int = 0
+    dg: LinkWeightedDigraph,
+    root: int = 0,
+    on_monopoly: str = "inf",
+    backend: str = "auto",
 ) -> LinkPaymentTable:
     """VCG payments of every source toward ``root`` in one batch.
 
@@ -195,9 +226,17 @@ def all_sources_link_payments(
     arc list, compiled) yields the avoiding distances of *all* sources
     simultaneously. Total cost: O(#interior · Dijkstra) instead of
     O(#sources · #relays · Dijkstra).
+
+    ``on_monopoly`` follows the per-request entry points: the historical
+    (and default) behavior records infinite payments; ``"raise"`` raises
+    :class:`~repro.errors.MonopolyError` at the first monopolized source
+    instead. The batch removal sweep is scipy-based regardless of
+    ``backend``, which only selects the routing-tree Dijkstra kernel.
     """
     root = check_node_index(root, dg.n)
-    spt = link_weighted_spt(dg, root, direction="to")
+    resolve_monopoly_policy(on_monopoly)
+    backend = spt_backend_for(backend)
+    spt = link_weighted_spt(dg, root, direction="to", backend=backend)
     n = dg.n
     parent = spt.parent.copy()
 
@@ -225,6 +264,8 @@ def all_sources_link_payments(
             k = route[idx]
             nxt = route[idx + 1]
             detour = float(removal_row[k][i])
+            if not np.isfinite(detour) and on_monopoly == "raise":
+                raise MonopolyError(i, root, k)
             delta = detour - base  # inf - finite stays inf (monopoly)
             payments[i][k] = dg.arc_weight(k, nxt) + delta
 

@@ -9,12 +9,115 @@ otherwise, so ``u^k = p^k - x_k * c_k``.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Protocol, runtime_checkable
 
 import numpy as np
 
-__all__ = ["UnicastPayment", "relay_utility", "MechanismSpec"]
+__all__ = [
+    "UnicastPayment",
+    "relay_utility",
+    "MechanismSpec",
+    "PaymentResult",
+    "resolve_backend",
+    "resolve_monopoly_policy",
+    "spt_backend_for",
+    "warn_renamed_kwarg",
+    "BACKENDS",
+    "MONOPOLY_POLICIES",
+]
+
+#: Every kernel backend a pricing entry point accepts. ``"auto"`` picks
+#: the compiled scipy path when available; ``"python"`` is the scalar
+#: oracle; ``"numpy"`` runs the vectorized Algorithm-1 kernels over the
+#: pure-Python SPT builder (see :mod:`repro.core.fast_payment`).
+BACKENDS: tuple[str, ...] = ("auto", "python", "scipy", "numpy")
+
+#: What to do when a relay's removal disconnects the endpoints.
+MONOPOLY_POLICIES: tuple[str, ...] = ("raise", "inf")
+
+
+def resolve_backend(backend: str) -> str:
+    """Validate a ``backend=`` keyword shared by every pricing entry point.
+
+    Returns the backend unchanged; raises ``ValueError`` on anything
+    outside :data:`BACKENDS`. Centralizing the check keeps the error
+    message (and the accepted set) identical across the node and link
+    entry points.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
+def spt_backend_for(backend: str) -> str:
+    """The Dijkstra backend matching a pricing ``backend``.
+
+    The SPT layer knows ``"auto"``/``"python"``/``"scipy"`` only;
+    ``"numpy"`` (vectorized payment kernels) deliberately runs over the
+    pure-Python SPT builder so kernel comparisons are apples-to-apples.
+    """
+    return "python" if resolve_backend(backend) in ("python", "numpy") else backend
+
+
+def resolve_monopoly_policy(on_monopoly: str) -> str:
+    """Validate an ``on_monopoly=`` keyword (``"raise"`` or ``"inf"``)."""
+    if on_monopoly not in MONOPOLY_POLICIES:
+        raise ValueError(
+            f"on_monopoly must be 'raise' or 'inf', got {on_monopoly!r}"
+        )
+    return on_monopoly
+
+
+def warn_renamed_kwarg(old: str, new: str, value, current, default):
+    """Deprecation shim for a renamed keyword argument.
+
+    ``value`` is what the caller passed under the *old* name (``None``
+    when absent); ``current`` is what they passed under the new name and
+    ``default`` is the new keyword's default. Returns the effective
+    value. Passing both names is an error; passing the old one emits a
+    :class:`DeprecationWarning` but changes nothing else.
+    """
+    if value is None:
+        return current
+    if current != default:
+        raise TypeError(
+            f"got values for both {old!r} (deprecated) and {new!r}; "
+            f"pass only {new!r}"
+        )
+    warnings.warn(
+        f"keyword {old!r} is deprecated; use {new!r}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return value
+
+
+@runtime_checkable
+class PaymentResult(Protocol):
+    """What every per-request pricing outcome exposes.
+
+    :class:`UnicastPayment` and
+    :class:`~repro.core.fast_payment.FastPaymentResult` implement it
+    directly; the batch :class:`~repro.core.link_vcg.LinkPaymentTable`
+    exposes the same shape per source via
+    :meth:`~repro.core.link_vcg.LinkPaymentTable.payment_result` (and
+    shares the ``to_dict``/``from_dict`` serialization contract).
+    """
+
+    @property
+    def path(self) -> tuple[int, ...]: ...
+
+    @property
+    def payments(self) -> Mapping[int, float]: ...
+
+    @property
+    def path_cost(self) -> float: ...
+
+    def to_dict(self) -> dict: ...
 
 
 @dataclass(frozen=True)
@@ -67,9 +170,28 @@ class UnicastPayment:
         return self.payments.get(int(node), 0.0)
 
     @property
+    def path_cost(self) -> float:
+        """Cost of the chosen route (alias of ``lcp_cost``; the uniform
+        :class:`PaymentResult` accessor shared by every result type)."""
+        return self.lcp_cost
+
+    @property
     def total_payment(self) -> float:
         """``p_i`` of Section III.G: the source's total outlay."""
         return float(sum(self.payments.values()))
+
+    def to_dict(self) -> dict:
+        """Tagged, versioned JSON-safe encoding (see :mod:`repro.io`)."""
+        from repro import io
+
+        return io.to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "UnicastPayment":
+        """Inverse of :meth:`to_dict`; rejects payloads of other types."""
+        from repro import io
+
+        return io.decode_as(cls, payload)
 
     @property
     def overpayment_ratio(self) -> float:

@@ -21,7 +21,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.mechanism import MechanismSpec, UnicastPayment
+from repro.core.mechanism import (
+    MechanismSpec,
+    UnicastPayment,
+    resolve_backend,
+    resolve_monopoly_policy,
+    spt_backend_for,
+    warn_renamed_kwarg,
+)
 from repro.errors import DisconnectedError, MonopolyError
 from repro.graph.avoiding import avoiding_distance
 from repro.graph.dijkstra import node_weighted_spt
@@ -39,6 +46,7 @@ def vcg_unicast_payments(
     method: str = "fast",
     backend: str = "auto",
     on_monopoly: str = "raise",
+    algorithm: str | None = None,
 ) -> UnicastPayment:
     """Full VCG outcome for one unicast request.
 
@@ -51,29 +59,35 @@ def vcg_unicast_payments(
         Endpoints; the paper's access point scenario is ``target = 0``.
     method:
         ``"fast"`` (Algorithm 1) or ``"naive"`` (per-relay Dijkstra).
+        The pre-facade name ``algorithm=`` is still accepted with a
+        :class:`DeprecationWarning`.
     on_monopoly:
         What to do when some relay's removal disconnects the endpoints
         (excluded by the paper's biconnectivity assumption):
         ``"raise"`` raises :class:`~repro.errors.MonopolyError`,
         ``"inf"`` records an infinite payment.
     """
+    method = warn_renamed_kwarg("algorithm", "method", algorithm, method, "fast")
     source = check_node_index(source, g.n)
     target = check_node_index(target, g.n)
     if method not in ("fast", "naive"):
         raise ValueError(f"method must be 'fast' or 'naive', got {method!r}")
-    if on_monopoly not in ("raise", "inf"):
-        raise ValueError(
-            f"on_monopoly must be 'raise' or 'inf', got {on_monopoly!r}"
-        )
+    resolve_backend(backend)
+    resolve_monopoly_policy(on_monopoly)
     if source == target:
         return UnicastPayment(source, target, (), 0.0, {})
 
     if method == "fast":
         from repro.core.fast_payment import fast_vcg_payments
 
-        fast = fast_vcg_payments(g, source, target, on_monopoly=on_monopoly)
+        fast = fast_vcg_payments(
+            g, source, target, on_monopoly=on_monopoly, backend=backend
+        )
         return fast.to_unicast_payment()
 
+    # The Dijkstra layer knows no "numpy" backend; map it exactly as the
+    # Algorithm-1 entry point does so every backend name works here too.
+    backend = spt_backend_for(backend)
     spt = node_weighted_spt(g, source, backend=backend)
     if not spt.reachable(target):
         raise DisconnectedError(source, target)
@@ -110,6 +124,7 @@ def vcg_payment_to_node(
     :class:`MonopolyError` when the node is a monopoly.
     """
     node = check_node_index(node, g.n)
+    backend = spt_backend_for(backend)
     spt = node_weighted_spt(g, source, backend=backend)
     if not spt.reachable(target):
         raise DisconnectedError(source, target)

@@ -1,0 +1,35 @@
+"""The long-lived pricing service layer.
+
+The paper's Algorithm 1 prices one static request; a deployed access
+point serves a *stream* of requests while declared costs drift and nodes
+churn. :class:`PricingEngine` is that service: it owns a versioned
+topology snapshot, answers ``price()`` through an SPT/payment cache, and
+applies ``update_cost`` / ``remove_node`` / ``add_node`` with
+dirty-region invalidation so that steady-state traffic mostly hits
+caches instead of recomputing Dijkstras from scratch.
+
+:mod:`repro.engine.workload` generates, saves and replays seeded
+request/update traces (the ``repro-unicast engine`` CLI command and
+``benchmarks/bench_engine.py`` are thin wrappers over it).
+"""
+
+from repro.engine.engine import EngineStats, PricingEngine
+from repro.engine.workload import (
+    ReplayReport,
+    WorkloadOp,
+    generate_workload,
+    load_trace,
+    replay,
+    save_trace,
+)
+
+__all__ = [
+    "PricingEngine",
+    "EngineStats",
+    "WorkloadOp",
+    "ReplayReport",
+    "generate_workload",
+    "save_trace",
+    "load_trace",
+    "replay",
+]

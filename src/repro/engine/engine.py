@@ -1,0 +1,784 @@
+"""A long-lived, update-aware VCG pricing service.
+
+Why a service layer
+-------------------
+
+Every entry point in :mod:`repro.core` prices one request on one
+immutable graph. A deployed access point instead sees a *stream*:
+mostly repeated ``price(source, target)`` queries, occasionally a node
+re-declaring its cost or joining/leaving. Recomputing two Dijkstras and
+an Algorithm-1 pass per request throws away almost all of the work —
+the shortest-path structure barely changes between updates. Ad hoc-VCG
+(PAPERS.md) runs the mechanism continuously over exactly such a drifting
+network; this module supplies the machinery.
+
+Versioned snapshots and dirty-region invalidation
+-------------------------------------------------
+
+The engine owns the current graph plus a monotonically increasing
+``version``. Two caches are stamped with the version they were computed
+at:
+
+* an **SPT cache** ``root -> ShortestPathTree`` (Algorithm 1 consumes
+  one tree per endpoint; trees are shared across every pair touching the
+  endpoint, exactly like :func:`repro.core.allpairs.pairwise_vcg_payments`);
+* a **pair cache** ``(source, target) -> FastPaymentResult`` holding the
+  full Algorithm-1 output (the intermediates are what make retention
+  decidable, see below).
+
+A stamp that does not match the current version marks the entry stale.
+A *node cost update* itself does almost no work: it swaps the graph
+snapshot, bumps the version and appends a ``(node, old, new)`` record
+to a bounded **update log**. Whether a stale entry is still usable is
+decided lazily, at lookup, by *fast-forwarding* it through the logged
+updates one at a time — entries nobody asks for again never cost
+anything. A fast-forwarded entry is re-stamped (counted per logged step
+as ``retained`` or ``repairs``); one that fails is evicted (counted as
+``stale_evictions``). Per logged update ``k: c_old -> c_new``:
+
+* **SPT survival and repair.** A cached tree ``T`` with distance array
+  ``d`` survives unchanged (node-weighted convention: ``d[x]`` counts
+  internal nodes only, so ``d`` never includes ``c_k`` on paths *to*
+  ``k`` — in particular ``d[k]`` itself is exact on both graphs) iff
+  ``k`` is the root, unreachable, or — for a **decrease** — no
+  neighbour can be improved through it: ``d[k] + c_new >= d[w]`` for
+  every neighbour ``w`` (the standard Dijkstra optimality certificate —
+  only relaxations *through* ``k`` changed); for an **increase** —
+  ``k`` has no tree children, so no witnessed shortest path uses ``k``
+  internally and alternatives through ``k`` only got worse.
+
+  A tree that fails its certificate is **repaired** in place of a full
+  rebuild, Ramalingam–Reps style. After a *decrease*, only paths
+  through ``k`` improved, so a partial Dijkstra seeded with ``k``'s
+  relaxations (``d[k] + c_new`` into each neighbour) settles exactly
+  the improved region. After an *increase*, only ``k``'s strict tree
+  descendants can change: their distances are cleared, each is seeded
+  from its best settled (non-descendant) neighbour, and a Dijkstra
+  restricted to the region finishes the job. Both repairs perform the
+  same left-to-right float additions along each node's new tree path
+  that a from-scratch Dijkstra would, and untouched nodes keep their
+  old floats — so repaired trees are **bit-identical** to fresh ones
+  (``tests/test_engine.py`` asserts exactly this).
+
+* **Pair survival.** A cached result for ``(s, t)`` survives trivially
+  when ``k`` is an endpoint (endpoint costs never enter path costs or
+  payments, Section II.C). Otherwise let ``B`` be the largest quantity
+  the result witnessed — ``max(lcp_cost, max(avoiding_costs))``. Path
+  costs in the node model are *symmetric* (reversing a path keeps its
+  internal nodes), so one **witness tree** rooted at ``k`` — built
+  once per logged update, shared by every cached pair — supplies
+  ``d_s[k] = d_k[s]`` and ``d_t[k] = d_k[t]`` for all endpoints at
+  once. These distances never include ``c_k`` (root cost) nor the
+  endpoint's own cost, so they are valid on both the old and the new
+  graph. Any simple ``s``–``t`` path with ``k`` internal costs at
+  least ``d_s[k] + c_k + d_t[k]``; if
+  ``d_k[s] + min(c_old, c_new) + d_k[t] > B`` (strictly), no such path
+  can affect the LCP or any avoiding path on either graph, so every
+  number in the result is unchanged. Infinite ``B`` (a monopolized
+  relay priced with ``on_monopoly="inf"``) never passes — conservative.
+
+Topology changes (``remove_node``/``add_node``) and link-model arc
+updates clear the log instead: the version bump lazily invalidates
+everything, which is always sound. The log is capped
+(``_LOG_CAP`` updates); entries older than the cap fall back to a
+plain rebuild at next use.
+
+Exactness caveat: retention is value-exact; the returned *path* is
+additionally identical whenever the least cost path is unique (generic
+float costs — the property tests in ``tests/test_engine.py`` draw
+seeded uniform costs, which are tie-free almost surely).
+
+Batching
+--------
+
+``price_many`` funnels cache misses into
+:func:`~repro.core.allpairs.pairwise_vcg_payments`, sharing the
+engine's SPT cache, and optionally fans independent chunks out over
+worker processes via :func:`repro.analysis.parallel.run_tasks`
+(``jobs=``) — bit-identical to the serial path. Living in the engine
+package keeps the layering rule intact: ``core`` never imports
+``analysis``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.allpairs import pairwise_vcg_payments
+from repro.core.fast_payment import FastPaymentResult, fast_vcg_payments
+from repro.core.link_vcg import link_vcg_payments
+from repro.core.mechanism import (
+    UnicastPayment,
+    resolve_backend,
+    resolve_monopoly_policy,
+    spt_backend_for,
+)
+from repro.graph.dijkstra import node_weighted_spt
+from repro.graph.link_graph import LinkWeightedDigraph
+from repro.graph.node_graph import NodeWeightedGraph
+from repro.graph.spt import ShortestPathTree
+from repro.obs.metrics import REGISTRY as _metrics
+from repro.obs.tracing import TRACER as _tracer
+from repro.utils.heap import IndexedMinHeap
+from repro.utils.validation import check_node_index
+
+__all__ = ["PricingEngine", "EngineStats"]
+
+
+@dataclass
+class EngineStats:
+    """Always-on local counters (the :mod:`repro.obs` registry mirrors
+    them under ``engine.*`` when enabled).
+
+    ``cache_hits``/``cache_misses`` count pair-cache outcomes per priced
+    pair; ``spt_cache_*`` the endpoint-tree cache; ``invalidations``
+    entries dropped at lookup because a logged update provably dirtied
+    them; ``stale_evictions`` entries dropped because they aged out of
+    the update log (topology change, log cap, or an explicit
+    :meth:`PricingEngine.purge_stale`); ``retained`` fast-forward steps
+    that carried an entry through a logged update unchanged;
+    ``repairs`` cached trees incrementally patched through one.
+    """
+
+    queries: int = 0
+    batches: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    spt_cache_hits: int = 0
+    spt_cache_misses: int = 0
+    invalidations: int = 0
+    stale_evictions: int = 0
+    retained: int = 0
+    repairs: int = 0
+    updates: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (for reports and ``--metrics`` output)."""
+        return asdict(self)
+
+    @property
+    def hit_rate(self) -> float:
+        """Pair-cache hit rate over all priced pairs (``nan`` when idle)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else float("nan")
+
+
+def _empty_payment(source: int, target: int, scheme: str) -> UnicastPayment:
+    return UnicastPayment(source, target, (), 0.0, {}, scheme=scheme)
+
+
+#: Cost updates remembered for lazy fast-forwarding; entries older than
+#: this fall back to a plain rebuild at next use (memory bound: one cost
+#: vector plus one lazily built witness tree per remembered update).
+_LOG_CAP = 128
+
+#: Trees more than this many updates behind are rebuilt instead of
+#: fast-forwarded: each step costs a survival cert plus an occasional
+#: repair, and past roughly this many steps one compiled-backend
+#: Dijkstra is cheaper than the chain. Pairs have no such cap — their
+#: per-step bound test is two array reads against an already-built
+#: witness tree, orders of magnitude below a recompute.
+_SPT_FF_CAP = 10
+
+
+@dataclass
+class _CostUpdate:
+    """One logged node-cost update, with everything fast-forward needs:
+    the snapshot it produced (repairs must replay relaxations against
+    *that* graph's costs) and a lazily built witness tree rooted at the
+    updated node (see the module docstring's pair-survival test)."""
+
+    node: int
+    old: float
+    new: float
+    graph: NodeWeightedGraph
+    witness: ShortestPathTree | None = None
+
+
+def _price_node_chunk(graph, pairs, on_monopoly, backend):
+    """Worker task: price one chunk of pairs (node model).
+
+    Module-level so it pickles into :func:`repro.analysis.parallel`
+    worker processes.
+    """
+    return pairwise_vcg_payments(
+        graph, pairs, on_monopoly=on_monopoly, backend=backend
+    )
+
+
+def _price_link_chunk(dg, pairs, on_monopoly, backend):
+    """Worker task: price one chunk of pairs (link model)."""
+    return {
+        (s, t): link_vcg_payments(
+            dg, s, t, on_monopoly=on_monopoly, backend=backend
+        )
+        for s, t in pairs
+    }
+
+
+class PricingEngine:
+    """Long-lived pricing service over a versioned topology snapshot.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`~repro.graph.node_graph.NodeWeightedGraph` (Sections
+        II–III.E) or :class:`~repro.graph.link_graph.LinkWeightedDigraph`
+        (Section III.F). The model is detected from the type.
+    backend, on_monopoly:
+        The uniform pricing keywords, applied to every request this
+        engine serves (see :func:`repro.core.mechanism.resolve_backend`).
+
+    Every answer is exactly what the stateless entry points would return
+    on the current snapshot: :func:`repro.core.vcg_unicast_payments`
+    (``method="fast"``) for the node model,
+    :func:`repro.core.link_vcg.link_vcg_payments` for the link model.
+    The caches only change *when* work happens, never the numbers — the
+    hypothesis property in ``tests/test_engine.py`` interleaves updates
+    and queries and checks bit-identity against from-scratch pricing.
+    """
+
+    def __init__(
+        self,
+        graph: NodeWeightedGraph | LinkWeightedDigraph,
+        backend: str = "auto",
+        on_monopoly: str = "raise",
+    ) -> None:
+        if isinstance(graph, NodeWeightedGraph):
+            self._model = "node"
+        elif isinstance(graph, LinkWeightedDigraph):
+            self._model = "link"
+        else:
+            raise TypeError(
+                "PricingEngine needs a NodeWeightedGraph or a "
+                f"LinkWeightedDigraph, got {type(graph).__name__}"
+            )
+        self._graph = graph
+        self._backend = resolve_backend(backend)
+        self._on_monopoly = resolve_monopoly_policy(on_monopoly)
+        self._version = 0
+        # root -> (version_stamp, tree); (source, target) -> (stamp, result)
+        self._spts: dict[int, tuple[int, ShortestPathTree]] = {}
+        self._pairs: dict[tuple[int, int], tuple[int, object]] = {}
+        # version -> the cost update that produced it; a stale entry
+        # stamped v can fast-forward iff v >= _log_floor (every later
+        # update is still in the log).
+        self._log: dict[int, _CostUpdate] = {}
+        self._log_floor = 0
+        self.stats = EngineStats()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def graph(self) -> NodeWeightedGraph | LinkWeightedDigraph:
+        """The current topology snapshot (immutable; replaced on update)."""
+        return self._graph
+
+    @property
+    def version(self) -> int:
+        """Monotonic snapshot version; bumps on every applied update."""
+        return self._version
+
+    @property
+    def model(self) -> str:
+        """``"node"`` or ``"link"``."""
+        return self._model
+
+    @property
+    def backend(self) -> str:
+        """The kernel backend every request is served with."""
+        return self._backend
+
+    @property
+    def on_monopoly(self) -> str:
+        """The monopoly policy every request is served with."""
+        return self._on_monopoly
+
+    @property
+    def n(self) -> int:
+        """Number of nodes in the current snapshot."""
+        return self._graph.n
+
+    def __repr__(self) -> str:
+        return (
+            f"PricingEngine(model={self._model!r}, n={self.n}, "
+            f"version={self._version}, spts={len(self._spts)}, "
+            f"pairs={len(self._pairs)})"
+        )
+
+    def _count(self, name: str, n: int = 1) -> None:
+        if _metrics.enabled:
+            _metrics.add(f"engine.{name}", n)
+
+    # -- SPT cache -----------------------------------------------------------
+
+    def _spt_of(self, root: int) -> ShortestPathTree:
+        entry = self._spts.get(root)
+        if entry is not None:
+            stamp, spt = entry
+            if stamp != self._version:
+                spt = self._fast_forward_spt(root, stamp, spt)
+            if spt is not None:
+                self.stats.spt_cache_hits += 1
+                self._count("spt_cache_hits")
+                return spt
+        self.stats.spt_cache_misses += 1
+        self._count("spt_cache_misses")
+        spt = node_weighted_spt(
+            self._graph, root, backend=spt_backend_for(self._backend)
+        )
+        self._spts[root] = (self._version, spt)
+        return spt
+
+    def _fast_forward_spt(
+        self, root: int, stamp: int, spt: ShortestPathTree
+    ) -> ShortestPathTree | None:
+        """Carry a stale tree through the logged updates, or drop it."""
+        if stamp < self._log_floor or self._version - stamp > _SPT_FF_CAP:
+            del self._spts[root]
+            self.stats.stale_evictions += 1
+            self._count("stale_evictions")
+            return None
+        for v in range(stamp + 1, self._version + 1):
+            upd = self._log[v]
+            if self._spt_survives(spt, upd):
+                self.stats.retained += 1
+                self._count("retained")
+            else:
+                spt = self._repair_spt(spt, upd)
+                self.stats.repairs += 1
+                self._count("repairs")
+        self._spts[root] = (self._version, spt)
+        return spt
+
+    # -- queries -------------------------------------------------------------
+
+    def price(self, source: int, target: int) -> UnicastPayment:
+        """VCG outcome for one request on the current snapshot.
+
+        Served from the pair cache when a same-version entry exists;
+        otherwise computed (sharing cached endpoint SPTs in the node
+        model) and cached. Raises exactly what the stateless entry
+        points raise (:class:`~repro.errors.DisconnectedError`,
+        :class:`~repro.errors.MonopolyError` under
+        ``on_monopoly="raise"``).
+        """
+        source = check_node_index(source, self._graph.n)
+        target = check_node_index(target, self._graph.n)
+        self.stats.queries += 1
+        self._count("queries")
+        scheme = "vcg" if self._model == "node" else "link-vcg"
+        if source == target:
+            return _empty_payment(source, target, scheme)
+        key = (source, target)
+        cached = self._lookup_pair(key)
+        if cached is not None:
+            return cached
+        return self._compute_pair(key)
+
+    def _lookup_pair(self, key: tuple[int, int]) -> UnicastPayment | None:
+        entry = self._pairs.get(key)
+        if entry is not None:
+            stamp, res = entry
+            if stamp == self._version or self._fast_forward_pair(
+                key, stamp, res
+            ):
+                self.stats.cache_hits += 1
+                self._count("cache_hits")
+                if isinstance(res, FastPaymentResult):
+                    return res.to_unicast_payment()
+                return res
+        self.stats.cache_misses += 1
+        self._count("cache_misses")
+        return None
+
+    def _fast_forward_pair(
+        self, key: tuple[int, int], stamp: int, res: object
+    ) -> bool:
+        """Re-stamp a stale pair if every logged update provably left it
+        unchanged; evict it otherwise."""
+        if stamp >= self._log_floor:
+            for v in range(stamp + 1, self._version + 1):
+                if not self._pair_survives(res, key, self._log[v]):
+                    del self._pairs[key]
+                    self.stats.invalidations += 1
+                    self._count("invalidations")
+                    return False
+                self.stats.retained += 1
+                self._count("retained")
+            self._pairs[key] = (self._version, res)
+            return True
+        del self._pairs[key]
+        self.stats.stale_evictions += 1
+        self._count("stale_evictions")
+        return False
+
+    def _compute_pair(self, key: tuple[int, int]) -> UnicastPayment:
+        source, target = key
+        if self._model == "node":
+            fast = fast_vcg_payments(
+                self._graph,
+                source,
+                target,
+                on_monopoly=self._on_monopoly,
+                backend=self._backend,
+                spt_source=self._spt_of(source),
+                spt_target=self._spt_of(target),
+            )
+            self._pairs[key] = (self._version, fast)
+            return fast.to_unicast_payment()
+        res = link_vcg_payments(
+            self._graph,
+            source,
+            target,
+            on_monopoly=self._on_monopoly,
+            backend=self._backend,
+        )
+        self._pairs[key] = (self._version, res)
+        return res
+
+    def price_many(
+        self,
+        pairs: Iterable[tuple[int, int]],
+        jobs: int | None = None,
+    ) -> dict[tuple[int, int], UnicastPayment]:
+        """Price a batch of ordered pairs; returns ``pair -> payment``.
+
+        Cache hits are served directly; the remaining pairs funnel into
+        the shared-SPT batch machinery
+        (:func:`~repro.core.allpairs.pairwise_vcg_payments`), reusing —
+        and growing — this engine's SPT cache. ``jobs`` fans misses out
+        over worker processes (``-1`` = all cores; results are
+        bit-identical to the serial path, like every ``jobs=`` in this
+        repo). Worker processes cannot share the parent's caches, so
+        parallel batches trade cache growth for wall-clock time.
+        """
+        from repro.analysis.parallel import resolve_jobs, run_tasks
+
+        self.stats.batches += 1
+        self._count("batches")
+        scheme = "vcg" if self._model == "node" else "link-vcg"
+        out: dict[tuple[int, int], UnicastPayment] = {}
+        todo: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        for s, t in pairs:
+            s = check_node_index(s, self._graph.n)
+            t = check_node_index(t, self._graph.n)
+            key = (s, t)
+            if key in seen:
+                continue
+            seen.add(key)
+            self.stats.queries += 1
+            self._count("queries")
+            if s == t:
+                out[key] = _empty_payment(s, t, scheme)
+                continue
+            cached = self._lookup_pair(key)
+            if cached is not None:
+                out[key] = cached
+            else:
+                todo.append(key)
+        if not todo:
+            return out
+
+        n_jobs = resolve_jobs(jobs)
+        with _tracer.span(
+            "engine.price_many", pairs=len(out) + len(todo), misses=len(todo)
+        ):
+            if n_jobs == 1 or len(todo) == 1:
+                out.update(self._price_batch_serial(todo))
+            else:
+                chunks = [todo[i::n_jobs] for i in range(n_jobs) if todo[i::n_jobs]]
+                fn = (
+                    _price_node_chunk
+                    if self._model == "node"
+                    else _price_link_chunk
+                )
+                tasks = [
+                    ((self._graph, chunk, self._on_monopoly, self._backend), {})
+                    for chunk in chunks
+                ]
+                for priced in run_tasks(fn, tasks, jobs=n_jobs):
+                    for key, payment in priced.items():
+                        out[key] = payment
+                        self._pairs[key] = (self._version, payment)
+        return out
+
+    def _price_batch_serial(
+        self, todo: Sequence[tuple[int, int]]
+    ) -> dict[tuple[int, int], UnicastPayment]:
+        if self._model == "link":
+            priced = _price_link_chunk(
+                self._graph, todo, self._on_monopoly, self._backend
+            )
+            for key, payment in priced.items():
+                self._pairs[key] = (self._version, payment)
+            return priced
+        # Share (and grow) the engine's endpoint-SPT cache.
+        shared: dict[int, ShortestPathTree] = {}
+        for root, (stamp, spt) in self._spts.items():
+            if stamp == self._version:
+                shared[root] = spt
+        known = set(shared)
+        priced = pairwise_vcg_payments(
+            self._graph,
+            todo,
+            on_monopoly=self._on_monopoly,
+            backend=self._backend,
+            spt_cache=shared,
+        )
+        for root, spt in shared.items():
+            if root in known:
+                self.stats.spt_cache_hits += 1
+                self._count("spt_cache_hits")
+            else:
+                self.stats.spt_cache_misses += 1
+                self._count("spt_cache_misses")
+                self._spts[root] = (self._version, spt)
+        for key, payment in priced.items():
+            self._pairs[key] = (self._version, payment)
+        return priced
+
+    # -- updates -------------------------------------------------------------
+
+    def update_cost(self, node_or_edge, value: float) -> int:
+        """Apply a declared-cost change; returns the new version.
+
+        Node model: ``node_or_edge`` is a node id and ``value`` its new
+        declared cost (the ``d |^i d_i`` operation). The update itself
+        only swaps the snapshot and logs the change; cached entries are
+        fast-forwarded through the log lazily at their next lookup (see
+        the module docstring). Link model: ``node_or_edge`` is an
+        ``(u, v)`` arc (``inf`` drops it) and all caches are
+        conservatively invalidated via the version bump.
+
+        A no-op change (same value) leaves version and caches untouched.
+        """
+        if self._model == "link":
+            u, v = node_or_edge
+            if self._graph.arc_weight(u, v) == float(value):
+                return self._version
+            self._graph = self._graph.with_arc_weight(u, v, value)
+            self._bump_update(flush_log=True)
+            return self._version
+
+        node = check_node_index(int(node_or_edge), self._graph.n)
+        old = float(self._graph.costs[node])
+        value = float(value)
+        if value == old:
+            return self._version
+        self._graph = self._graph.with_declaration(node, value)
+        self._bump_update()
+        self._log[self._version] = _CostUpdate(node, old, value, self._graph)
+        if len(self._log) > _LOG_CAP:
+            self._log_floor = min(self._log)
+            del self._log[self._log_floor]
+        return self._version
+
+    def _bump_update(self, flush_log: bool = False) -> None:
+        self._version += 1
+        self.stats.updates += 1
+        self._count("updates")
+        if flush_log:
+            self._log.clear()
+            self._log_floor = self._version
+
+    def _witness_of(self, upd: _CostUpdate) -> ShortestPathTree:
+        """The update's witness tree (rooted at the updated node), built
+        on first use against the snapshot the update produced."""
+        if upd.witness is None:
+            upd.witness = node_weighted_spt(
+                upd.graph, upd.node, backend=spt_backend_for(self._backend)
+            )
+        return upd.witness
+
+    def _spt_survives(self, spt: ShortestPathTree, upd: _CostUpdate) -> bool:
+        k = upd.node
+        if k == spt.root or not np.isfinite(spt.dist[k]):
+            return True
+        if upd.new > upd.old:
+            # Increase: safe iff no witnessed path uses k internally.
+            return not (spt.parent == k).any()
+        # Decrease: safe iff no relaxation through k improves a neighbour.
+        nbrs = upd.graph.neighbors(k)
+        return bool(np.all(spt.dist[k] + upd.new >= spt.dist[nbrs]))
+
+    def _repair_spt(
+        self, spt: ShortestPathTree, upd: _CostUpdate
+    ) -> ShortestPathTree:
+        """Incrementally rebuild a tree that failed its survival cert.
+
+        Only called with ``k`` non-root and reachable (``_spt_survives``
+        handles the trivial cases); ``upd.graph`` carries the costs the
+        update produced. Both branches replay the relaxations a fresh
+        Dijkstra would perform on the affected region — same strict
+        ``<``, same left-to-right float additions along each new tree
+        path — and leave every other node's floats untouched, so the
+        repaired tree is bit-identical to a from-scratch build (up to
+        parent choice on exactly-tied paths, the repo-wide uniqueness
+        caveat).
+        """
+        g = upd.graph
+        k = upd.node
+        dist = spt.dist.copy()
+        parent = spt.parent.copy()
+        costs, indptr, indices = g.costs, g.indptr, g.indices
+        root = spt.root
+        heap = IndexedMinHeap(g.n)
+        if upd.new < upd.old:
+            # Decrease: only paths through k improved. Seed k's own
+            # relaxations (dist[k] is exact on both graphs — no path to
+            # k pays c_k) and settle the improved region outward. The
+            # root and k itself can never improve (every candidate path
+            # runs through k first, then adds non-negative costs).
+            step = float(dist[k]) + upd.new
+            for w in indices[indptr[k] : indptr[k + 1]]:
+                if step < dist[w]:
+                    dist[w] = step
+                    parent[w] = k
+                    heap.push(int(w), step)
+            while heap:
+                u, du = heap.pop()
+                step = du + costs[u]
+                for w in indices[indptr[u] : indptr[u + 1]]:
+                    if step < dist[w]:
+                        dist[w] = step
+                        parent[w] = int(u)
+                        heap.push(int(w), step)
+        else:
+            # Increase: only k's strict tree descendants can change —
+            # any other node's witnessed path avoids k internally and
+            # alternatives through k only got worse. Clear the region,
+            # seed each region node from its best settled neighbour
+            # (which includes k, now at its worse cost), and run a
+            # Dijkstra restricted to the region. Topology is unchanged,
+            # so every region node is re-reached.
+            in_region = spt.parent == k
+            frontier = np.flatnonzero(in_region)
+            while frontier.size:
+                frontier = np.flatnonzero(
+                    np.isin(spt.parent, frontier) & ~in_region
+                )
+                in_region[frontier] = True
+            dist[in_region] = np.inf
+            parent[in_region] = -1
+            for w in np.flatnonzero(in_region):
+                best, best_u = np.inf, -1
+                for u in indices[indptr[w] : indptr[w + 1]]:
+                    if in_region[u] or not np.isfinite(dist[u]):
+                        continue
+                    step = dist[u] + (costs[u] if u != root else 0.0)
+                    if step < best:
+                        best, best_u = step, int(u)
+                if best_u >= 0:
+                    dist[w] = best
+                    parent[w] = best_u
+                    heap.push(int(w), float(best))
+            while heap:
+                u, du = heap.pop()
+                in_region[u] = False
+                step = du + costs[u]
+                for w in indices[indptr[u] : indptr[u + 1]]:
+                    if in_region[w] and step < dist[w]:
+                        dist[w] = step
+                        parent[w] = int(u)
+                        heap.push(int(w), step)
+        return ShortestPathTree(root, dist, parent)
+
+    def _pair_survives(
+        self, res: object, key: tuple[int, int], upd: _CostUpdate
+    ) -> bool:
+        s, t = key
+        k = upd.node
+        if k == s or k == t:
+            return True  # endpoint costs never enter path costs or payments
+        if not isinstance(res, FastPaymentResult):
+            return False  # batch entries carry no intermediates; drop
+        witness = self._witness_of(upd)
+        # Node-model path costs are symmetric, so the witness tree's
+        # dist doubles as d_s[k] and d_t[k] for every cached endpoint.
+        bound = (
+            float(witness.dist[s])
+            + min(upd.old, upd.new)
+            + float(witness.dist[t])
+        )
+        witnessed = res.lcp_cost
+        if res.avoiding_costs:
+            witnessed = max(witnessed, max(res.avoiding_costs.values()))
+        if not np.isfinite(witnessed):
+            return False
+        return bound > witnessed
+
+    def remove_node(self, node: int) -> int:
+        """Drop every edge/arc incident to ``node``; returns the new version.
+
+        Node ids stay stable (the repo-wide convention — payments on the
+        shrunken network refer to the same ids). The node itself remains
+        as an isolated vertex; pricing to or from it raises
+        :class:`~repro.errors.DisconnectedError`. Invalidation is
+        conservative: the version bump lazily evicts every cache entry.
+        """
+        node = check_node_index(node, self._graph.n)
+        if self._model == "link":
+            self._graph = self._graph.with_node_removed(node)
+        else:
+            kept = [
+                (u, v)
+                for u, v in self._graph.edge_iter()
+                if u != node and v != node
+            ]
+            self._graph = NodeWeightedGraph(
+                self._graph.n, kept, self._graph.costs
+            )
+        self._bump_update(flush_log=True)
+        return self._version
+
+    def add_node(self, cost: float = 0.0, neighbors=(), arcs=()) -> int:
+        """Grow the snapshot by one node; returns the **new node's id**.
+
+        Node model: the node joins with declared ``cost`` and undirected
+        edges to ``neighbors``. Link model: ``arcs`` are ``(u, v, w)``
+        triples incident to the new node (id ``n``). Invalidation is
+        conservative (lazy, via the version bump).
+        """
+        n = self._graph.n
+        if self._model == "link":
+            self._graph = LinkWeightedDigraph(
+                n + 1, list(self._graph.arc_iter()) + list(arcs)
+            )
+        else:
+            edges = list(self._graph.edge_iter())
+            edges += [(n, check_node_index(int(v), n)) for v in neighbors]
+            costs = np.append(self._graph.costs, float(cost))
+            self._graph = NodeWeightedGraph(n + 1, edges, costs)
+        self._bump_update(flush_log=True)
+        return n
+
+    # -- maintenance ---------------------------------------------------------
+
+    def cache_sizes(self) -> dict[str, int]:
+        """Current entry counts (stale entries included until evicted)."""
+        return {"spts": len(self._spts), "pairs": len(self._pairs)}
+
+    def purge_stale(self) -> int:
+        """Drop every version-mismatched entry now; returns the count.
+
+        Lazy eviction only reclaims a key when it is queried again; call
+        this after heavy churn to bound memory.
+        """
+        dropped = 0
+        for root, (stamp, _) in list(self._spts.items()):
+            if stamp != self._version:
+                del self._spts[root]
+                dropped += 1
+        for key, (stamp, _) in list(self._pairs.items()):
+            if stamp != self._version:
+                del self._pairs[key]
+                dropped += 1
+        if dropped:
+            self.stats.stale_evictions += dropped
+            self._count("stale_evictions", dropped)
+        return dropped

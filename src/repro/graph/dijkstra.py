@@ -12,8 +12,9 @@ Backends
     ``scipy.sparse.csgraph.dijkstra`` on a cached sparse matrix — the
     compiled path used by the evaluation sweeps (per the HPC guides:
     after the algorithmic work is done, push the inner loop into
-    compiled code). Node-weighted graphs go through the exact half-sum
-    edge-weight transform.
+    compiled code). Node-weighted graphs go through the directed
+    tail-cost edge-weight transform, which reproduces the python
+    backend's ``dist`` floats bit-for-bit.
 
 ``"auto"``
     ``scipy`` when available and applicable, else ``python``.
@@ -169,19 +170,25 @@ def _node_spt_python(
 
 
 def _node_spt_scipy(g: NodeWeightedGraph, root: int) -> ShortestPathTree:
+    from scipy.sparse import csr_matrix
     from scipy.sparse.csgraph import dijkstra as sp_dijkstra
 
-    mat = g.to_halfsum_matrix()
-    edge_dist, pred = sp_dijkstra(
+    base = g.to_tailcost_matrix()
+    data = base.data.copy()
+    # The source relays its own packet for free (Section II.C): nudge its
+    # outgoing arcs to ~0 (an exact 0 would read as a missing arc).
+    data[base.indptr[root] : base.indptr[root + 1]] = 1e-300
+    mat = csr_matrix((data, base.indices, base.indptr), shape=base.shape)
+    dist, pred = sp_dijkstra(
         mat,
-        directed=False,
+        directed=True,
         indices=root,
         return_predecessors=True,
     )
-    # edge_dist = node_cost + (c_root + c_x) / 2 along the optimal path.
-    dist = edge_dist - 0.5 * (g.costs[root] + g.costs)
+    dist = np.where(np.isfinite(dist), dist, np.inf)
+    # Clip the zero-cost nudges back to exact zeros.
+    dist[dist < 1e-250] = 0.0
     dist[root] = 0.0
-    dist[~np.isfinite(edge_dist)] = np.inf
     parent = pred.astype(np.int64)
     parent[parent < 0] = -1
     return _flush_scipy_counters(ShortestPathTree(root, dist, parent))

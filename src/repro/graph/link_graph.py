@@ -146,6 +146,24 @@ class LinkWeightedDigraph:
         ]
         return LinkWeightedDigraph(self.n, keep)
 
+    def with_arc_weight(self, u: int, v: int, weight: float) -> "LinkWeightedDigraph":
+        """Copy where arc ``u -> v`` gets ``weight`` (added if absent,
+        dropped when ``weight`` is ``inf``).
+
+        The single-arc analogue of :meth:`with_declaration` — what a
+        long-lived pricing service applies when one link's power cost
+        drifts.
+        """
+        u = check_node_index(u, self.n)
+        v = check_node_index(v, self.n)
+        if u == v:
+            raise InvalidGraphError(f"self-loop at node {u} is not allowed")
+        weight = float(weight)
+        arcs = [(a, b, w) for a, b, w in self.arc_iter() if (a, b) != (u, v)]
+        if np.isfinite(weight):
+            arcs.append((u, v, weight))
+        return LinkWeightedDigraph(self.n, arcs)
+
     def with_declaration(self, node: int, declared_row: np.ndarray) -> "LinkWeightedDigraph":
         """Copy where node ``node`` declares the outgoing-cost vector
         ``declared_row`` (length n; ``inf`` drops the arc).

@@ -285,18 +285,25 @@ class NodeWeightedGraph:
             self._nx_cache = g
         return self._nx_cache
 
-    def to_halfsum_matrix(self) -> "object":
-        """Edge-weighted CSR matrix with ``w(u,v) = (c_u + c_v) / 2``.
+    def to_tailcost_matrix(self) -> "object":
+        """Directed CSR matrix with ``w(u, v) = c_u`` (the tail's cost).
 
-        For any path P from s to t, ``edge_weight(P) = node_cost(P) +
-        (c_s + c_t)/2``, so node-weighted shortest paths can be computed by
-        any edge-weighted solver (the scipy backend) and corrected by a
-        constant. Node removal remains node removal.
+        With the root's outgoing arcs zeroed, a directed walk from the
+        root accumulates exactly the internal-node cost of the path, in
+        path order — the same left-to-right float additions the python
+        Dijkstra performs. So the scipy backend produces bit-identical
+        ``dist`` arrays, and (unlike a transform that needs a correction
+        term) ``dist[x]`` never depends on the costs of the endpoints,
+        even in the last ulp — which is what lets the PricingEngine keep
+        a cached tree across an endpoint re-declaration. Zero costs are
+        nudged to 1e-300 (scipy's CSR treats exact zeros as missing
+        arcs); the nudge is annihilated by the first real addition and
+        clipped after the solve.
         """
         from scipy.sparse import csr_matrix
 
-        src = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees)
-        data = 0.5 * (self.costs[src] + self.costs[self.indices])
+        data = self.costs[self.arc_sources()].copy()
+        data[data <= 0.0] = 1e-300
         return csr_matrix(
             (data, self.indices.copy(), self.indptr.copy()), shape=(self.n, self.n)
         )

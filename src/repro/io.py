@@ -8,6 +8,8 @@ for the library's core objects:
 * :class:`~repro.graph.link_graph.LinkWeightedDigraph`
 * :class:`~repro.wireless.deployment.Deployment`
 * :class:`~repro.core.mechanism.UnicastPayment`
+* :class:`~repro.core.fast_payment.FastPaymentResult`
+* :class:`~repro.core.link_vcg.LinkPaymentTable`
 
 ``save_json`` / ``load_json`` wrap any of them with a format tag, so one
 loader round-trips everything. Infinities are encoded as the string
@@ -22,6 +24,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.fast_payment import FastPaymentResult
+from repro.core.link_vcg import LinkPaymentTable
 from repro.core.mechanism import UnicastPayment
 from repro.errors import ReproError
 from repro.graph.link_graph import LinkWeightedDigraph
@@ -32,6 +36,7 @@ from repro.wireless.energy import PowerModel
 __all__ = [
     "to_dict",
     "from_dict",
+    "decode_as",
     "save_json",
     "load_json",
     "SerializationError",
@@ -150,11 +155,70 @@ def _payment_from_dict(d: dict) -> UnicastPayment:
     )
 
 
+def _fast_result_to_dict(r: FastPaymentResult) -> dict:
+    return {
+        "source": r.source,
+        "target": r.target,
+        "path": list(r.path),
+        "lcp_cost": _enc_float(r.lcp_cost),
+        "avoiding_costs": {
+            str(k): _enc_float(v) for k, v in r.avoiding_costs.items()
+        },
+        "payments": {str(k): _enc_float(v) for k, v in r.payments.items()},
+        "levels": [int(x) for x in r.levels],
+        "stats": {str(k): int(v) for k, v in r.stats.items()},
+    }
+
+
+def _fast_result_from_dict(d: dict) -> FastPaymentResult:
+    return FastPaymentResult(
+        source=int(d["source"]),
+        target=int(d["target"]),
+        path=tuple(int(v) for v in d["path"]),
+        lcp_cost=_dec_float(d["lcp_cost"]),
+        avoiding_costs={
+            int(k): _dec_float(v) for k, v in d["avoiding_costs"].items()
+        },
+        payments={int(k): _dec_float(v) for k, v in d["payments"].items()},
+        levels=np.asarray(d["levels"], dtype=np.int64),
+        stats={str(k): int(v) for k, v in d["stats"].items()},
+    )
+
+
+def _link_table_to_dict(t: LinkPaymentTable) -> dict:
+    return {
+        "root": t.root,
+        "dist": [_enc_float(x) for x in t.dist],
+        "first_hop_cost": [_enc_float(x) for x in t.first_hop_cost],
+        "payments": [
+            {str(k): _enc_float(v) for k, v in row.items()} for row in t.payments
+        ],
+        "parent": [int(x) for x in t.parent],
+    }
+
+
+def _link_table_from_dict(d: dict) -> LinkPaymentTable:
+    return LinkPaymentTable(
+        root=int(d["root"]),
+        dist=np.asarray([_dec_float(x) for x in d["dist"]], dtype=np.float64),
+        first_hop_cost=np.asarray(
+            [_dec_float(x) for x in d["first_hop_cost"]], dtype=np.float64
+        ),
+        payments=tuple(
+            {int(k): _dec_float(v) for k, v in row.items()}
+            for row in d["payments"]
+        ),
+        parent=np.asarray(d["parent"], dtype=np.int64),
+    )
+
+
 _ENCODERS = {
     NodeWeightedGraph: ("node-graph", _node_graph_to_dict),
     LinkWeightedDigraph: ("link-digraph", _digraph_to_dict),
     Deployment: ("deployment", _deployment_to_dict),
     UnicastPayment: ("unicast-payment", _payment_to_dict),
+    FastPaymentResult: ("fast-payment-result", _fast_result_to_dict),
+    LinkPaymentTable: ("link-payment-table", _link_table_to_dict),
 }
 
 _DECODERS = {
@@ -162,6 +226,8 @@ _DECODERS = {
     "link-digraph": _digraph_from_dict,
     "deployment": _deployment_from_dict,
     "unicast-payment": _payment_from_dict,
+    "fast-payment-result": _fast_result_from_dict,
+    "link-payment-table": _link_table_from_dict,
 }
 
 
@@ -203,6 +269,22 @@ def from_dict(payload: dict) -> Any:
         return decoder(data)
     except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError(f"malformed {tag} payload: {exc}") from exc
+
+
+def decode_as(cls: type, payload: dict) -> Any:
+    """Decode a payload and require the result to be a ``cls`` instance.
+
+    Backs each result type's ``from_dict`` classmethod: decoding a
+    payload of a *different* tagged type raises
+    :class:`SerializationError` instead of silently returning a foreign
+    object.
+    """
+    obj = from_dict(payload)
+    if not isinstance(obj, cls):
+        raise SerializationError(
+            f"payload decodes to {type(obj).__name__}, not {cls.__name__}"
+        )
+    return obj
 
 
 def save_json(obj: Any, path) -> None:

@@ -76,3 +76,34 @@ class TestNewCommands:
 
     def test_economy_intensity_flag(self, capsys):
         assert main(["economy", "--nodes", "8", "--intensity", "2.5"]) == 0
+
+
+class TestEngineCommand:
+    def test_engine_defaults(self, capsys):
+        assert main(["engine", "--nodes", "30", "--ops", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out and "pair cache" in out
+
+    def test_engine_compare_naive(self, capsys):
+        assert main(
+            ["engine", "--nodes", "30", "--ops", "60", "--compare-naive"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "mismatches 0" in out
+
+    def test_engine_trace_round_trip(self, tmp_path, capsys):
+        trace = str(tmp_path / "ops.jsonl")
+        assert main(
+            ["engine", "--nodes", "30", "--ops", "40", "--save-trace", trace]
+        ) == 0
+        first = capsys.readouterr().out
+        assert main(["engine", "--nodes", "30", "--trace", trace]) == 0
+        second = capsys.readouterr().out
+        assert "loaded 40 ops" in second
+        # same trace on the same seed/instance -> same replay counts
+        assert first.splitlines()[-2] == second.splitlines()[-2]
+
+    def test_engine_metrics_flag(self, capsys):
+        assert main(["engine", "--nodes", "30", "--ops", "40", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "engine.queries" in out and "engine.cache_hits" in out

@@ -120,3 +120,76 @@ class TestMoreRoundTrips:
             path = tmp_path / "fig.json"
             save_json(g, path)
             assert load_json(path) == g
+
+
+class TestResultTypeRoundTrips:
+    """The unified result protocol: every result type ships as JSON."""
+
+    def test_fast_payment_result(self, random_graph):
+        from repro.core.fast_payment import FastPaymentResult, fast_vcg_payments
+
+        res = fast_vcg_payments(random_graph, 5, 0)
+        back = from_dict(to_dict(res))
+        assert isinstance(back, FastPaymentResult)
+        assert back.path == res.path
+        assert back.lcp_cost == res.lcp_cost
+        assert dict(back.payments) == dict(res.payments)
+        assert dict(back.avoiding_costs) == dict(res.avoiding_costs)
+        assert np.array_equal(back.levels, res.levels)
+        assert dict(back.stats) == dict(res.stats)
+
+    def test_fast_payment_result_method_pair(self, random_graph):
+        from repro.core.fast_payment import FastPaymentResult, fast_vcg_payments
+
+        res = fast_vcg_payments(random_graph, 5, 0)
+        back = FastPaymentResult.from_dict(res.to_dict())
+        assert back.path_cost == res.path_cost
+
+    def test_link_payment_table(self, random_digraph):
+        from repro.core.link_vcg import (
+            LinkPaymentTable,
+            all_sources_link_payments,
+        )
+
+        table = all_sources_link_payments(random_digraph, on_monopoly="inf")
+        back = from_dict(to_dict(table))
+        assert isinstance(back, LinkPaymentTable)
+        assert back.root == table.root
+        assert np.array_equal(back.dist, table.dist)
+        assert np.array_equal(back.first_hop_cost, table.first_hop_cost)
+        assert np.array_equal(back.parent, table.parent)
+        assert len(back.payments) == len(table.payments)
+        for a, b in zip(back.payments, table.payments):
+            assert dict(a) == dict(b)
+
+    def test_link_payment_table_file_round_trip(self, tmp_path, random_digraph):
+        from repro.core.link_vcg import all_sources_link_payments
+
+        table = all_sources_link_payments(random_digraph, on_monopoly="inf")
+        path = tmp_path / "table.json"
+        save_json(table, path)
+        back = load_json(path)
+        assert back.path(7) == table.path(7)
+        assert back.path_cost(7) == table.path_cost(7)
+
+    def test_unicast_payment_method_pair(self, random_graph):
+        p = vcg_unicast_payments(random_graph, 5, 0)
+        back = UnicastPayment.from_dict(p.to_dict())
+        assert back.path == p.path and back.path_cost == p.path_cost
+
+
+class TestDecodeAs:
+    def test_accepts_matching_type(self, random_graph):
+        from repro.io import decode_as
+
+        p = vcg_unicast_payments(random_graph, 5, 0)
+        back = decode_as(UnicastPayment, to_dict(p))
+        assert isinstance(back, UnicastPayment)
+
+    def test_rejects_type_mismatch(self, random_graph):
+        from repro.core.fast_payment import FastPaymentResult
+        from repro.io import decode_as
+
+        payload = to_dict(vcg_unicast_payments(random_graph, 5, 0))
+        with pytest.raises(SerializationError, match="not FastPaymentResult"):
+            decode_as(FastPaymentResult, payload)
