@@ -2,7 +2,13 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full bench-save experiments experiments-full examples lint lint-docs docs all
+.PHONY: install test bench bench-full bench-save bench-compare experiments experiments-full examples lint lint-docs docs all
+
+# Perf-regression gate defaults: compare a fresh run against the newest
+# committed BENCH_<sha>.json baseline, failing past a 50% slowdown.
+BENCH_BASELINE ?= $(shell ls -t BENCH_*.json 2>/dev/null | head -1)
+BENCH_CURRENT ?= bench_current.json
+BENCH_THRESHOLD ?= 0.5
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -39,6 +45,16 @@ bench-full:
 bench-save:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only \
 		--benchmark-json=BENCH_$$(git rev-parse --short HEAD).json
+
+# Run the suite, then diff it per-benchmark against the committed
+# baseline (tools/bench_compare.py); non-zero exit past the threshold.
+# Override pieces: make bench-compare BENCH_BASELINE=BENCH_abc.json \
+#                       BENCH_THRESHOLD=0.25
+bench-compare:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only \
+		--benchmark-json=$(BENCH_CURRENT)
+	$(PYTHON) tools/bench_compare.py $(BENCH_BASELINE) $(BENCH_CURRENT) \
+		--threshold $(BENCH_THRESHOLD)
 
 experiments:
 	$(PYTHON) benchmarks/generate_experiments_md.py --instances 30

@@ -47,8 +47,13 @@ from repro.core.mechanism import (
 )
 from repro.graph.link_graph import LinkWeightedDigraph
 from repro.graph.node_graph import NodeWeightedGraph
+from repro.obs import logging as obs_logging
+from repro.obs.context import request_scope
+from repro.obs.tracing import TRACER as _tracer
 
 __all__ = ["price", "price_links", "price_all_pairs", "check_truthful"]
+
+_log = obs_logging.get_logger("api")
 
 
 def _require_model(graph, want: type, fn: str):
@@ -88,14 +93,27 @@ def price(
     _require_model(graph, NodeWeightedGraph, "price")
     from repro.core.vcg_unicast import vcg_unicast_payments
 
-    return vcg_unicast_payments(
-        graph,
-        source,
-        target,
-        method=method,
-        backend=backend,
-        on_monopoly=on_monopoly,
-    )
+    with request_scope() as rid, _tracer.span(
+        "api.price", source=source, target=target, method=method
+    ):
+        result = vcg_unicast_payments(
+            graph,
+            source,
+            target,
+            method=method,
+            backend=backend,
+            on_monopoly=on_monopoly,
+        )
+        _log.debug(
+            "request priced",
+            extra={
+                "request_id": rid,
+                "source": source,
+                "target": target,
+                "method": method,
+            },
+        )
+        return result
 
 
 def price_links(
@@ -128,17 +146,32 @@ def price_links(
             method = "fast"
         except InvalidGraphError:
             method = "removal"
-    if method == "fast":
-        return fast_link_vcg_payments(
-            dg, source, target, on_monopoly=on_monopoly, backend=backend
-        )
-    if method != "removal":
+    if method not in ("fast", "removal"):
         raise ValueError(
             f"method must be 'auto', 'fast' or 'removal', got {method!r}"
         )
-    return link_vcg_payments(
-        dg, source, target, on_monopoly=on_monopoly, backend=backend
-    )
+    with request_scope() as rid, _tracer.span(
+        "api.price_links", source=source, target=target, method=method
+    ):
+        if method == "fast":
+            result = fast_link_vcg_payments(
+                dg, source, target, on_monopoly=on_monopoly, backend=backend
+            )
+        else:
+            result = link_vcg_payments(
+                dg, source, target, on_monopoly=on_monopoly, backend=backend
+            )
+        _log.debug(
+            "request priced",
+            extra={
+                "request_id": rid,
+                "source": source,
+                "target": target,
+                "method": method,
+                "model": "link",
+            },
+        )
+        return result
 
 
 def price_all_pairs(
@@ -170,32 +203,50 @@ def price_all_pairs(
     """
     resolve_backend(backend)
     resolve_monopoly_policy(on_monopoly)
-    if isinstance(graph, LinkWeightedDigraph):
-        if pairs is not None or jobs not in (None, 0, 1):
-            raise ValueError(
-                "link-model batches price all sources toward `root`; "
-                "pairs=/jobs= are node-model options"
+    with request_scope() as rid:
+        if isinstance(graph, LinkWeightedDigraph):
+            if pairs is not None or jobs not in (None, 0, 1):
+                raise ValueError(
+                    "link-model batches price all sources toward `root`; "
+                    "pairs=/jobs= are node-model options"
+                )
+            from repro.core.link_vcg import all_sources_link_payments
+
+            with _tracer.span("api.price_all_pairs", root=root, model="link"):
+                result = all_sources_link_payments(
+                    graph, root, on_monopoly=on_monopoly, backend=backend
+                )
+            _log.debug(
+                "batch priced",
+                extra={"request_id": rid, "root": root, "model": "link"},
             )
-        from repro.core.link_vcg import all_sources_link_payments
+            return result
+        _require_model(graph, NodeWeightedGraph, "price_all_pairs")
+        if pairs is None:
+            pairs = [(i, root) for i in range(graph.n) if i != root]
+        else:
+            pairs = list(pairs)
+        from repro.analysis.parallel import resolve_jobs
 
-        return all_sources_link_payments(
-            graph, root, on_monopoly=on_monopoly, backend=backend
+        with _tracer.span("api.price_all_pairs", pairs=len(pairs)):
+            if resolve_jobs(jobs) == 1:
+                from repro.core.allpairs import pairwise_vcg_payments
+
+                result = pairwise_vcg_payments(
+                    graph, pairs, on_monopoly=on_monopoly, backend=backend
+                )
+            else:
+                from repro.engine import PricingEngine
+
+                eng = PricingEngine(
+                    graph, backend=backend, on_monopoly=on_monopoly
+                )
+                result = eng.price_many(pairs, jobs=jobs)
+        _log.debug(
+            "batch priced",
+            extra={"request_id": rid, "pairs": len(pairs)},
         )
-    _require_model(graph, NodeWeightedGraph, "price_all_pairs")
-    if pairs is None:
-        pairs = [(i, root) for i in range(graph.n) if i != root]
-    from repro.analysis.parallel import resolve_jobs
-
-    if resolve_jobs(jobs) == 1:
-        from repro.core.allpairs import pairwise_vcg_payments
-
-        return pairwise_vcg_payments(
-            graph, pairs, on_monopoly=on_monopoly, backend=backend
-        )
-    from repro.engine import PricingEngine
-
-    eng = PricingEngine(graph, backend=backend, on_monopoly=on_monopoly)
-    return eng.price_many(pairs, jobs=jobs)
+        return result
 
 
 def check_truthful(

@@ -18,7 +18,10 @@ Subcommands:
 * ``engine`` — replay a seeded query/update workload through the caching
   :class:`~repro.engine.PricingEngine` (``--compare-naive`` shadow-checks
   every answer against from-scratch pricing and reports the speedup;
-  ``--save-trace``/``--trace`` write and reuse JSON-lines traces).
+  ``--save-trace``/``--trace`` write and reuse JSON-lines traces;
+  ``--serve PORT`` exposes live telemetry over HTTP — ``/metrics``,
+  ``/healthz``, ``/snapshot``, ``/flight`` — while the replay runs,
+  ``--serve-grace SECONDS`` keeps serving after it finishes).
 
 Global observability flags (accepted before or after the subcommand):
 ``--log-level LEVEL`` (structured key=value logs on stderr),
@@ -245,6 +248,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write the generated workload as a JSON-lines trace",
+    )
+    eng.add_argument(
+        "--serve",
+        type=int,
+        metavar="PORT",
+        default=None,
+        help="serve live telemetry (/metrics /healthz /snapshot /flight) "
+        "on 127.0.0.1:PORT during the replay (0 = ephemeral port; "
+        "implies metrics collection)",
+    )
+    eng.add_argument(
+        "--serve-grace",
+        type=float,
+        metavar="SECONDS",
+        default=0.0,
+        help="keep the telemetry server up this long after the replay "
+        "finishes (for a final scrape)",
     )
 
     for p in sub.choices.values():
@@ -514,11 +534,40 @@ def _cmd_engine(args) -> int:
     from repro.graph.dijkstra import node_weighted_spt
 
     node_weighted_spt(g, 0, backend="auto")
+    server = None
+    metrics_were_enabled = REGISTRY.enabled
+    if args.serve is not None:
+        from repro.obs.server import TelemetryServer
+
+        REGISTRY.enable()  # a scrape with nothing collected is useless
+        server = TelemetryServer(
+            port=args.serve,
+            health=lambda: {
+                "engine_version": engine.version,
+                "model": engine.model,
+                "nodes": engine.n,
+                **engine.cache_sizes(),
+            },
+        ).start()
+        print(
+            f"telemetry serving on {server.url} "
+            "(/metrics /healthz /snapshot /flight)"
+        )
     log.info(
         "engine replay start",
         extra={"nodes": g.n, "ops": len(ops), "compare": args.compare_naive},
     )
-    report = replay(engine, ops, compare=args.compare_naive)
+    try:
+        report = replay(engine, ops, compare=args.compare_naive)
+    finally:
+        if server is not None:
+            if args.serve_grace > 0:
+                import time
+
+                time.sleep(args.serve_grace)
+            server.stop()
+            if not metrics_were_enabled:
+                REGISTRY.disable()
     print(report.describe())
     if report.mismatches:
         print(

@@ -102,6 +102,7 @@ package keeps the layering rule intact: ``core`` never imports
 
 from __future__ import annotations
 
+import time
 from dataclasses import asdict, dataclass
 from typing import Iterable, Sequence
 
@@ -116,16 +117,22 @@ from repro.core.mechanism import (
     resolve_monopoly_policy,
     spt_backend_for,
 )
+from repro.errors import ReproError
 from repro.graph.dijkstra import node_weighted_spt
 from repro.graph.link_graph import LinkWeightedDigraph
 from repro.graph.node_graph import NodeWeightedGraph
 from repro.graph.spt import ShortestPathTree
+from repro.obs import logging as obs_logging
+from repro.obs.context import request_scope
+from repro.obs.flight import FLIGHT as _flight
 from repro.obs.metrics import REGISTRY as _metrics
 from repro.obs.tracing import TRACER as _tracer
 from repro.utils.heap import IndexedMinHeap
 from repro.utils.validation import check_node_index
 
 __all__ = ["PricingEngine", "EngineStats"]
+
+_log = obs_logging.get_logger("engine")
 
 
 @dataclass
@@ -313,6 +320,15 @@ class PricingEngine:
         if _metrics.enabled:
             _metrics.add(f"engine.{name}", n)
 
+    def _update_gauges(self) -> None:
+        """Mirror the live resource footprint into ``engine.*`` gauges
+        so cache growth is visible on ``/metrics``, not just hit/miss
+        counters. Called after every query/update while enabled."""
+        if _metrics.enabled:
+            _metrics.set_gauge("engine.spt_cache_entries", len(self._spts))
+            _metrics.set_gauge("engine.pair_cache_entries", len(self._pairs))
+            _metrics.set_gauge("engine.update_log_entries", len(self._log))
+
     # -- SPT cache -----------------------------------------------------------
 
     def _spt_of(self, root: int) -> ShortestPathTree:
@@ -327,6 +343,7 @@ class PricingEngine:
                 return spt
         self.stats.spt_cache_misses += 1
         self._count("spt_cache_misses")
+        _flight.record("rebuild", version=self._version, value=float(root))
         spt = node_weighted_spt(
             self._graph, root, backend=spt_backend_for(self._backend)
         )
@@ -341,6 +358,7 @@ class PricingEngine:
             del self._spts[root]
             self.stats.stale_evictions += 1
             self._count("stale_evictions")
+            _flight.record("evict", version=self._version, value=float(root))
             return None
         for v in range(stamp + 1, self._version + 1):
             upd = self._log[v]
@@ -351,7 +369,15 @@ class PricingEngine:
                 spt = self._repair_spt(spt, upd)
                 self.stats.repairs += 1
                 self._count("repairs")
+                _flight.record(
+                    "repair", version=self._version, value=float(root)
+                )
         self._spts[root] = (self._version, spt)
+        _flight.record(
+            "fast_forward",
+            version=self._version,
+            value=float(self._version - stamp),
+        )
         return spt
 
     # -- queries -------------------------------------------------------------
@@ -374,10 +400,40 @@ class PricingEngine:
         if source == target:
             return _empty_payment(source, target, scheme)
         key = (source, target)
-        cached = self._lookup_pair(key)
-        if cached is not None:
-            return cached
-        return self._compute_pair(key)
+        with request_scope() as rid:
+            t0 = time.perf_counter()
+            try:
+                with _tracer.span(
+                    "engine.price", source=source, target=target
+                ):
+                    cached = self._lookup_pair(key)
+                    res = (
+                        cached
+                        if cached is not None
+                        else self._compute_pair(key)
+                    )
+            except ReproError:
+                raise  # domain outcome (disconnected, monopoly), not a crash
+            except Exception as exc:
+                _flight.record("error", rid, self._version)
+                _flight.dump_error(exc)
+                raise
+            elapsed = time.perf_counter() - t0
+            _flight.record("query", rid, self._version, elapsed)
+            if _metrics.enabled:
+                _metrics.observe("engine.price_time", elapsed)
+                self._update_gauges()
+            _log.debug(
+                "request priced",
+                extra={
+                    "source": source,
+                    "target": target,
+                    "hit": cached is not None,
+                    "version": self._version,
+                    "elapsed_s": round(elapsed, 6),
+                },
+            )
+            return res
 
     def _lookup_pair(self, key: tuple[int, int]) -> UnicastPayment | None:
         entry = self._pairs.get(key)
@@ -388,11 +444,13 @@ class PricingEngine:
             ):
                 self.stats.cache_hits += 1
                 self._count("cache_hits")
+                _flight.record("hit", version=self._version)
                 if isinstance(res, FastPaymentResult):
                     return res.to_unicast_payment()
                 return res
         self.stats.cache_misses += 1
         self._count("cache_misses")
+        _flight.record("miss", version=self._version)
         return None
 
     def _fast_forward_pair(
@@ -406,14 +464,21 @@ class PricingEngine:
                     del self._pairs[key]
                     self.stats.invalidations += 1
                     self._count("invalidations")
+                    _flight.record("invalidate", version=self._version)
                     return False
                 self.stats.retained += 1
                 self._count("retained")
             self._pairs[key] = (self._version, res)
+            _flight.record(
+                "fast_forward",
+                version=self._version,
+                value=float(self._version - stamp),
+            )
             return True
         del self._pairs[key]
         self.stats.stale_evictions += 1
         self._count("stale_evictions")
+        _flight.record("evict", version=self._version)
         return False
 
     def _compute_pair(self, key: tuple[int, int]) -> UnicastPayment:
@@ -461,51 +526,80 @@ class PricingEngine:
         self.stats.batches += 1
         self._count("batches")
         scheme = "vcg" if self._model == "node" else "link-vcg"
-        out: dict[tuple[int, int], UnicastPayment] = {}
-        todo: list[tuple[int, int]] = []
-        seen: set[tuple[int, int]] = set()
-        for s, t in pairs:
-            s = check_node_index(s, self._graph.n)
-            t = check_node_index(t, self._graph.n)
-            key = (s, t)
-            if key in seen:
-                continue
-            seen.add(key)
-            self.stats.queries += 1
-            self._count("queries")
-            if s == t:
-                out[key] = _empty_payment(s, t, scheme)
-                continue
-            cached = self._lookup_pair(key)
-            if cached is not None:
-                out[key] = cached
-            else:
-                todo.append(key)
-        if not todo:
+        with request_scope() as rid:
+            t0 = time.perf_counter()
+            out: dict[tuple[int, int], UnicastPayment] = {}
+            todo: list[tuple[int, int]] = []
+            seen: set[tuple[int, int]] = set()
+            for s, t in pairs:
+                s = check_node_index(s, self._graph.n)
+                t = check_node_index(t, self._graph.n)
+                key = (s, t)
+                if key in seen:
+                    continue
+                seen.add(key)
+                self.stats.queries += 1
+                self._count("queries")
+                if s == t:
+                    out[key] = _empty_payment(s, t, scheme)
+                    continue
+                cached = self._lookup_pair(key)
+                if cached is not None:
+                    out[key] = cached
+                else:
+                    todo.append(key)
+            if todo:
+                n_jobs = resolve_jobs(jobs)
+                try:
+                    with _tracer.span(
+                        "engine.price_many",
+                        pairs=len(out) + len(todo),
+                        misses=len(todo),
+                    ):
+                        if n_jobs == 1 or len(todo) == 1:
+                            out.update(self._price_batch_serial(todo))
+                        else:
+                            chunks = [
+                                todo[i::n_jobs]
+                                for i in range(n_jobs)
+                                if todo[i::n_jobs]
+                            ]
+                            fn = (
+                                _price_node_chunk
+                                if self._model == "node"
+                                else _price_link_chunk
+                            )
+                            tasks = [
+                                (
+                                    (self._graph, chunk, self._on_monopoly,
+                                     self._backend),
+                                    {},
+                                )
+                                for chunk in chunks
+                            ]
+                            for priced in run_tasks(fn, tasks, jobs=n_jobs):
+                                for key, payment in priced.items():
+                                    out[key] = payment
+                                    self._pairs[key] = (self._version, payment)
+                except ReproError:
+                    raise
+                except Exception as exc:
+                    _flight.record("error", rid, self._version)
+                    _flight.dump_error(exc)
+                    raise
+            elapsed = time.perf_counter() - t0
+            _flight.record("batch", rid, self._version, elapsed)
+            self._update_gauges()
+            _log.debug(
+                "batch priced",
+                extra={
+                    "pairs": len(out),
+                    "misses": len(todo),
+                    "version": self._version,
+                    "elapsed_s": round(elapsed, 6),
+                },
+            )
             return out
-
-        n_jobs = resolve_jobs(jobs)
-        with _tracer.span(
-            "engine.price_many", pairs=len(out) + len(todo), misses=len(todo)
-        ):
-            if n_jobs == 1 or len(todo) == 1:
-                out.update(self._price_batch_serial(todo))
-            else:
-                chunks = [todo[i::n_jobs] for i in range(n_jobs) if todo[i::n_jobs]]
-                fn = (
-                    _price_node_chunk
-                    if self._model == "node"
-                    else _price_link_chunk
-                )
-                tasks = [
-                    ((self._graph, chunk, self._on_monopoly, self._backend), {})
-                    for chunk in chunks
-                ]
-                for priced in run_tasks(fn, tasks, jobs=n_jobs):
-                    for key, payment in priced.items():
-                        out[key] = payment
-                        self._pairs[key] = (self._version, payment)
-        return out
 
     def _price_batch_serial(
         self, todo: Sequence[tuple[int, int]]
@@ -563,6 +657,8 @@ class PricingEngine:
                 return self._version
             self._graph = self._graph.with_arc_weight(u, v, value)
             self._bump_update(flush_log=True)
+            _flight.record("update", version=self._version)
+            self._update_gauges()
             return self._version
 
         node = check_node_index(int(node_or_edge), self._graph.n)
@@ -576,6 +672,8 @@ class PricingEngine:
         if len(self._log) > _LOG_CAP:
             self._log_floor = min(self._log)
             del self._log[self._log_floor]
+        _flight.record("update", version=self._version, value=float(node))
+        self._update_gauges()
         return self._version
 
     def _bump_update(self, flush_log: bool = False) -> None:
@@ -734,6 +832,8 @@ class PricingEngine:
                 self._graph.n, kept, self._graph.costs
             )
         self._bump_update(flush_log=True)
+        _flight.record("topology", version=self._version, value=float(node))
+        self._update_gauges()
         return self._version
 
     def add_node(self, cost: float = 0.0, neighbors=(), arcs=()) -> int:
@@ -755,6 +855,8 @@ class PricingEngine:
             costs = np.append(self._graph.costs, float(cost))
             self._graph = NodeWeightedGraph(n + 1, edges, costs)
         self._bump_update(flush_log=True)
+        _flight.record("topology", version=self._version, value=float(n))
+        self._update_gauges()
         return n
 
     # -- maintenance ---------------------------------------------------------
@@ -781,4 +883,8 @@ class PricingEngine:
         if dropped:
             self.stats.stale_evictions += dropped
             self._count("stale_evictions", dropped)
+            _flight.record(
+                "evict", version=self._version, value=float(dropped)
+            )
+        self._update_gauges()
         return dropped

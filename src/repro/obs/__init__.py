@@ -7,16 +7,25 @@ The observability layer the rest of the library records into:
 * :mod:`repro.obs.tracing` — nestable spans + Chrome trace-event export;
 * :mod:`repro.obs.logging` — stdlib loggers with ``key=value`` or JSON
   formatting, configured once via :func:`configure`;
-* :mod:`repro.obs.export` — JSON / Prometheus exposition of snapshots.
+* :mod:`repro.obs.export` — JSON / Prometheus exposition of snapshots;
+* :mod:`repro.obs.context` — request-scoped correlation ids threaded
+  automatically into spans, log lines, and flight events;
+* :mod:`repro.obs.flight` — always-on fixed-size ring of recent engine
+  events, dumped to JSON on unexpected engine errors;
+* :mod:`repro.obs.server` — stdlib HTTP telemetry server exposing
+  ``/metrics``, ``/healthz``, ``/snapshot`` and ``/flight`` live.
 
-Everything is off until opted into (CLI ``--metrics`` / ``--trace-out``
-/ ``--log-level``, the benchmark harness, or an explicit
-:func:`enable`), so instrumented hot paths pay ~zero cost by default.
+Everything except the flight recorder is off until opted into (CLI
+``--metrics`` / ``--trace-out`` / ``--log-level`` / ``--serve``, the
+benchmark harness, or an explicit :func:`enable`), so instrumented hot
+paths pay ~zero cost by default.
 """
 
 from __future__ import annotations
 
 from repro.obs import export
+from repro.obs.context import current_request_id, request_scope
+from repro.obs.flight import FLIGHT, FlightRecorder
 from repro.obs.logging import configure, get_logger
 from repro.obs.metrics import (
     REGISTRY,
@@ -29,17 +38,32 @@ from repro.obs.tracing import TRACER, Tracer, span
 __all__ = [
     "REGISTRY",
     "TRACER",
+    "FLIGHT",
+    "FlightRecorder",
     "MetricsRegistry",
     "MetricsSnapshot",
     "Tracer",
+    "TelemetryServer",
     "configure",
     "get_logger",
+    "current_request_id",
+    "request_scope",
     "timed",
     "span",
     "export",
     "enable",
     "disable",
 ]
+
+
+def __getattr__(name: str):
+    # TelemetryServer lazily, so importing repro.obs never drags in the
+    # http.server machinery on hot paths that only need the registry.
+    if name == "TelemetryServer":
+        from repro.obs.server import TelemetryServer
+
+        return TelemetryServer
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
 
 
 def enable(metrics: bool = True, tracing: bool = False) -> None:

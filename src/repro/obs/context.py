@@ -1,0 +1,82 @@
+"""Request-scoped correlation context.
+
+A *request id* names one pricing request end-to-end: the span tree it
+opens, the structured log lines it emits, and the flight-recorder
+events it leaves behind all carry the same id, so one slow ``price()``
+call can be correlated with the cache events that caused it.
+
+Ids live in a :class:`contextvars.ContextVar`, so they follow the
+request through nested calls (and into threads started with a copied
+context) without any parameter threading. The facade entry points
+(:mod:`repro.api`) and :class:`~repro.engine.PricingEngine` mint one id
+per request via :class:`request_scope`; everything below them —
+:meth:`Tracer._pop <repro.obs.tracing.Tracer>` span records, the log
+formatters in :mod:`repro.obs.logging`, the flight recorder — reads
+:func:`current_request_id` at record time.
+
+A nested scope *joins* the active request by default instead of minting
+a fresh id (``api.price_all_pairs`` delegating to
+``PricingEngine.price_many`` is one request, not two), so ids stay
+stable across internal delegation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from contextvars import ContextVar
+
+__all__ = ["mint_request_id", "current_request_id", "request_scope"]
+
+_REQUEST_ID: ContextVar[str | None] = ContextVar(
+    "repro_request_id", default=None
+)
+
+#: Monotonic per-process sequence backing minted ids (GIL-atomic).
+_SEQ = itertools.count(1)
+
+
+def mint_request_id() -> str:
+    """A fresh process-unique request id (``r<pid>-<seq>``)."""
+    return f"r{os.getpid():x}-{next(_SEQ):06x}"
+
+
+def current_request_id() -> str | None:
+    """The id of the request currently in scope, or ``None``."""
+    return _REQUEST_ID.get()
+
+
+class request_scope:
+    """Context manager establishing a request id for its body.
+
+    ``with request_scope() as rid:`` joins the already-active request if
+    one exists (nested scopes share the outer id) and mints a fresh id
+    otherwise. Pass ``request_id=`` to force a specific id, or
+    ``fresh=True`` to mint even inside an active scope. ``__enter__``
+    returns the active id.
+    """
+
+    __slots__ = ("_request_id", "_fresh", "_token", "rid")
+
+    def __init__(
+        self, request_id: str | None = None, fresh: bool = False
+    ) -> None:
+        self._request_id = request_id
+        self._fresh = fresh
+        self._token = None
+        self.rid: str | None = None
+
+    def __enter__(self) -> str:
+        rid = self._request_id
+        if rid is None:
+            rid = None if self._fresh else _REQUEST_ID.get()
+            if rid is None:
+                rid = mint_request_id()
+        self.rid = rid
+        self._token = _REQUEST_ID.set(rid)
+        return rid
+
+    def __exit__(self, *exc) -> None:
+        if self._token is not None:
+            _REQUEST_ID.reset(self._token)
+            self._token = None

@@ -7,8 +7,15 @@ Two formats:
   operation counts to ``--benchmark-json`` output);
 * **Prometheus text exposition** — ``# TYPE`` lines plus samples, with
   timers rendered as summaries (``_count`` / ``_sum`` plus ``quantile``
-  labels). :func:`parse_prometheus_text` reads the subset this module
-  writes, enough for the round-trip tests and for scrapers.
+  labels) *and* as cumulative duration histograms
+  (``_bucket{le="..."}`` lines over the fixed
+  :data:`~repro.obs.metrics.TIMER_BUCKETS` ladder, ``le="+Inf"``
+  anchored to ``_count``) — ``histogram_quantile()`` works on the
+  bucket series, so p50/p95 are visible to scrapers, not only to the
+  in-process summary. :func:`parse_prometheus_text` reads the subset
+  this module writes and :func:`buckets_from_prometheus` reassembles a
+  timer's bucket ladder from the parsed samples, enough for the
+  round-trip tests and for scrapers.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ __all__ = [
     "snapshot_from_json",
     "to_prometheus_text",
     "parse_prometheus_text",
+    "buckets_from_prometheus",
 ]
 
 
@@ -31,7 +39,10 @@ def snapshot_to_json(snapshot: MetricsSnapshot, indent: int | None = None) -> st
     doc = {
         "counters": dict(snapshot.counters),
         "gauges": dict(snapshot.gauges),
-        "timers": {k: v.as_dict() for k, v in snapshot.timers.items()},
+        "timers": {
+            k: {**v.as_dict(), "buckets": list(v.buckets)}
+            for k, v in snapshot.timers.items()
+        },
     }
     return json.dumps(doc, sort_keys=True, indent=indent)
 
@@ -47,6 +58,8 @@ def snapshot_from_json(text: str) -> MetricsSnapshot:
             max=float(st["max"]),
             p50=float(st["p50"]),
             p95=float(st["p95"]),
+            buckets=tuple(int(n) for n in st.get("buckets", ())),
+            approx=bool(st.get("approx", False)),
         )
         for name, st in doc.get("timers", {}).items()
     }
@@ -89,6 +102,12 @@ def to_prometheus_text(snapshot: MetricsSnapshot, prefix: str = "repro") -> str:
         lines.append(f"{pname}_sum {_num(st.sum)}")
         lines.append(f"{pname}_min {_num(st.min)}")
         lines.append(f"{pname}_max {_num(st.max)}")
+        # Cumulative duration histogram over the fixed bucket ladder
+        # (its own `<name>_bucket` family, so the summary above stays a
+        # valid summary; `le` labels are what histogram_quantile needs).
+        for bound, cum in st.cumulative_buckets():
+            le = "+Inf" if bound == float("inf") else _num(bound)
+            lines.append(f'{pname}_bucket{{le="{le}"}} {_num(cum)}')
     return "\n".join(lines) + "\n"
 
 
@@ -124,4 +143,28 @@ def parse_prometheus_text(text: str) -> dict[str, float]:
         if m.group("labels"):
             key = f'{key}{{{m.group("labels")}}}'
         out[key] = float(m.group("value"))
+    return out
+
+
+_LE_LABEL = re.compile(r'^(?P<name>.+)_bucket\{le="(?P<le>[^"]+)"\}$')
+
+
+def buckets_from_prometheus(
+    parsed: dict[str, float], name: str
+) -> list[tuple[float, int]]:
+    """Reassemble one timer's cumulative bucket ladder from parsed text.
+
+    ``parsed`` is the output of :func:`parse_prometheus_text`; ``name``
+    the exposed metric name (e.g. ``"repro_op_time"``). Returns
+    ``(le_bound, cumulative_count)`` pairs sorted by bound, the inverse
+    of what :func:`to_prometheus_text` wrote (``le="+Inf"`` parses to
+    ``inf``) — the histogram side of the exposition round-trip.
+    """
+    out: list[tuple[float, int]] = []
+    for key, value in parsed.items():
+        m = _LE_LABEL.match(key)
+        if m is None or m.group("name") != name:
+            continue
+        out.append((float(m.group("le")), int(value)))
+    out.sort(key=lambda pair: pair[0])
     return out

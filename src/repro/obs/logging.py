@@ -24,6 +24,8 @@ import sys
 import time
 from typing import IO
 
+from repro.obs.context import current_request_id
+
 __all__ = ["get_logger", "configure", "KeyValueFormatter", "JsonFormatter"]
 
 #: Namespace root every library logger hangs under.
@@ -42,11 +44,19 @@ _STANDARD_ATTRS = frozenset(
 
 
 def _extra_fields(record: logging.LogRecord) -> dict:
-    return {
+    fields = {
         k: v
         for k, v in record.__dict__.items()
         if k not in _STANDARD_ATTRS and not k.startswith("_")
     }
+    # Correlate with the ambient request (repro.obs.context): every log
+    # line emitted inside a request scope carries its request_id, same
+    # as the span records — unless the caller set one explicitly.
+    if "request_id" not in fields:
+        rid = current_request_id()
+        if rid is not None:
+            fields["request_id"] = rid
+    return fields
 
 
 def _quote(value: object) -> str:

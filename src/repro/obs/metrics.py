@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import threading
 import time
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Iterator, Mapping
 
@@ -30,6 +31,7 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
     "REGISTRY",
+    "TIMER_BUCKETS",
     "timed",
     "enable",
     "disable",
@@ -39,6 +41,16 @@ __all__ = [
 #: this many observations the oldest samples are overwritten (a recent
 #: window beats a biased forever-prefix for long-running processes).
 TIMER_SAMPLE_CAP = 4096
+
+#: Fixed histogram bucket upper bounds (seconds, ``le``-inclusive) every
+#: timer counts into, spanning 100 µs .. 10 s in a 1-2.5-5 ladder; an
+#: implicit ``+Inf`` overflow bucket follows. Unlike the sampled
+#: percentiles, bucket counts are exact and merge exactly across
+#: worker-process snapshots.
+TIMER_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
 
 
 class Counter:
@@ -78,7 +90,16 @@ class Gauge:
 
 @dataclass(frozen=True)
 class TimerStats:
-    """Summary of one timer's observations."""
+    """Summary of one timer's observations.
+
+    ``buckets`` holds per-bucket (non-cumulative) observation counts
+    aligned with :data:`TIMER_BUCKETS` plus one overflow slot.
+    ``approx`` marks percentiles that are estimates rather than exact
+    sample statistics — :meth:`Timer.merge_stats` injects a merged-in
+    snapshot's p50/p95 as representative samples, so every fan-in
+    (parallel sweeps, worker snapshots) taints p50/p95. Counts, sums,
+    extrema and bucket counts always merge exactly.
+    """
 
     count: int
     sum: float
@@ -86,6 +107,8 @@ class TimerStats:
     max: float
     p50: float
     p95: float
+    buckets: tuple[int, ...] = ()
+    approx: bool = False
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -95,7 +118,23 @@ class TimerStats:
             "max": self.max,
             "p50": self.p50,
             "p95": self.p95,
+            "approx": self.approx,
         }
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(le_bound, cumulative_count)`` pairs, Prometheus-style.
+
+        The terminal ``(inf, count)`` entry anchors the histogram to the
+        timer's total observation count (the Prometheus ``+Inf`` bucket
+        invariant), even if a bucketless legacy snapshot was merged in.
+        """
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(TIMER_BUCKETS, self.buckets):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), self.count))
+        return out
 
 
 def _percentile(ordered: list[float], q: float) -> float:
@@ -107,9 +146,13 @@ def _percentile(ordered: list[float], q: float) -> float:
 
 
 class Timer:
-    """A duration histogram: count/sum/min/max plus sampled percentiles."""
+    """A duration histogram: count/sum/min/max, fixed duration buckets
+    (:data:`TIMER_BUCKETS`), and sampled percentiles."""
 
-    __slots__ = ("name", "count", "sum", "min", "max", "_samples", "_next")
+    __slots__ = (
+        "name", "count", "sum", "min", "max", "approx",
+        "_samples", "_next", "_bucket_counts",
+    )
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -117,8 +160,11 @@ class Timer:
         self.sum = 0.0
         self.min = float("inf")
         self.max = 0.0
+        #: True once estimated percentiles were merged in (fan-in).
+        self.approx = False
         self._samples: list[float] = []
         self._next = 0  # ring-buffer write head once the cap is hit
+        self._bucket_counts = [0] * (len(TIMER_BUCKETS) + 1)
 
     def observe(self, seconds: float) -> None:
         """Record one duration in seconds."""
@@ -129,6 +175,7 @@ class Timer:
             self.min = seconds
         if seconds > self.max:
             self.max = seconds
+        self._bucket_counts[bisect_left(TIMER_BUCKETS, seconds)] += 1
         self._sample(seconds)
 
     def _sample(self, seconds: float) -> None:
@@ -142,9 +189,11 @@ class Timer:
         """Fold another registry's :class:`TimerStats` into this timer.
 
         Used when worker-process snapshots are merged back into the
-        parent registry. ``count``/``sum``/``min``/``max`` merge exactly;
-        the incoming ``p50``/``p95`` are inserted as representative
-        samples, so merged percentiles are approximate.
+        parent registry. ``count``/``sum``/``min``/``max`` and the
+        duration buckets merge exactly; the incoming ``p50``/``p95`` are
+        inserted as representative samples, so merged percentiles are
+        approximate — the timer is marked ``approx`` and every
+        subsequent :class:`TimerStats` carries the flag.
         """
         if st.count <= 0:
             return
@@ -154,6 +203,10 @@ class Timer:
             self.min = st.min
         if st.max > self.max:
             self.max = st.max
+        if len(st.buckets) == len(self._bucket_counts):
+            for i, n in enumerate(st.buckets):
+                self._bucket_counts[i] += n
+        self.approx = True
         self._sample(st.p50)
         self._sample(st.p95)
 
@@ -166,6 +219,8 @@ class Timer:
             max=self.max,
             p50=_percentile(ordered, 0.50),
             p95=_percentile(ordered, 0.95),
+            buckets=tuple(self._bucket_counts),
+            approx=self.approx,
         )
 
 
@@ -241,6 +296,7 @@ class MetricsSnapshot:
                 f"{name} count={st.count} sum={st.sum:.6f}s "
                 f"min={st.min:.6f}s max={st.max:.6f}s "
                 f"p50={st.p50:.6f}s p95={st.p95:.6f}s"
+                + (" (approx percentiles)" if st.approx else "")
             )
         return "\n".join(lines)
 

@@ -1,0 +1,249 @@
+"""Live telemetry over HTTP: ``/metrics``, ``/healthz``, ``/snapshot``,
+``/flight``.
+
+A :class:`TelemetryServer` wraps a stdlib
+:class:`~http.server.ThreadingHTTPServer` on a daemon thread, so a
+running engine (or a long sweep) can be inspected *while it works* —
+no new dependencies, no framework. Endpoints:
+
+``/metrics``
+    The process-wide registry in Prometheus text exposition format
+    (:func:`repro.obs.export.to_prometheus_text`): counters, gauges,
+    timer summaries and duration-histogram buckets.
+``/healthz``
+    Liveness JSON: status, uptime, whether collectors are enabled,
+    plus whatever the optional ``health`` callable contributes (the
+    CLI wires in the engine's version and model).
+``/snapshot``
+    The full :class:`~repro.obs.metrics.MetricsSnapshot` as JSON
+    (:func:`repro.obs.export.snapshot_to_json` — round-trippable).
+``/flight``
+    The flight recorder's ring as JSON
+    (:meth:`repro.obs.flight.FlightRecorder.snapshot`): the most
+    recent engine events, oldest first.
+
+Usage — around any workload, not just the CLI::
+
+    from repro.obs import enable
+    from repro.obs.server import TelemetryServer
+
+    enable(metrics=True)
+    with TelemetryServer(port=9100) as srv:
+        print(f"telemetry on {srv.url}")
+        run_big_sweep()           # scrape /metrics while it runs
+
+``port=0`` binds an ephemeral port (read it back from ``srv.port``),
+which is what the tests use. The server binds ``127.0.0.1`` by
+default — this is an operator inspection port, not a public API.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Mapping
+
+from repro.obs import logging as obs_logging
+from repro.obs.export import snapshot_to_json, to_prometheus_text
+from repro.obs.flight import FLIGHT, FlightRecorder
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.tracing import TRACER
+
+__all__ = ["TelemetryServer"]
+
+log = obs_logging.get_logger("obs.server")
+
+#: The routes ``/`` advertises (path -> one-line description).
+ENDPOINTS = {
+    "/metrics": "Prometheus text exposition of the metrics registry",
+    "/healthz": "liveness + uptime JSON",
+    "/snapshot": "full metrics snapshot as JSON",
+    "/flight": "flight-recorder ring (recent engine events) as JSON",
+}
+
+
+class TelemetryServer:
+    """Background HTTP server exposing the process's telemetry.
+
+    Parameters
+    ----------
+    port, host:
+        Bind address; ``port=0`` picks an ephemeral port.
+    registry, recorder:
+        The collectors to expose (default: the process-wide
+        :data:`~repro.obs.metrics.REGISTRY` and
+        :data:`~repro.obs.flight.FLIGHT`).
+    health:
+        Optional zero-argument callable returning extra JSON-ready
+        fields merged into the ``/healthz`` document on every request.
+    prefix:
+        Metric-name prefix for the Prometheus exposition.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: MetricsRegistry | None = None,
+        recorder: FlightRecorder | None = None,
+        health: Callable[[], Mapping] | None = None,
+        prefix: str = "repro",
+    ) -> None:
+        self._host = host
+        self._requested_port = int(port)
+        self.registry = registry if registry is not None else REGISTRY
+        self.recorder = recorder if recorder is not None else FLIGHT
+        self.health = health
+        self.prefix = prefix
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._started_at = 0.0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "TelemetryServer":
+        """Bind and serve on a daemon thread; returns ``self``."""
+        if self._httpd is not None:
+            raise RuntimeError("TelemetryServer is already running")
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer(
+            (self._host, self._requested_port), handler
+        )
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        log.info(
+            "telemetry server started",
+            extra={"host": self._host, "port": self.port},
+        )
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread (idempotent)."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        if self._httpd is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the real one)."""
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    def uptime(self) -> float:
+        """Seconds since :meth:`start` (0.0 before it)."""
+        if self._httpd is None:
+            return 0.0
+        return time.monotonic() - self._started_at
+
+    # -- endpoint payloads (also callable directly, e.g. from tests) --------
+
+    def healthz(self) -> dict:
+        doc = {
+            "status": "ok",
+            "uptime_s": round(self.uptime(), 3),
+            "metrics_enabled": self.registry.enabled,
+            "tracing_enabled": TRACER.enabled,
+            "flight_events": len(self.recorder),
+        }
+        if self.health is not None:
+            doc.update(self.health())
+        return doc
+
+
+def _make_handler(server: TelemetryServer) -> type:
+    """A request-handler class closed over one :class:`TelemetryServer`."""
+
+    class Handler(BaseHTTPRequestHandler):
+        # Silenced default stderr chatter; requests log at DEBUG instead.
+        def log_message(self, fmt, *args):  # noqa: N802 (stdlib name)
+            log.debug("telemetry request", extra={"line": fmt % args})
+
+        def _send(
+            self, body: str, content_type: str, status: int = 200
+        ) -> None:
+            payload = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def _send_json(self, doc, status: int = 200) -> None:
+            self._send(
+                json.dumps(doc, indent=2) + "\n",
+                "application/json; charset=utf-8",
+                status,
+            )
+
+        def do_GET(self) -> None:  # noqa: N802 (stdlib name)
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            try:
+                if path == "/metrics":
+                    self._send(
+                        to_prometheus_text(
+                            server.registry.snapshot(), prefix=server.prefix
+                        ),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    )
+                elif path == "/healthz":
+                    self._send_json(server.healthz())
+                elif path == "/snapshot":
+                    self._send(
+                        snapshot_to_json(server.registry.snapshot(), indent=2)
+                        + "\n",
+                        "application/json; charset=utf-8",
+                    )
+                elif path == "/flight":
+                    self._send_json(server.recorder.snapshot())
+                elif path == "/":
+                    self._send_json({"endpoints": ENDPOINTS})
+                else:
+                    self._send_json(
+                        {"error": f"unknown path {path!r}",
+                         "endpoints": sorted(ENDPOINTS)},
+                        status=404,
+                    )
+            except BrokenPipeError:  # client went away mid-response
+                pass
+            except Exception as exc:  # surface handler bugs to the client
+                log.warning(
+                    "telemetry handler error",
+                    extra={"path": path, "error": repr(exc)},
+                )
+                try:
+                    self._send_json({"error": repr(exc)}, status=500)
+                except OSError:
+                    pass
+
+    return Handler

@@ -8,6 +8,12 @@ events loadable in ``chrome://tracing`` / Perfetto.
 Like the metrics registry, the tracer is disabled by default and
 ``span()`` then returns a shared null context manager, so instrumented
 code pays one attribute check and nothing else.
+
+Spans finished inside a request scope
+(:class:`repro.obs.context.request_scope`) automatically carry the
+ambient ``request_id`` attribute, so every span of one ``price()``
+request correlates in the exported trace without any call site passing
+the id around.
 """
 
 from __future__ import annotations
@@ -18,6 +24,8 @@ import threading
 import time
 from dataclasses import dataclass, field
 from typing import IO, Mapping
+
+from repro.obs.context import current_request_id
 
 __all__ = ["SpanRecord", "Tracer", "TRACER", "span", "enable", "disable"]
 
@@ -124,6 +132,9 @@ class Tracer:
             stack.pop()
         depth = len(stack)
         parent = stack[-1].name if stack else None
+        rid = current_request_id()
+        if rid is not None:
+            span.attrs.setdefault("request_id", rid)
         record = SpanRecord(
             name=span.name,
             start=start - self._epoch,

@@ -107,3 +107,16 @@ class TestEngineCommand:
         assert main(["engine", "--nodes", "30", "--ops", "40", "--metrics"]) == 0
         out = capsys.readouterr().out
         assert "engine.queries" in out and "engine.cache_hits" in out
+
+    def test_engine_serve_ephemeral_port(self, capsys):
+        from repro.obs.metrics import REGISTRY
+
+        assert main(
+            ["engine", "--nodes", "30", "--ops", "40", "--serve", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "telemetry serving on http://127.0.0.1:" in out
+        assert "replayed" in out
+        # --serve implies collection for the run, then restores the
+        # disabled default so telemetry never leaks into other commands.
+        assert not REGISTRY.enabled

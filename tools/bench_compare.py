@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Diff two pytest-benchmark JSON files and gate on perf regressions.
+
+``make bench-save`` writes ``BENCH_<sha>.json`` baselines; until now
+they were collected and never compared. This tool closes the loop:
+
+* benchmarks are matched by ``fullname``
+  (``benchmarks/bench_engine.py::test_engine_replay_speed``);
+* per benchmark the chosen statistic (default ``min`` — the least noisy
+  under CI contention) is compared as ``current / baseline``;
+* a table is printed (ratio > 1 means the current run is slower), and
+  the exit code is non-zero when any benchmark regressed past the
+  threshold — that is what makes it a CI gate.
+
+Benchmarks present on only one side are reported but never fail the
+gate (new benchmarks have no baseline; retired ones have no current
+run). A filter that matches *nothing in common* exits non-zero too —
+a silently empty comparison would pass a broken gate.
+
+Stdlib-only on purpose: CI (and `make bench-compare`) can run it
+without installing the package or setting PYTHONPATH.
+
+Usage::
+
+    python tools/bench_compare.py BASELINE.json CURRENT.json \
+        [--threshold 0.5] [--stat min|mean|median] [--only PREFIX] [--json OUT]
+
+``--threshold 0.5`` fails on >50% slowdowns (ratio > 1.5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["load_stats", "compare", "main"]
+
+#: Statistics pytest-benchmark records that make sense to gate on.
+STATS = ("min", "max", "mean", "median", "stddev")
+
+
+def load_stats(path: str | Path, stat: str) -> dict[str, float]:
+    """``fullname -> seconds`` for one pytest-benchmark JSON file."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    out: dict[str, float] = {}
+    for bench in doc.get("benchmarks", ()):
+        stats = bench.get("stats") or {}
+        if stat in stats:
+            out[bench["fullname"]] = float(stats[stat])
+    return out
+
+
+def compare(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    threshold: float,
+) -> dict:
+    """Structured comparison of two ``fullname -> seconds`` mappings.
+
+    Returns a document with per-benchmark rows (``ratio`` =
+    current/baseline), plus the names only one side knows. A row is a
+    regression when ``ratio > 1 + threshold``, an improvement when
+    ``ratio < 1 / (1 + threshold)`` (symmetric in log space).
+    """
+    common = sorted(set(baseline) & set(current))
+    rows = []
+    for name in common:
+        base, cur = baseline[name], current[name]
+        ratio = cur / base if base > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + threshold:
+            verdict = "SLOWER"
+        elif ratio < 1.0 / (1.0 + threshold):
+            verdict = "faster"
+        rows.append(
+            {
+                "name": name,
+                "baseline_s": base,
+                "current_s": cur,
+                "ratio": ratio,
+                "verdict": verdict,
+            }
+        )
+    return {
+        "threshold": threshold,
+        "rows": rows,
+        "regressions": [r["name"] for r in rows if r["verdict"] == "SLOWER"],
+        "improvements": [r["name"] for r in rows if r["verdict"] == "faster"],
+        "only_baseline": sorted(set(baseline) - set(current)),
+        "only_current": sorted(set(current) - set(baseline)),
+    }
+
+
+def _fmt_seconds(s: float) -> str:
+    if s < 1e-3:
+        return f"{s * 1e6:8.1f}us"
+    if s < 1.0:
+        return f"{s * 1e3:8.2f}ms"
+    return f"{s:8.3f}s "
+
+
+def render_table(report: dict, stat: str) -> str:
+    """The comparison as an aligned ASCII table, slowest-ratio first."""
+    rows = sorted(report["rows"], key=lambda r: -r["ratio"])
+    width = max((len(r["name"]) for r in rows), default=20)
+    lines = [
+        f"{'benchmark':<{width}}  {'base ' + stat:>10} {'current':>10} "
+        f"{'ratio':>7}  verdict"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['name']:<{width}}  {_fmt_seconds(r['baseline_s'])} "
+            f"{_fmt_seconds(r['current_s'])} {r['ratio']:6.2f}x  "
+            f"{r['verdict']}"
+        )
+    for name in report["only_current"]:
+        lines.append(f"{name:<{width}}  {'-':>10} {'-':>10} {'-':>7}  new")
+    for name in report["only_baseline"]:
+        lines.append(
+            f"{name:<{width}}  {'-':>10} {'-':>10} {'-':>7}  missing"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    ap = argparse.ArgumentParser(description=__doc__.split("\n\n", 1)[0])
+    ap.add_argument("baseline", help="baseline BENCH_<sha>.json")
+    ap.add_argument("current", help="current benchmark JSON to judge")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        help="allowed fractional slowdown before failing "
+        "(0.5 = fail past 1.5x; default %(default)s)",
+    )
+    ap.add_argument(
+        "--stat",
+        choices=STATS,
+        default="min",
+        help="which pytest-benchmark statistic to compare "
+        "(default %(default)s)",
+    )
+    ap.add_argument(
+        "--only",
+        metavar="PREFIX",
+        action="append",
+        default=None,
+        help="compare only benchmarks whose fullname starts with PREFIX "
+        "(repeatable)",
+    )
+    ap.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the comparison document as JSON",
+    )
+    args = ap.parse_args(argv)
+    if args.threshold <= 0:
+        ap.error("--threshold must be positive")
+
+    baseline = load_stats(args.baseline, args.stat)
+    current = load_stats(args.current, args.stat)
+    if args.only:
+        def keep(name: str) -> bool:
+            return any(name.startswith(p) for p in args.only)
+
+        baseline = {k: v for k, v in baseline.items() if keep(k)}
+        current = {k: v for k, v in current.items() if keep(k)}
+
+    report = compare(baseline, current, args.threshold)
+    print(render_table(report, args.stat))
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+
+    n = len(report["rows"])
+    if n == 0:
+        print(
+            "error: no benchmarks in common between "
+            f"{args.baseline} and {args.current}"
+            + (f" (filter: {args.only})" if args.only else ""),
+            file=sys.stderr,
+        )
+        return 2
+    regressions = report["regressions"]
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)}/{n} benchmark(s) regressed past "
+            f"{args.threshold:.0%}: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"\nOK: {n} benchmark(s) within {args.threshold:.0%} of baseline "
+        f"({len(report['improvements'])} faster, "
+        f"{len(report['only_current'])} new, "
+        f"{len(report['only_baseline'])} missing)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
