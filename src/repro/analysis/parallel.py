@@ -21,8 +21,10 @@ parent process only.
 
 from __future__ import annotations
 
+import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence
 
 from repro.obs.logging import get_logger
@@ -30,7 +32,7 @@ from repro.obs.metrics import REGISTRY as _metrics
 
 log = get_logger("analysis.parallel")
 
-__all__ = ["resolve_jobs", "run_tasks"]
+__all__ = ["resolve_jobs", "run_tasks", "get_pool", "shutdown_pool"]
 
 #: A task is ``(args, kwargs)``; the runner calls ``fn(*args, **kwargs)``.
 Task = "tuple[tuple, dict]"
@@ -75,22 +77,71 @@ def _run_one(payload: tuple) -> tuple:
     return result, snapshot
 
 
+#: The module-level persistent pool: spawning worker processes costs a
+#: fork + interpreter warm-up per worker, which dominates short batches.
+#: The pool survives across ``run_tasks`` calls and is resized only when
+#: a call asks for *more* workers than it has.
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS = 0
+
+
+def get_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared executor, grown to at least ``workers`` processes.
+
+    A pool at least as wide as requested is reused as-is (counted in
+    ``parallel.pool_reuses``); a narrower one is shut down and replaced.
+    """
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS >= workers:
+        if _metrics.enabled:
+            _metrics.add("parallel.pool_reuses", 1)
+        return _POOL
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+    log.debug("starting worker pool", extra={"workers": workers})
+    _POOL = ProcessPoolExecutor(max_workers=workers)
+    _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Dispose of the persistent pool (idempotent; re-created on demand)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
+
+
 def run_tasks(
     fn: Callable[..., Any],
     tasks: Sequence[tuple[tuple, dict]],
     jobs: int | None = None,
-    chunksize: int = 1,
+    chunksize: int | None = None,
 ) -> list:
     """Run ``fn(*args, **kwargs)`` for every task, serially or in a pool.
 
     Results come back in task order. With ``jobs`` resolving to 1 (or at
     most one task) everything runs inline in this process — the exact
-    serial code path, no pool, no pickling. Otherwise a process pool of
-    ``min(jobs, len(tasks))`` workers executes the tasks and each
-    worker-side metrics snapshot is merged into the parent registry.
+    serial code path, no pool, no pickling. Otherwise the persistent
+    pool (see :func:`get_pool`) executes the tasks and each worker-side
+    metrics snapshot is merged into the parent registry.
+
+    ``chunksize=None`` auto-tunes to ``max(1, len(tasks) // (4 *
+    workers))`` — many-small-task sweeps stop paying one IPC round-trip
+    per task while keeping ~4 chunks per worker for load balance. Pass
+    an explicit value to override.
 
     ``fn``, every task's arguments, and every result must be picklable
-    (module-level functions and plain-data dataclasses are).
+    (module-level functions and plain-data dataclasses are). Large
+    shared inputs — the graph, above all — should travel as a
+    :class:`repro.analysis.shm.ArenaHandle` instead of by value.
+
+    A worker crash surfaces as ``BrokenProcessPool``; the poisoned pool
+    is discarded so the next call starts from a fresh one.
     """
     n_jobs = resolve_jobs(jobs)
     tasks = list(tasks)
@@ -98,15 +149,28 @@ def run_tasks(
         return [fn(*args, **kwargs) for args, kwargs in tasks]
     collect = _metrics.enabled
     workers = min(n_jobs, len(tasks))
+    if chunksize is None:
+        chunksize = max(1, len(tasks) // (4 * workers))
     log.debug(
         "parallel fan-out",
-        extra={"tasks": len(tasks), "workers": workers, "collect": collect},
+        extra={
+            "tasks": len(tasks),
+            "workers": workers,
+            "chunksize": chunksize,
+            "collect": collect,
+        },
     )
     payloads = [(fn, args, kwargs, collect) for args, kwargs in tasks]
     results: list = []
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for result, snapshot in pool.map(_run_one, payloads, chunksize=chunksize):
+    pool = get_pool(workers)
+    try:
+        for result, snapshot in pool.map(
+            _run_one, payloads, chunksize=chunksize
+        ):
             if snapshot is not None:
                 _metrics.merge_snapshot(snapshot)
             results.append(result)
+    except BrokenProcessPool:
+        shutdown_pool()
+        raise
     return results

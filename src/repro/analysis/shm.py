@@ -1,0 +1,257 @@
+"""Zero-copy shared-memory graph arena for parallel fan-out.
+
+The parallel paths (``Engine.price_many(jobs=N)``, evaluation sweeps)
+used to pickle the full graph into every worker task: O(m) bytes
+serialized, copied through a pipe and deserialized *per chunk*. Both
+graph models are plain CSR arrays underneath, so the graph can instead
+be exported **once** into a ``multiprocessing.shared_memory`` block and
+workers can attach to it read-only by name — the task payload shrinks to
+a tiny :class:`ArenaHandle` and the arrays are never copied at all (the
+kernel maps the same physical pages into every worker).
+
+Usage, parent side::
+
+    with SharedGraphArena(graph) as arena:
+        run_tasks(fn, [((arena.handle, chunk), {}) for chunk in chunks])
+
+Worker side: call :func:`resolve_graph` on the first positional argument
+— it returns real graphs unchanged and materializes handles by
+attaching, so task functions accept either form.
+
+Lifecycle guarantees
+--------------------
+
+* The exporting process owns the segment. ``close()`` (also run by the
+  context manager and an ``atexit`` hook) unlinks it, so normal exit,
+  exceptions and ``KeyboardInterrupt`` all clean ``/dev/shm``.
+* Cleanup is guarded by the owner PID: forked workers inherit the
+  arena object *and* its ``atexit`` registration, and must not unlink a
+  segment they do not own.
+* Workers attach lazily and cache a few attachments; Python's resource
+  tracker is told to leave attached segments alone (it would otherwise
+  unlink them when the *worker* exits).
+* A crashed worker leaks nothing: it only ever held a mapping, and the
+  owner's unlink still removes the name.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.graph.link_graph import LinkWeightedDigraph
+from repro.graph.node_graph import NodeWeightedGraph
+from repro.obs.logging import get_logger
+from repro.obs.metrics import REGISTRY as _metrics
+
+log = get_logger("analysis.shm")
+
+__all__ = ["SharedGraphArena", "ArenaHandle", "attach", "resolve_graph"]
+
+#: Recognizable prefix so a leaked segment in /dev/shm is attributable.
+SEGMENT_PREFIX = "repro_arena_"
+
+
+@dataclass(frozen=True)
+class ArenaHandle:
+    """Picklable description of an exported graph: the segment name plus
+    the byte layout of each CSR field inside it."""
+
+    name: str
+    model: str  # "node" | "link"
+    n: int
+    #: ``(field, dtype, byte offset, element count)`` per array.
+    layout: tuple[tuple[str, str, int, int], ...]
+    #: PID of the exporting process (cleanup ownership; see ``attach``).
+    owner_pid: int = -1
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes described by the layout."""
+        return sum(
+            np.dtype(dtype).itemsize * count
+            for _, dtype, _, count in self.layout
+        )
+
+
+def _graph_fields(graph) -> tuple[str, list[tuple[str, np.ndarray]]]:
+    if isinstance(graph, NodeWeightedGraph):
+        return "node", [
+            ("costs", graph.costs),
+            ("indptr", graph.indptr),
+            ("indices", graph.indices),
+        ]
+    if isinstance(graph, LinkWeightedDigraph):
+        return "link", [
+            ("indptr", graph.indptr),
+            ("indices", graph.indices),
+            ("weights", graph.weights),
+        ]
+    raise TypeError(f"unsupported graph type {type(graph)!r}")
+
+
+class SharedGraphArena:
+    """Export a graph's CSR arrays into one shared-memory segment.
+
+    The arena is a context manager; it also registers an ``atexit``
+    unlink so a non-``with`` user (or an interrupted one) cannot leak
+    the segment past process exit. Only the creating process (checked
+    by PID) ever unlinks.
+    """
+
+    def __init__(self, graph) -> None:
+        model, fields = _graph_fields(graph)
+        offset = 0
+        layout: list[tuple[str, str, int, int]] = []
+        for field, arr in fields:
+            layout.append((field, arr.dtype.str, offset, int(arr.shape[0])))
+            offset += int(arr.nbytes)
+        self._owner_pid = os.getpid()
+        self._shm = shared_memory.SharedMemory(
+            create=True,
+            size=max(offset, 1),
+            name=f"{SEGMENT_PREFIX}{os.getpid()}_{id(self):x}",
+        )
+        for (field, dtype, off, count), (_, arr) in zip(layout, fields):
+            view = np.ndarray(
+                (count,), dtype=np.dtype(dtype), buffer=self._shm.buf,
+                offset=off,
+            )
+            view[:] = arr
+            del view  # keep no live buffer views: close() must not fail
+        self.handle = ArenaHandle(
+            name=self._shm.name,
+            model=model,
+            n=int(graph.n),
+            layout=tuple(layout),
+            owner_pid=self._owner_pid,
+        )
+        atexit.register(self.close)
+        if _metrics.enabled:
+            _metrics.add("parallel.shm_arenas", 1)
+            _metrics.add("parallel.shm_bytes", self.handle.nbytes)
+        log.debug(
+            "arena exported",
+            extra={
+                "name": self.handle.name,
+                "model": model,
+                "bytes": self.handle.nbytes,
+            },
+        )
+
+    def close(self) -> None:
+        """Unlink the segment (idempotent; no-op in forked children)."""
+        shm = self._shm
+        if shm is None or os.getpid() != self._owner_pid:
+            return
+        self._shm = None
+        atexit.unregister(self.close)
+        try:
+            shm.close()
+        except BufferError:  # someone still maps our buffer; unlink anyway
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedGraphArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _shares_owner_tracker(owner_pid: int) -> bool:
+    """Best-effort: does this process share the exporter's resource
+    tracker? True for the exporter itself and for fork/forkserver
+    workers (the tracker process predates the fork — pool setup starts
+    it — and is inherited); False under spawn, where each process runs
+    its own tracker."""
+    if os.getpid() == owner_pid:
+        return True
+    try:
+        import multiprocessing
+
+        return multiprocessing.get_start_method(allow_none=True) != "spawn"
+    except Exception:  # pragma: no cover - defensive
+        return False
+
+
+#: Worker-side attachment cache: segment name -> (SharedMemory, graph).
+#: Sized for a handful of concurrent arenas; entries rotate out FIFO.
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, object]] = {}
+_ATTACH_CAP = 8
+
+
+def attach(handle: ArenaHandle):
+    """Materialize a graph from a handle, zero-copy, cached per segment.
+
+    The arrays returned point straight into the shared mapping (read
+    only). Repeated tasks against the same arena reuse the mapping —
+    attaching is a single ``shm_open``+``mmap``, no data moves.
+    """
+    cached = _ATTACHED.get(handle.name)
+    if cached is not None:
+        return cached[1]
+    shm = shared_memory.SharedMemory(name=handle.name)
+    # Python's resource tracker auto-registers every attach (there is no
+    # ``track=False`` before 3.13). Under the fork start method all
+    # workers inherit the *owner's* tracker process, whose registry is a
+    # set keyed by name — so attach registrations collapse into the
+    # owner's single entry and the owner's ``unlink`` balances them all.
+    # Unregistering here would instead clobber that shared entry and
+    # make the owner's unlink complain. Only a process with its *own*
+    # tracker (spawn start method) must unregister, or its tracker will
+    # unlink a segment it does not own when this process exits.
+    if not _shares_owner_tracker(handle.owner_pid):
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+    arrays: dict[str, np.ndarray] = {}
+    for field, dtype, offset, count in handle.layout:
+        arr = np.ndarray(
+            (count,), dtype=np.dtype(dtype), buffer=shm.buf, offset=offset
+        )
+        arr.setflags(write=False)
+        arrays[field] = arr
+    if handle.model == "node":
+        graph = NodeWeightedGraph.from_csr(
+            handle.n, arrays["costs"], arrays["indptr"], arrays["indices"]
+        )
+    else:
+        graph = LinkWeightedDigraph.from_csr(
+            handle.n, arrays["indptr"], arrays["indices"], arrays["weights"]
+        )
+    while len(_ATTACHED) >= _ATTACH_CAP:
+        oldest = next(iter(_ATTACHED))
+        old_shm, old_graph = _ATTACHED.pop(oldest)
+        del old_graph
+        try:
+            old_shm.close()
+        except BufferError:  # a task still holds views; drop the ref only
+            pass
+    _ATTACHED[handle.name] = (shm, graph)
+    if _metrics.enabled:
+        _metrics.add("parallel.shm_attaches", 1)
+    return graph
+
+
+def resolve_graph(obj):
+    """Return ``obj`` itself unless it is an :class:`ArenaHandle`, in
+    which case attach and return the shared graph. Task functions call
+    this on their graph argument so they accept both forms."""
+    if isinstance(obj, ArenaHandle):
+        return attach(obj)
+    return obj

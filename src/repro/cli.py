@@ -193,6 +193,13 @@ def build_parser() -> argparse.ArgumentParser:
     econ.add_argument("--nodes", type=int, default=20)
     econ.add_argument("--seed", type=int, default=0)
     econ.add_argument("--intensity", type=float, default=1.0)
+    econ.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for pricing (-1 = all cores; results are "
+        "bit-identical to --jobs 1)",
+    )
 
     churn = sub.add_parser(
         "churn", help="pricing churn under mobility (extension experiment)"
@@ -462,9 +469,19 @@ def _cmd_economy(args) -> int:
     from repro.utils.tables import ascii_table
 
     g = generators.random_biconnected_graph(args.nodes, seed=args.seed)
-    econ = network_economy(
-        g, TrafficMatrix.uniform(g.n, intensity=args.intensity)
-    )
+    traffic = TrafficMatrix.uniform(g.n, intensity=args.intensity)
+    payments = None
+    if args.jobs not in (0, 1):
+        # Fan the pricing out through the engine's shared-memory parallel
+        # path; aggregation below stays serial and bit-identical.
+        from repro import api
+
+        payments = api.price_all_pairs(
+            g,
+            pairs=[(i, j) for i, j, _ in traffic.pairs()],
+            jobs=args.jobs,
+        )
+    econ = network_economy(g, traffic, payments=payments)
     rows = [
         [e.node, round(e.packets_relayed), round(e.income, 2),
          round(e.spend, 2), round(e.profit, 2)]

@@ -26,7 +26,11 @@ import numpy as np
 from repro.core.fast_payment import fast_vcg_payments
 from repro.core.mechanism import UnicastPayment, spt_backend_for
 from repro.errors import InvalidGraphError
-from repro.graph.dijkstra import ShortestPathTree, node_weighted_spt
+from repro.graph.dijkstra import (
+    ShortestPathTree,
+    node_weighted_spt,
+    node_weighted_spt_many,
+)
 from repro.graph.node_graph import NodeWeightedGraph
 from repro.obs.metrics import REGISTRY as _metrics
 from repro.utils.validation import check_node_index
@@ -80,9 +84,21 @@ def pairwise_vcg_payments(
                 _metrics.add("allpairs.spt_builds", 1)
         return spt
 
-    for i, j in pairs:
-        i = check_node_index(i, g.n)
-        j = check_node_index(j, g.n)
+    # Pre-build every distinct endpoint's SPT not already in the cache in
+    # one batched multi-source solve (a single compiled call instead of
+    # one Python round-trip per endpoint; bit-identical per-source trees).
+    pair_list = [
+        (check_node_index(i, g.n), check_node_index(j, g.n))
+        for i, j in pairs
+    ]
+    missing = {x for ij in pair_list for x in ij if x not in spts}
+    if len(missing) > 1:
+        built = node_weighted_spt_many(g, sorted(missing), backend=spt_backend)
+        spts.update(built)
+        if _metrics.enabled:
+            _metrics.add("allpairs.spt_builds", len(built))
+
+    for i, j in pair_list:
         if (i, j) in out:
             continue
         out[(i, j)] = fast_vcg_payments(
@@ -232,12 +248,19 @@ def network_economy(
     g: NodeWeightedGraph,
     traffic: TrafficMatrix,
     payments: Mapping[tuple[int, int], UnicastPayment] | None = None,
+    backend: str = "auto",
 ) -> NetworkEconomy:
     """Aggregate VCG payments over a traffic matrix.
 
     Pairs whose route is monopolized (infinite payment) are skipped and
     reported in ``blocked_pairs`` — in a deployment those sessions simply
     cannot be priced and would be refused.
+
+    When ``payments`` is not supplied, the pairs are priced here through
+    the batched :func:`pairwise_vcg_payments` path with the given
+    ``backend``. Callers that want parallel pricing compute payments via
+    :func:`repro.api.price_all_pairs` (which fans out through the
+    engine) and pass them in.
     """
     if traffic.n != g.n:
         raise InvalidGraphError(
@@ -246,7 +269,7 @@ def network_economy(
         )
     if payments is None:
         payments = pairwise_vcg_payments(
-            g, ((i, j) for i, j, _ in traffic.pairs())
+            g, ((i, j) for i, j, _ in traffic.pairs()), backend=backend
         )
     income = np.zeros(g.n)
     spend = np.zeros(g.n)

@@ -262,20 +262,21 @@ def _fast_vcg_payments_impl(
         heap_edges = len(starts)
 
     with _tracer.span("fast_payment.payment_assembly"):
-        # Step 5: crossing-edge sweep with a lazy-deletion heap. An edge
-        # is valid for every removal level l with lu < l < lv: it enters
-        # the sweep at l = lu + 1 and lazily expires once l >= lv.
-        heap = LazyMinHeap()
+        # Step 5: per-level crossing-edge minima. An edge is valid for
+        # every removal level l with lu < l < lv: it enters the sweep at
+        # l = lu + 1 and expires once l >= lv.
+        if vectorized:
+            crossing_best = _crossing_minima_numpy(
+                starts, values, expiries, s
+            )
+        else:
+            crossing_best = _crossing_minima_heap(
+                starts, values, expiries, s
+            )
         avoiding: dict[int, float] = {}
         payments: dict[int, float] = {}
-        next_edge = 0
         for l in range(1, s):
-            while next_edge < heap_edges and starts[next_edge] <= l:
-                heap.push(float(values[next_edge]), int(expiries[next_edge]))
-                next_edge += 1
-            entry = heap.peek_valid(lambda lv, _l=l: lv > _l)
-            best = entry[0] if entry is not None else np.inf
-            avoid = min(best, float(c_minus[l]))
+            avoid = min(float(crossing_best[l]), float(c_minus[l]))
             r_l = path[l]
             if not np.isfinite(avoid):
                 if on_monopoly == "raise":
@@ -496,9 +497,9 @@ def _regions_numpy(
 ) -> tuple[np.ndarray, int, int]:
     """Steps 3-4, vectorized: mask + argsort bucketing instead of the
     per-node loop, shared closure arrays instead of per-member neighbour
-    scans. Only the per-region Dijkstra itself stays scalar — regions
-    are disjoint, so its total work is bounded by one pass over the
-    edge set regardless."""
+    scans, and *one* batched scipy Dijkstra covering every region at
+    once (regions are disjoint, so the merged call does the same bounded
+    one-pass-over-the-edge-set work the per-region Dijkstras did)."""
     c_minus = np.full(s, np.inf)  # c^{-l}, indexed by l (entries 1..s-1)
     mask = (levels >= 1) & (levels <= s - 1) & ~on_path
     members_all = np.nonzero(mask)[0]
@@ -507,55 +508,70 @@ def _regions_numpy(
     best_hi, best_lo = _neighbor_closures(g, levels, l_til, r_til)
     order = np.argsort(levels[members_all], kind="stable")
     members_all = members_all[order]
-    run_breaks = np.nonzero(np.diff(levels[members_all]))[0] + 1
-    groups = np.split(members_all, run_breaks)
-    for members in groups:
-        l = int(levels[members[0]])
-        c_minus[l] = _region_candidate_numpy(g, members, best_hi, best_lo)
-    return c_minus, int(members_all.size), len(groups)
+    member_levels = levels[members_all]
+    run_breaks = np.nonzero(np.diff(member_levels))[0] + 1
+    dist = _region_distances_scipy(g, mask, levels, members_all, best_hi)
+    # Step 4: close every region node through its cheapest lower-level
+    # neighbour; min per level-contiguous group. Unreached nodes carry
+    # dist=inf and nodes without a lower neighbour carry best_lo=inf, so
+    # they contribute +inf and drop out of the min, exactly like the
+    # scalar scan that only visits reached nodes.
+    vals = best_lo[members_all] + dist
+    group_starts = np.concatenate([np.zeros(1, dtype=np.int64), run_breaks])
+    c_minus[member_levels[group_starts]] = np.minimum.reduceat(
+        vals, group_starts
+    )
+    return c_minus, int(members_all.size), int(group_starts.shape[0])
 
 
-def _region_candidate_numpy(
+def _region_distances_scipy(
     g: NodeWeightedGraph,
+    mask: np.ndarray,
+    levels: np.ndarray,
     members: np.ndarray,
     best_hi: np.ndarray,
-    best_lo: np.ndarray,
-) -> float:
-    """One region's boundary Dijkstra, seeded and closed by the
-    precomputed closure arrays (the scans `_region_candidate` does per
-    member are already folded into ``best_hi``/``best_lo``)."""
-    costs = g.costs
-    member_list = [int(x) for x in members]
-    in_region = set(member_list)
-    dist: dict[int, float] = {}
-    pq: list[tuple[float, int]] = []
-    for x in member_list:
-        if np.isfinite(best_hi[x]):
-            d0 = float(costs[x] + best_hi[x])
-            dist[x] = d0
-            heapq.heappush(pq, (d0, x))
+) -> np.ndarray:
+    """All the step-3 boundary Dijkstras in a single scipy call.
 
-    settled: set[int] = set()
-    while pq:
-        dx, x = heapq.heappop(pq)
-        if x in settled or dx > dist.get(x, np.inf):
-            continue
-        settled.add(x)
-        for z in g.neighbors(x):
-            z = int(z)
-            if z in in_region and z not in settled:
-                cand = float(costs[z]) + dx
-                if cand < dist.get(z, np.inf):
-                    dist[z] = cand
-                    heapq.heappush(pq, (cand, z))
+    Regions are pairwise disjoint and only region-internal edges are
+    relaxed, so gluing them into one graph — region nodes, arcs kept
+    only when both endpoints share a level, one virtual source whose
+    out-arcs carry each member's seed ``c_x + best_hi[x]`` — leaves the
+    regions disconnected from each other, and one Dijkstra from the
+    virtual source computes every region's ``R~^{-l}`` vector at once.
 
-    best = np.inf
-    for x, dx in dist.items():
-        if np.isfinite(best_lo[x]):
-            cand = float(best_lo[x]) + dx
-            if cand < best:
-                best = cand
-    return float(best)
+    Bit-identity with the scalar region Dijkstra: relaxation adds the
+    head cost to the accumulated distance in both (IEEE addition is
+    commutative, so ``c_z + d_x == d_x + c_z`` bit for bit), seeds are
+    the same numpy float64 sums, and with monotone non-negative addition
+    the settled distances do not depend on tie-breaking order. Zero
+    weights use the same ``1e-300`` arc nudge / ``<1e-250`` clip
+    convention as the scipy SPT backend (an exact 0 in CSR data reads as
+    a missing arc).
+    """
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import dijkstra as sp_dijkstra
+
+    nm = members.shape[0]
+    loc = np.full(g.n, -1, dtype=np.int64)
+    loc[members] = np.arange(nm, dtype=np.int64)
+    src = g.arc_sources()
+    dst = g.indices
+    keep = mask[src] & mask[dst]
+    keep &= levels[src] == levels[dst]
+    rows = loc[src[keep]]
+    cols = loc[dst[keep]]
+    data = g.costs[dst[keep]].copy()  # relax by head cost, as the oracle
+    seed_idx = np.nonzero(np.isfinite(best_hi[members]))[0]
+    seed_w = (g.costs[members] + best_hi[members])[seed_idx]
+    rows = np.concatenate([rows, np.full(seed_idx.shape[0], nm)])
+    cols = np.concatenate([cols, seed_idx])
+    data = np.concatenate([data, seed_w])
+    data[data <= 0.0] = 1e-300
+    matrix = csr_matrix((data, (rows, cols)), shape=(nm + 1, nm + 1))
+    dist = sp_dijkstra(matrix, directed=True, indices=nm)[:nm]
+    dist[dist < 1e-250] = 0.0
+    return dist
 
 
 def _crossing_edges_numpy(
@@ -591,3 +607,59 @@ def _crossing_edges_numpy(
     starts = l_low[crossing] + 1
     order = np.argsort(starts, kind="stable")
     return starts[order], value[crossing][order], l_high[crossing][order]
+
+
+def _crossing_minima_heap(starts, values, expiries, s: int) -> np.ndarray:
+    """Per-level minimum over the valid crossing edges, as a
+    lazy-deletion heap sweep (the step-5 structure the paper describes:
+    each edge enters and leaves the heap once)."""
+    best = np.full(s, np.inf)
+    heap = LazyMinHeap()
+    heap_edges = len(starts)
+    next_edge = 0
+    for l in range(1, s):
+        while next_edge < heap_edges and starts[next_edge] <= l:
+            heap.push(float(values[next_edge]), int(expiries[next_edge]))
+            next_edge += 1
+        entry = heap.peek_valid(lambda lv, _l=l: lv > _l)
+        if entry is not None:
+            best[l] = entry[0]
+    return best
+
+
+def _crossing_minima_numpy(
+    starts: np.ndarray,
+    values: np.ndarray,
+    expiries: np.ndarray,
+    s: int,
+) -> np.ndarray:
+    """Per-level minimum over the valid crossing edges, vectorized.
+
+    Expands each edge into its validity levels ``start .. expiry-1``
+    (one ``np.repeat`` incidence stream), then takes grouped minima —
+    no per-edge Python heap traffic. Minimum is order-independent, so
+    the result matches the heap sweep bit for bit. Falls back to the
+    heap when the summed validity spans blow up past the O(E log E)
+    regime (long paths crossed by long edges), keeping the worst case
+    bounded.
+    """
+    best = np.full(s, np.inf)
+    n_edges = int(len(starts))
+    if n_edges == 0:
+        return best
+    lengths = expiries - starts
+    total = int(lengths.sum())
+    if total > 4 * n_edges + 65536:
+        return _crossing_minima_heap(starts, values, expiries, s)
+    offsets = np.cumsum(lengths) - lengths
+    pos = np.arange(total, dtype=np.int64) - np.repeat(offsets, lengths)
+    idx = np.repeat(starts, lengths) + pos
+    vals = np.repeat(values, lengths)
+    order = np.argsort(idx, kind="stable")
+    idx = idx[order]
+    vals = vals[order]
+    group_starts = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.nonzero(np.diff(idx))[0] + 1]
+    )
+    best[idx[group_starts]] = np.minimum.reduceat(vals, group_starts)
+    return best

@@ -209,15 +209,21 @@ def _price_node_chunk(graph, pairs, on_monopoly, backend):
     """Worker task: price one chunk of pairs (node model).
 
     Module-level so it pickles into :func:`repro.analysis.parallel`
-    worker processes.
+    worker processes. ``graph`` may be a real graph or a zero-copy
+    :class:`repro.analysis.shm.ArenaHandle` exported by the parent.
     """
+    from repro.analysis.shm import resolve_graph
+
     return pairwise_vcg_payments(
-        graph, pairs, on_monopoly=on_monopoly, backend=backend
+        resolve_graph(graph), pairs, on_monopoly=on_monopoly, backend=backend
     )
 
 
 def _price_link_chunk(dg, pairs, on_monopoly, backend):
     """Worker task: price one chunk of pairs (link model)."""
+    from repro.analysis.shm import resolve_graph
+
+    dg = resolve_graph(dg)
     return {
         (s, t): link_vcg_payments(
             dg, s, t, on_monopoly=on_monopoly, backend=backend
@@ -559,6 +565,8 @@ class PricingEngine:
                         if n_jobs == 1 or len(todo) == 1:
                             out.update(self._price_batch_serial(todo))
                         else:
+                            from repro.analysis.shm import SharedGraphArena
+
                             chunks = [
                                 todo[i::n_jobs]
                                 for i in range(n_jobs)
@@ -569,18 +577,27 @@ class PricingEngine:
                                 if self._model == "node"
                                 else _price_link_chunk
                             )
-                            tasks = [
-                                (
-                                    (self._graph, chunk, self._on_monopoly,
-                                     self._backend),
-                                    {},
-                                )
-                                for chunk in chunks
-                            ]
-                            for priced in run_tasks(fn, tasks, jobs=n_jobs):
-                                for key, payment in priced.items():
-                                    out[key] = payment
-                                    self._pairs[key] = (self._version, payment)
+                            # Ship the graph once, zero-copy: workers
+                            # attach to the shared CSR arena by name
+                            # instead of unpickling O(m) bytes per chunk.
+                            with SharedGraphArena(self._graph) as arena:
+                                tasks = [
+                                    (
+                                        (arena.handle, chunk,
+                                         self._on_monopoly, self._backend),
+                                        {},
+                                    )
+                                    for chunk in chunks
+                                ]
+                                for priced in run_tasks(
+                                    fn, tasks, jobs=n_jobs
+                                ):
+                                    for key, payment in priced.items():
+                                        out[key] = payment
+                                        self._pairs[key] = (
+                                            self._version,
+                                            payment,
+                                        )
                 except ReproError:
                     raise
                 except Exception as exc:

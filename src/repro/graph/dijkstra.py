@@ -41,6 +41,7 @@ from repro.utils.validation import check_node_index
 
 __all__ = [
     "node_weighted_spt",
+    "node_weighted_spt_many",
     "link_weighted_spt",
     "shortest_path_tree",
     "node_weighted_distance",
@@ -170,21 +171,25 @@ def _node_spt_python(
 
 
 def _node_spt_scipy(g: NodeWeightedGraph, root: int) -> ShortestPathTree:
-    from scipy.sparse import csr_matrix
     from scipy.sparse.csgraph import dijkstra as sp_dijkstra
 
-    base = g.to_tailcost_matrix()
-    data = base.data.copy()
+    mat = g.to_tailcost_matrix()
     # The source relays its own packet for free (Section II.C): nudge its
-    # outgoing arcs to ~0 (an exact 0 would read as a missing arc).
-    data[base.indptr[root] : base.indptr[root + 1]] = 1e-300
-    mat = csr_matrix((data, base.indices, base.indptr), shape=base.shape)
-    dist, pred = sp_dijkstra(
-        mat,
-        directed=True,
-        indices=root,
-        return_predecessors=True,
-    )
+    # outgoing arcs to ~0 (an exact 0 would read as a missing arc). Patch
+    # the cached matrix in place and restore afterwards — only the root's
+    # row is touched, so no O(m) copy or per-call CSR validation.
+    lo, hi = int(mat.indptr[root]), int(mat.indptr[root + 1])
+    saved = mat.data[lo:hi].copy()
+    mat.data[lo:hi] = 1e-300
+    try:
+        dist, pred = sp_dijkstra(
+            mat,
+            directed=True,
+            indices=root,
+            return_predecessors=True,
+        )
+    finally:
+        mat.data[lo:hi] = saved
     dist = np.where(np.isfinite(dist), dist, np.inf)
     # Clip the zero-cost nudges back to exact zeros.
     dist[dist < 1e-250] = 0.0
@@ -192,6 +197,114 @@ def _node_spt_scipy(g: NodeWeightedGraph, root: int) -> ShortestPathTree:
     parent = pred.astype(np.int64)
     parent[parent < 0] = -1
     return _flush_scipy_counters(ShortestPathTree(root, dist, parent))
+
+
+def node_weighted_spt_many(
+    g: NodeWeightedGraph,
+    sources: Iterable[int],
+    backend: str = "auto",
+) -> dict[int, ShortestPathTree]:
+    """SPTs from every *distinct* source in one pass; ``{root: tree}``.
+
+    Batch pricing (``pairwise_vcg_payments``, ``Engine.price_many``)
+    needs one tree per distinct endpoint. Building them one
+    ``node_weighted_spt`` call at a time pays a Python round-trip, an
+    O(m) matrix patch and scipy's per-call validation for every source;
+    this entry point pays them **once**: all sources are solved by a
+    single ``scipy.sparse.csgraph.dijkstra(indices=...)`` call over one
+    augmented matrix derived from the graph's cached tail-cost CSR.
+
+    Each tree is bit-identical to ``node_weighted_spt(g, s, backend)``
+    for the same backend (the ``python`` backend is the scalar-loop
+    oracle; ``scipy``'s batched path reproduces the per-source floats
+    exactly — see ``_node_spt_many_scipy``). Duplicate sources collapse;
+    an empty iterable returns ``{}``. A ``forbidden`` mask is not
+    supported here — masked builds go through the per-source API.
+    """
+    seen: dict[int, None] = {}
+    for s in sources:
+        seen.setdefault(check_node_index(s, g.n), None)
+    roots = list(seen)
+    backend = _check_backend(backend)
+    if not roots:
+        return {}
+    if backend == "auto":
+        backend = "scipy" if (g.n >= 64 and len(roots) > 1) else "python"
+    if backend != "scipy" or len(roots) == 1:
+        return {
+            s: node_weighted_spt(g, s, backend=backend) for s in roots
+        }
+    return _node_spt_many_scipy(g, roots)
+
+
+def _node_spt_many_scipy(
+    g: NodeWeightedGraph, roots: list[int]
+) -> dict[int, ShortestPathTree]:
+    """All-sources solve over one augmented matrix, one compiled call.
+
+    The per-source scipy path nudges the *root's* outgoing arcs to
+    ~0 so the source relays its own packet for free (Section II.C).
+    That patch is per-source, so a single shared matrix cannot serve
+    every root directly. Instead, each root ``s`` gets a **virtual
+    source** row ``n + i`` replaying ``s``'s outgoing arcs at the same
+    1e-300 nudge; the first block of the matrix is the unmodified
+    tail-cost CSR. A shortest path ``n+i -> x`` then performs exactly
+    the float additions of the per-source path ``s -> x`` (first arc
+    1e-300, then the same tail costs left to right), and paths that
+    re-enter ``s`` at its full cost are never shorter than their
+    shortcut through the virtual row (float addition of non-negatives
+    is monotone), so the returned ``dist`` arrays are bit-identical to
+    the per-source ones. Virtual predecessors are mapped back to ``s``.
+    """
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import dijkstra as sp_dijkstra
+
+    n = g.n
+    k = len(roots)
+    base = g.to_tailcost_matrix()
+    src = np.asarray(roots, dtype=np.int64)
+    deg = (g.indptr[src + 1] - g.indptr[src]).astype(np.int64)
+    total = int(deg.sum())
+    if total:
+        vidx = np.concatenate(
+            [g.indices[g.indptr[s] : g.indptr[s + 1]] for s in roots]
+        )
+    else:
+        vidx = np.empty(0, dtype=np.int64)
+    data = np.concatenate([base.data, np.full(total, 1e-300)])
+    indices = np.concatenate(
+        [np.asarray(base.indices, dtype=np.int64), vidx]
+    )
+    indptr = np.concatenate(
+        [
+            np.asarray(base.indptr, dtype=np.int64),
+            int(base.indptr[-1]) + np.cumsum(deg),
+        ]
+    )
+    aug = csr_matrix((data, indices, indptr), shape=(n + k, n + k))
+    dist_all, pred_all = sp_dijkstra(
+        aug,
+        directed=True,
+        indices=np.arange(n, n + k),
+        return_predecessors=True,
+    )
+    out: dict[int, ShortestPathTree] = {}
+    for i, s in enumerate(roots):
+        row = dist_all[i, :n]
+        dist = np.where(np.isfinite(row), row, np.inf)
+        # Clip the zero-cost nudges back to exact zeros (same clip as
+        # the per-source path).
+        dist[dist < 1e-250] = 0.0
+        dist[s] = 0.0
+        parent = pred_all[i, :n].astype(np.int64)
+        parent[parent == n + i] = s
+        parent[parent < 0] = -1
+        parent[s] = -1
+        out[s] = _flush_scipy_counters(ShortestPathTree(s, dist, parent))
+    if _metrics.enabled:
+        _metrics.add("dijkstra.batched_runs", 1)
+        _metrics.add("dijkstra.batched_sources", k)
+    return out
 
 
 def node_weighted_distance(

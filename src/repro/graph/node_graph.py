@@ -46,7 +46,9 @@ class NodeWeightedGraph:
         Length-``n`` array of non-negative, finite node costs.
     """
 
-    __slots__ = ("n", "costs", "indptr", "indices", "_nx_cache", "_arc_src")
+    __slots__ = (
+        "n", "costs", "indptr", "indices", "_nx_cache", "_arc_src", "_tailcost"
+    )
 
     def __init__(self, n: int, edges: Iterable[tuple[int, int]], costs) -> None:
         n = int(n)
@@ -60,6 +62,7 @@ class NodeWeightedGraph:
         self.indices.setflags(write=False)
         self._nx_cache = None
         self._arc_src = None
+        self._tailcost = None
 
     # -- construction --------------------------------------------------------
 
@@ -115,6 +118,46 @@ class NodeWeightedGraph:
         """Build with ``n`` inferred from ``len(costs)``."""
         return cls(len(costs), edges, costs)
 
+    @classmethod
+    def from_csr(cls, n: int, costs, indptr, indices) -> "NodeWeightedGraph":
+        """Wrap existing CSR arrays without copying them.
+
+        The arrays must already be a valid symmetric CSR adjacency (as
+        produced by this class) with ``float64`` costs and ``int64``
+        index arrays; only shapes are checked. This is the zero-copy
+        entry point used by :mod:`repro.analysis.shm` to reconstruct a
+        graph over a shared-memory buffer — the returned graph *views*
+        the caller's arrays, it does not own fresh copies.
+        """
+        n = int(n)
+        costs = np.asarray(costs, dtype=np.float64)
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if costs.shape != (n,):
+            raise InvalidGraphError(
+                f"costs must have shape ({n},), got {costs.shape}"
+            )
+        if indptr.shape != (n + 1,):
+            raise InvalidGraphError(
+                f"indptr must have shape ({n + 1},), got {indptr.shape}"
+            )
+        if indices.shape != (int(indptr[-1]) if n else 0,):
+            raise InvalidGraphError(
+                f"indices length {indices.shape[0]} does not match "
+                f"indptr[-1]={int(indptr[-1]) if n else 0}"
+            )
+        g = object.__new__(cls)
+        g.n = n
+        g.costs = costs
+        g.indptr = indptr
+        g.indices = indices
+        for a in (g.costs, g.indptr, g.indices):
+            a.setflags(write=False)
+        g._nx_cache = None
+        g._arc_src = None
+        g._tailcost = None
+        return g
+
     def with_costs(self, costs) -> "NodeWeightedGraph":
         """Same topology, different cost vector (used for declared costs)."""
         g = object.__new__(NodeWeightedGraph)
@@ -125,6 +168,7 @@ class NodeWeightedGraph:
         g.indices = self.indices
         g._nx_cache = None
         g._arc_src = self._arc_src  # topology-only cache, safe to share
+        g._tailcost = None  # cost-dependent, cannot be shared
         return g
 
     def with_declaration(self, node: int, declared_cost: float) -> "NodeWeightedGraph":
@@ -299,14 +343,21 @@ class NodeWeightedGraph:
         nudged to 1e-300 (scipy's CSR treats exact zeros as missing
         arcs); the nudge is annihilated by the first real addition and
         clipped after the solve.
-        """
-        from scipy.sparse import csr_matrix
 
-        data = self.costs[self.arc_sources()].copy()
-        data[data <= 0.0] = 1e-300
-        return csr_matrix(
-            (data, self.indices.copy(), self.indptr.copy()), shape=(self.n, self.n)
-        )
+        The matrix is cached (the graph is immutable) — per-source and
+        batched Dijkstra calls over the same snapshot reuse one CSR
+        instead of rebuilding it per call. Callers must not mutate it.
+        """
+        if self._tailcost is None:
+            from scipy.sparse import csr_matrix
+
+            data = self.costs[self.arc_sources()].copy()
+            data[data <= 0.0] = 1e-300
+            self._tailcost = csr_matrix(
+                (data, self.indices.copy(), self.indptr.copy()),
+                shape=(self.n, self.n),
+            )
+        return self._tailcost
 
     # -- dunder ---------------------------------------------------------------
 

@@ -191,15 +191,29 @@ class ShortestPathTree:
         if not path or path[0] != self.root:
             raise ValueError("path must start at the tree root")
         labels = np.full(self.n, -1, dtype=np.int64)
-        pos_on_path = {node: i for i, node in enumerate(path)}
-        for x in self.topological_order():
-            if x in pos_on_path:
-                labels[x] = pos_on_path[x]
-            elif x == self.root:  # root not on path (impossible: checked)
-                labels[x] = 0
-            else:
-                labels[x] = labels[self.parent[x]]
-        return labels
+        labels[np.asarray(path, dtype=np.int64)] = np.arange(
+            len(path), dtype=np.int64
+        )
+        # Every other node inherits the label of its nearest labelled
+        # ancestor (the root is labelled, so every reachable chain
+        # terminates). Resolve all chains at once by pointer doubling:
+        # labelled nodes and parentless nodes absorb via self-loops, then
+        # repeatedly squaring the ancestor map halves the unresolved
+        # depth, so ceil(log2(depth)) whole-array passes replace the
+        # per-node walk. Labels are exact integers; the result is
+        # identical to the sequential top-down propagation.
+        anc = self.parent.copy()
+        idx = np.arange(self.n, dtype=np.int64)
+        absorb = (labels >= 0) | (anc < 0)
+        anc[absorb] = idx[absorb]
+        while True:
+            nxt = anc[anc]
+            if np.array_equal(nxt, anc):
+                break
+            anc = nxt
+        # Unreachable nodes self-looped at label -1; reachable off-path
+        # nodes landed on their last path ancestor.
+        return labels[anc]
 
     # -- dunder ---------------------------------------------------------------
 

@@ -102,6 +102,46 @@ class TestPairwisePayments:
                 b[key].total_payment
             )
 
+    @given(biconnected_graphs(max_nodes=30))
+    @settings(deadline=None)
+    def test_batched_prebuild_bit_identical_to_per_source(self, g):
+        """The batched multi-source SPT prebuild must be *bit-identical*
+        to per-source construction — same parents, same distances, so
+        same paths and exactly equal payment floats. The per-source
+        reference goes through the same function with a pre-populated
+        ``spt_cache``, which skips the batched prebuild entirely."""
+        from repro.graph.dijkstra import node_weighted_spt
+
+        pairs = [(i, (i + 3) % g.n) for i in range(min(g.n, 9))]
+        pairs = [(i, j) for i, j in pairs if i != j]
+        endpoints = sorted({x for ij in pairs for x in ij})
+        cache = {
+            x: node_weighted_spt(g, x, backend="scipy") for x in endpoints
+        }
+        per_source = pairwise_vcg_payments(
+            g, pairs, backend="auto", spt_cache=cache
+        )
+        batched = pairwise_vcg_payments(g, pairs, backend="auto")
+        assert batched.keys() == per_source.keys()
+        for key in batched:
+            a, b = batched[key], per_source[key]
+            assert a.path == b.path
+            assert a.lcp_cost == b.lcp_cost  # exact, not approx
+            assert dict(a.payments) == dict(b.payments)
+
+    @given(biconnected_graphs(max_nodes=24))
+    @settings(deadline=None)
+    def test_batched_bit_identical_to_python_oracle(self, g):
+        """Full-stack bit-identity: batched scipy SPTs + vectorized
+        Algorithm-1 kernels against the pure-python scalar oracle."""
+        pairs = [(0, g.n - 1), (g.n - 1, 0), (1, g.n // 2)]
+        pairs = [(i, j) for i, j in pairs if i != j]
+        fast = pairwise_vcg_payments(g, pairs, backend="auto")
+        oracle = pairwise_vcg_payments(g, pairs, backend="python")
+        for key in fast:
+            assert fast[key].path == oracle[key].path
+            assert dict(fast[key].payments) == dict(oracle[key].payments)
+
     def test_backend_numpy_accepted(self, random_graph):
         """Every Algorithm-1 backend name must work here, including
         ``"numpy"``, which the Dijkstra layer itself does not know —

@@ -7,11 +7,13 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import GraphError
+from repro.graph import generators as gen
 from repro.graph.dijkstra import (
     link_weighted_distance,
     link_weighted_spt,
     node_weighted_distance,
     node_weighted_spt,
+    node_weighted_spt_many,
 )
 
 from conftest import biconnected_graphs, robust_digraphs
@@ -143,3 +145,121 @@ class TestLinkWeightedSpt:
         dg = LinkWeightedDigraph(3, [(0, 1, 0.0), (1, 2, 0.0), (0, 2, 5.0)])
         spt = link_weighted_spt(dg, 0, direction="from", backend="scipy")
         assert spt.dist[2] == 0.0
+
+
+class TestNodeWeightedSptMany:
+    """Batched multi-source construction agrees exactly with per-source."""
+
+    def _assert_tree_equal(self, a, b):
+        assert a.root == b.root
+        assert a.dist.tobytes() == b.dist.tobytes()  # bit-identical floats
+        # Parents may differ only between equal-cost alternatives; the
+        # distances each parent pointer witnesses must match exactly.
+        for x in range(a.n):
+            assert (a.parent[x] < 0) == (b.parent[x] < 0)
+
+    @given(biconnected_graphs(max_nodes=40))
+    def test_matches_per_source_scipy(self, g):
+        sources = list(range(min(g.n, 7)))
+        many = node_weighted_spt_many(g, sources, backend="scipy")
+        assert set(many) == set(sources)
+        for s in sources:
+            self._assert_tree_equal(
+                many[s], node_weighted_spt(g, s, backend="scipy")
+            )
+
+    @given(biconnected_graphs(max_nodes=30))
+    def test_scipy_batch_matches_python_oracle(self, g):
+        sources = [0, g.n - 1, g.n // 2]
+        many = node_weighted_spt_many(g, sources, backend="scipy")
+        for s in set(sources):
+            oracle = node_weighted_spt(g, s, backend="python")
+            assert many[s].dist.tobytes() == oracle.dist.tobytes()
+
+    def test_random_udg_instances(self):
+        from repro.wireless.topology import build_node_graph_from_udg
+
+        rng = np.random.default_rng(42)
+        for trial in range(5):
+            n = int(rng.integers(60, 160))
+            pts = rng.uniform(0, 1000, size=(n, 2))
+            costs = rng.uniform(0.0, 10.0, size=n)
+            g = build_node_graph_from_udg(pts, 220.0, costs)
+            sources = rng.integers(0, n, size=12).tolist()
+            many = node_weighted_spt_many(g, sources)
+            for s in set(sources):
+                per = node_weighted_spt(g, s)
+                assert many[s].dist.tobytes() == per.dist.tobytes()
+
+    def test_disconnected_graph(self):
+        from repro.graph.node_graph import NodeWeightedGraph
+
+        # two components: 0-1-2 and 3-4
+        g = NodeWeightedGraph(
+            5, [(0, 1), (1, 2), (3, 4)], [1.0, 2.0, 3.0, 4.0, 5.0]
+        )
+        many = node_weighted_spt_many(g, [0, 3], backend="scipy")
+        assert many[0].dist[3] == np.inf and many[0].parent[3] == -1
+        assert many[3].dist[4] == 0.0
+        for s in (0, 3):
+            per = node_weighted_spt(g, s, backend="scipy")
+            assert many[s].dist.tobytes() == per.dist.tobytes()
+            assert np.array_equal(many[s].parent, per.parent)
+
+    def test_duplicates_collapse(self):
+        g = gen.random_biconnected_graph(20, seed=1)
+        many = node_weighted_spt_many(g, [3, 3, 3, 5, 5])
+        assert set(many) == {3, 5}
+
+    def test_singleton_source_list(self):
+        g = gen.random_biconnected_graph(70, seed=2)
+        many = node_weighted_spt_many(g, [4], backend="scipy")
+        per = node_weighted_spt(g, 4, backend="scipy")
+        assert many[4].dist.tobytes() == per.dist.tobytes()
+
+    def test_empty_sources(self):
+        g = gen.random_biconnected_graph(10, seed=3)
+        assert node_weighted_spt_many(g, []) == {}
+
+    def test_python_backend_is_per_source_oracle(self):
+        g = gen.random_biconnected_graph(15, seed=4)
+        many = node_weighted_spt_many(g, [0, 7], backend="python")
+        for s in (0, 7):
+            per = node_weighted_spt(g, s, backend="python")
+            assert np.array_equal(many[s].dist, per.dist)
+            assert np.array_equal(many[s].parent, per.parent)
+
+    def test_zero_cost_nodes_exact(self):
+        from repro.graph.node_graph import NodeWeightedGraph
+
+        g = NodeWeightedGraph(
+            4, [(0, 1), (1, 2), (2, 3), (0, 3)], [0.0, 0.0, 0.0, 0.0]
+        )
+        many = node_weighted_spt_many(g, [0, 2], backend="scipy")
+        assert many[0].dist[2] == 0.0
+        assert many[2].dist[0] == 0.0
+
+    def test_bad_source_rejected(self):
+        g = gen.random_biconnected_graph(8, seed=5)
+        with pytest.raises(Exception):
+            node_weighted_spt_many(g, [0, 99])
+
+    def test_bad_backend_rejected(self):
+        g = gen.random_biconnected_graph(8, seed=5)
+        with pytest.raises(ValueError, match="backend"):
+            node_weighted_spt_many(g, [0], backend="cuda")
+
+    def test_batched_metrics(self):
+        from repro.obs.metrics import REGISTRY
+
+        g = gen.random_biconnected_graph(80, seed=6)
+        REGISTRY.reset()
+        REGISTRY.enable()
+        try:
+            node_weighted_spt_many(g, [0, 1, 2], backend="scipy")
+            snap = REGISTRY.snapshot()
+        finally:
+            REGISTRY.disable()
+            REGISTRY.reset()
+        assert snap.counters["dijkstra.batched_runs"] == 1
+        assert snap.counters["dijkstra.batched_sources"] == 3

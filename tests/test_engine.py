@@ -236,6 +236,28 @@ class TestPriceMany:
             assert a.lcp_cost == b.lcp_cost
             assert dict(a.payments) == dict(b.payments)
 
+    def test_parallel_batches_reuse_pool_and_leak_nothing(self):
+        """Two consecutive parallel batches: the second reuses the
+        persistent worker pool, both are bit-identical to serial, and no
+        shared-memory segment survives either batch."""
+        import glob
+
+        from repro.analysis.shm import SEGMENT_PREFIX
+
+        g = gen.random_biconnected_graph(36, seed=8)
+        eng = PricingEngine(g, on_monopoly="inf")
+        ref = PricingEngine(g, on_monopoly="inf")
+        before = set(glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*"))
+        for lo, hi in [(1, 18), (18, 36)]:
+            pairs = [(i, 0) for i in range(lo, hi)]
+            par = eng.price_many(pairs, jobs=2)
+            ser = ref.price_many(pairs)
+            for key in pairs:
+                assert par[key].path == ser[key].path
+                assert par[key].lcp_cost == ser[key].lcp_cost
+                assert dict(par[key].payments) == dict(ser[key].payments)
+        assert set(glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*")) == before
+
     def test_deduplicates_pairs(self, random_graph):
         eng = PricingEngine(random_graph)
         out = eng.price_many([(5, 0), (5, 0), (6, 0)])

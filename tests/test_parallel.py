@@ -12,12 +12,22 @@ import os
 import pytest
 
 from repro.analysis.experiments import sweep_overpayment
-from repro.analysis.parallel import resolve_jobs, run_tasks
+from repro.analysis.parallel import (
+    get_pool,
+    resolve_jobs,
+    run_tasks,
+    shutdown_pool,
+)
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 
 
 def _square(x, offset=0):
     return x * x + offset
+
+
+def _crash(x):
+    # kill the worker process outright -> BrokenProcessPool in the parent
+    os._exit(13)
 
 
 def _counting(x):
@@ -76,6 +86,90 @@ class TestRunTasks:
         REGISTRY.reset()
         run_tasks(_counting, [((i,), {}) for i in range(4)], jobs=2)
         assert not REGISTRY.snapshot().flat()
+
+
+class TestPersistentPool:
+    def setup_method(self):
+        shutdown_pool()
+
+    def teardown_method(self):
+        shutdown_pool()
+
+    def test_pool_is_reused_across_calls(self):
+        tasks = [((i,), {}) for i in range(6)]
+        run_tasks(_square, tasks, jobs=2)
+        first = get_pool(2)
+        run_tasks(_square, tasks, jobs=2)
+        assert get_pool(2) is first
+
+    def test_wider_request_replaces_pool(self):
+        narrow = get_pool(1)
+        wide = get_pool(3)
+        assert wide is not narrow
+        # and a narrower request reuses the wide pool as-is
+        assert get_pool(2) is wide
+
+    def test_pool_reuse_metric(self):
+        REGISTRY.reset()
+        REGISTRY.enable()
+        try:
+            tasks = [((i,), {}) for i in range(4)]
+            run_tasks(_square, tasks, jobs=2)  # creates the pool
+            run_tasks(_square, tasks, jobs=2)  # reuses it
+            run_tasks(_square, tasks, jobs=2)  # reuses it again
+            snap = REGISTRY.snapshot().flat()
+        finally:
+            REGISTRY.disable()
+            REGISTRY.reset()
+        assert snap["parallel.pool_reuses"] == 2
+
+    def test_shutdown_pool_is_idempotent(self):
+        get_pool(2)
+        shutdown_pool()
+        shutdown_pool()  # second call must be a no-op
+
+    def test_broken_pool_raises_and_recovers(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        tasks = [((i,), {}) for i in range(4)]
+        with pytest.raises(BrokenProcessPool):
+            run_tasks(_crash, tasks, jobs=2)
+        # the poisoned pool was discarded; the next call works
+        assert run_tasks(_square, tasks, jobs=2) == [0, 1, 4, 9]
+
+
+class TestChunksize:
+    def test_explicit_chunksize_respected(self):
+        tasks = [((i,), {}) for i in range(10)]
+        assert run_tasks(_square, tasks, jobs=2, chunksize=5) == [
+            i * i for i in range(10)
+        ]
+
+    def test_auto_chunksize_formula(self, monkeypatch):
+        """chunksize=None tunes to max(1, tasks // (4*workers))."""
+        from repro.analysis import parallel as par
+
+        seen = {}
+
+        class _FakePool:
+            def map(self, fn, payloads, chunksize):
+                seen["chunksize"] = chunksize
+                return [fn(p) for p in list(payloads)]
+
+        monkeypatch.setattr(par, "get_pool", lambda workers: _FakePool())
+        for n_tasks, jobs, expected in [(32, 2, 4), (7, 2, 1), (40, 3, 3)]:
+            run_tasks(_square, [((i,), {}) for i in range(n_tasks)],
+                      jobs=jobs)
+            assert seen["chunksize"] == expected
+        # explicit values pass straight through
+        run_tasks(_square, [((i,), {}) for i in range(32)], jobs=2,
+                  chunksize=9)
+        assert seen["chunksize"] == 9
+
+    def test_auto_chunksize_results_match_serial(self):
+        tasks = [((i,), {"offset": 2}) for i in range(33)]
+        serial = run_tasks(_square, tasks, jobs=1)
+        assert run_tasks(_square, tasks, jobs=3) == serial
 
 
 class TestMergeSnapshot:

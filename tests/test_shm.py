@@ -1,0 +1,251 @@
+"""Shared-memory graph arena: zero-copy round-trips and lifecycle.
+
+The two things that must never happen: a worker reading different bytes
+than the parent exported, and a segment outliving its owner in
+``/dev/shm``. Lifecycle is exercised through real subprocesses for the
+normal-exit, crash and KeyboardInterrupt paths.
+"""
+
+import glob
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.analysis.shm import (
+    SEGMENT_PREFIX,
+    ArenaHandle,
+    SharedGraphArena,
+    attach,
+    resolve_graph,
+)
+from repro.graph import generators as gen
+from repro.graph.link_graph import LinkWeightedDigraph
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SHM_DIR = "/dev/shm"
+
+
+def _live_segments() -> set[str]:
+    if not os.path.isdir(SHM_DIR):  # pragma: no cover - non-Linux
+        pytest.skip("no /dev/shm on this platform")
+    return set(glob.glob(os.path.join(SHM_DIR, SEGMENT_PREFIX + "*")))
+
+
+def _run_script(body: str, expect_failure: bool = False) -> str:
+    """Run a Python snippet in a fresh interpreter with repro importable."""
+    env = dict(os.environ, PYTHONPATH=os.path.join(ROOT, "src"))
+    proc = subprocess.run(
+        [sys.executable, "-c", textwrap.dedent(body)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    if expect_failure:
+        assert proc.returncode != 0, proc.stdout + proc.stderr
+    else:
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+    return proc.stdout
+
+
+_MAKE_GRAPH = (
+    "from repro.graph import generators as gen; "
+    "g = gen.random_biconnected_graph(40, seed=3)"
+)
+
+
+class TestRoundTrip:
+    def test_node_graph_bit_identical(self):
+        g = gen.random_biconnected_graph(30, seed=7)
+        with SharedGraphArena(g) as arena:
+            shared = attach(arena.handle)
+            assert shared.n == g.n
+            assert shared.costs.tobytes() == g.costs.tobytes()
+            assert shared.indptr.tobytes() == g.indptr.tobytes()
+            assert shared.indices.tobytes() == g.indices.tobytes()
+            # genuinely zero-copy: the arrays are read-only views
+            assert not shared.costs.flags.writeable
+            with pytest.raises(ValueError):
+                shared.costs[0] = 1.0
+
+    def test_link_graph_bit_identical(self):
+        dg = gen.random_robust_digraph(25, seed=11)
+        with SharedGraphArena(dg) as arena:
+            shared = attach(arena.handle)
+            assert isinstance(shared, LinkWeightedDigraph)
+            assert shared.weights.tobytes() == dg.weights.tobytes()
+            assert shared.indices.tobytes() == dg.indices.tobytes()
+
+    def test_attach_in_subprocess_bit_identical(self):
+        """Attach-by-name from a different process sees the same bytes."""
+        g = gen.random_biconnected_graph(40, seed=3)
+        with SharedGraphArena(g) as arena:
+            h = arena.handle
+            out = _run_script(
+                f"""
+                {_MAKE_GRAPH}
+                from repro.analysis.shm import ArenaHandle, attach
+                h = ArenaHandle(name={h.name!r}, model={h.model!r},
+                                n={h.n!r}, layout={h.layout!r},
+                                owner_pid={h.owner_pid!r})
+                shared = attach(h)
+                assert shared.costs.tobytes() == g.costs.tobytes()
+                assert shared.indptr.tobytes() == g.indptr.tobytes()
+                assert shared.indices.tobytes() == g.indices.tobytes()
+                print("MATCH")
+                """
+            )
+            assert "MATCH" in out
+
+    def test_attach_caches_per_segment(self):
+        g = gen.random_biconnected_graph(12, seed=1)
+        with SharedGraphArena(g) as arena:
+            assert attach(arena.handle) is attach(arena.handle)
+
+    def test_resolve_graph_passthrough(self):
+        g = gen.random_biconnected_graph(10, seed=0)
+        assert resolve_graph(g) is g
+        with SharedGraphArena(g) as arena:
+            shared = resolve_graph(arena.handle)
+            assert shared.costs.tobytes() == g.costs.tobytes()
+
+    def test_handle_is_picklable_and_small(self):
+        import pickle
+
+        g = gen.random_biconnected_graph(50, seed=5)
+        with SharedGraphArena(g) as arena:
+            blob = pickle.dumps(arena.handle)
+            assert len(blob) < 1024  # the point: O(1), not O(m)
+            h = pickle.loads(blob)
+            assert isinstance(h, ArenaHandle)
+            assert h.nbytes == arena.handle.nbytes
+
+    def test_pricing_on_attached_graph_matches(self):
+        from repro.core.allpairs import pairwise_vcg_payments
+
+        g = gen.random_biconnected_graph(30, seed=9)
+        pairs = [(i, 0) for i in range(1, 10)]
+        direct = pairwise_vcg_payments(g, pairs)
+        with SharedGraphArena(g) as arena:
+            via_shm = pairwise_vcg_payments(attach(arena.handle), pairs)
+        assert direct.keys() == via_shm.keys()
+        for k in direct:
+            assert direct[k].payments == via_shm[k].payments
+
+
+class TestLifecycle:
+    def test_context_manager_unlinks(self):
+        g = gen.random_biconnected_graph(20, seed=2)
+        before = _live_segments()
+        with SharedGraphArena(g) as arena:
+            name = arena.handle.name
+            assert os.path.join(SHM_DIR, name) in _live_segments()
+        assert _live_segments() == before
+        assert not os.path.exists(os.path.join(SHM_DIR, name))
+
+    def test_close_is_idempotent(self):
+        g = gen.random_biconnected_graph(10, seed=4)
+        arena = SharedGraphArena(g)
+        arena.close()
+        arena.close()  # second close is a no-op
+
+    def test_exception_in_context_still_unlinks(self):
+        g = gen.random_biconnected_graph(10, seed=4)
+        before = _live_segments()
+        with pytest.raises(RuntimeError):
+            with SharedGraphArena(g):
+                raise RuntimeError("boom")
+        assert _live_segments() == before
+
+    def test_normal_exit_without_context_manager(self):
+        """atexit covers arenas never closed explicitly."""
+        before = _live_segments()
+        _run_script(
+            f"""
+            {_MAKE_GRAPH}
+            from repro.analysis.shm import SharedGraphArena
+            arena = SharedGraphArena(g)   # no close(), no with
+            print(arena.handle.name)
+            """
+        )
+        assert _live_segments() == before
+
+    def test_keyboard_interrupt_unlinks(self):
+        before = _live_segments()
+        _run_script(
+            f"""
+            {_MAKE_GRAPH}
+            from repro.analysis.shm import SharedGraphArena
+            arena = SharedGraphArena(g)
+            raise KeyboardInterrupt
+            """,
+            expect_failure=True,
+        )
+        assert _live_segments() == before
+
+    def test_worker_crash_leaks_nothing(self):
+        """A killed worker only held a mapping; the owner still unlinks."""
+        before = _live_segments()
+        _run_script(
+            f"""
+            {_MAKE_GRAPH}
+            import os, signal
+            from repro.analysis.shm import SharedGraphArena, attach
+            with SharedGraphArena(g) as arena:
+                pid = os.fork()
+                if pid == 0:
+                    attach(arena.handle)
+                    os.kill(os.getpid(), signal.SIGKILL)
+                os.waitpid(pid, 0)
+            print("SURVIVED")
+            """
+        )
+        assert _live_segments() == before
+
+    def test_forked_child_does_not_unlink(self):
+        """Cleanup is PID-guarded: a fork inheriting the arena object
+        (and its atexit hook) must not destroy the parent's segment."""
+        out = _run_script(
+            f"""
+            {_MAKE_GRAPH}
+            import os, sys
+            from repro.analysis.shm import SharedGraphArena
+            arena = SharedGraphArena(g)
+            name = arena.handle.name
+            pid = os.fork()
+            if pid == 0:
+                arena.close()     # must be a no-op in the child
+                os._exit(0)
+            os.waitpid(pid, 0)
+            alive = os.path.exists("/dev/shm/" + name)
+            arena.close()
+            print("ALIVE" if alive else "GONE")
+            """
+        )
+        assert "ALIVE" in out
+
+    def test_unsupported_graph_type_raises(self):
+        with pytest.raises(TypeError, match="unsupported graph type"):
+            SharedGraphArena(np.zeros(3))
+
+
+class TestMetrics:
+    def test_shm_bytes_counted(self):
+        from repro.obs.metrics import REGISTRY
+
+        g = gen.random_biconnected_graph(30, seed=6)
+        REGISTRY.reset()
+        REGISTRY.enable()
+        try:
+            with SharedGraphArena(g) as arena:
+                expected = arena.handle.nbytes
+            snap = REGISTRY.snapshot()
+        finally:
+            REGISTRY.disable()
+            REGISTRY.reset()
+        assert snap.counters["parallel.shm_bytes"] == expected
+        assert snap.counters["parallel.shm_arenas"] == 1
