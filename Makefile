@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full bench-save bench-compare experiments experiments-full examples lint lint-docs docs all
+.PHONY: install test doctest bench bench-full bench-save bench-compare experiments experiments-full examples lint lint-docs docs check-links all
 
 # Perf-regression gate defaults: compare a fresh run against the newest
 # committed BENCH_<sha>.json baseline, failing past a 50% slowdown.
@@ -28,9 +28,19 @@ lint:
 
 # API reference into docs/api/ (markdown always; pdoc HTML when pdoc is
 # installed — CI installs it and the build fails hard on docstring or
-# import errors).
+# import errors). Also validates every intra-repo markdown link.
 docs:
 	$(PYTHON) tools/build_docs.py
+
+# Just the markdown link/anchor checker (also part of `make docs`).
+check-links:
+	$(PYTHON) tools/build_docs.py --check-links
+
+# Executable documentation: the doctests embedded in the api facade and
+# engine docstrings (the README/engine.md quickstarts mirror these).
+doctest:
+	PYTHONPATH=src $(PYTHON) -m pytest --doctest-modules \
+		src/repro/api.py src/repro/engine -q -p no:cacheprovider
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -63,7 +73,8 @@ experiments-full:
 	$(PYTHON) benchmarks/generate_experiments_md.py --full
 
 examples:
-	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f > /dev/null || exit 1; done; \
+	@for f in examples/*.py; do echo "== $$f"; \
+		PYTHONPATH=src $(PYTHON) $$f > /dev/null || exit 1; done; \
 	echo "all examples ran clean"
 
-all: test bench examples
+all: test doctest bench examples

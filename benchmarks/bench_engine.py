@@ -173,6 +173,77 @@ def test_batched_spt_speedup(benchmark, scale):
     assert speedup >= 3.0
 
 
+def test_engine_wal_overhead(benchmark, tmp_path, scale):
+    """Durability tax on the steady-state 90/10 workload.
+
+    The same warmed workload replays through an in-memory engine and a
+    durable one (``checkpoint_dir=`` with the default ``"interval"``
+    fsync policy), and the WAL must cost < 15% wall-clock. The timed
+    section is the durable replay, so ``bench_compare`` also gates it
+    against the committed baseline.
+    """
+    g = _udg_instance()
+    # One long stream, chunked: every measured chunk carries *fresh*
+    # update declarations (replaying identical ops twice would no-op
+    # the updates and log nothing — measuring noise, not the WAL).
+    chunk_len, n_chunks = 200, 6
+    ops = generate_workload(
+        g, n_ops=chunk_len * n_chunks, update_frac=0.1, seed=7, target=0,
+        hot_sources=HOT_SOURCES,
+    )
+    chunks = [ops[i * chunk_len:(i + 1) * chunk_len]
+              for i in range(n_chunks)]
+    plain = PricingEngine(g, on_monopoly="inf")
+    durable = PricingEngine(g, checkpoint_dir=tmp_path / "state",
+                            on_monopoly="inf")
+    replay(plain, chunks[0])  # warm caches: steady state
+    replay(durable, chunks[0])
+
+    # Interleave timed chunks so machine noise hits both sides alike;
+    # both engines apply the identical mutation stream throughout.
+    t_plain = t_durable = 0.0
+    for chunk in chunks[1:]:
+        t0 = time.perf_counter()
+        replay(plain, chunk)
+        t_plain += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        replay(durable, chunk)
+        t_durable += time.perf_counter() - t0
+    durable.close()
+    assert durable.stats.wal_records > 0  # the WAL really was in play
+    assert durable.version == plain.version
+
+    overhead = t_durable / t_plain - 1.0
+    emit(
+        f"WAL overhead over {(n_chunks - 1) * chunk_len} steady-state "
+        f"ops ({durable.stats.wal_records} logged mutations): in-memory "
+        f"{t_plain * 1e3:.1f} ms, durable {t_durable * 1e3:.1f} ms "
+        f"({overhead:+.1%})"
+    )
+    benchmark.extra_info["t_plain_ms"] = round(t_plain * 1e3, 1)
+    benchmark.extra_info["t_durable_ms"] = round(t_durable * 1e3, 1)
+    benchmark.extra_info["overhead"] = round(overhead, 4)
+    benchmark.extra_info["wal_records"] = durable.stats.wal_records
+
+    def durable_stream():
+        import shutil
+        import tempfile
+
+        d = tempfile.mkdtemp()
+        try:
+            e = PricingEngine(g, checkpoint_dir=d, on_monopoly="inf")
+            out = None
+            for chunk in chunks:
+                out = replay(e, chunk)
+            e.close()
+            return out
+        finally:
+            shutil.rmtree(d, ignore_errors=True)
+
+    benchmark.pedantic(durable_stream, rounds=1, iterations=1)
+    assert overhead < 0.15
+
+
 def test_price_many_shares_work(benchmark):
     """Batch pricing toward the access point: bit-identical to
     pair-at-a-time, and a warm repeat batch answers from cache."""

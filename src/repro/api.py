@@ -24,14 +24,18 @@ The pre-facade entry points (``vcg_unicast_payments``,
 thin delegates, not replacements. For stateful serving (cost updates,
 caching, batched traffic) use :class:`repro.engine.PricingEngine`.
 
-Quickstart::
+Quickstart (doctested — ``make doctest`` runs it in CI):
 
-    from repro import api, generators
-
-    g = generators.random_biconnected_graph(50, seed=7)
-    result = api.price(g, source=13, target=0)
-    report = api.check_truthful(g, source=13, target=0)
-    assert report.ok
+>>> from repro import api, generators
+>>> g = generators.random_biconnected_graph(50, seed=7)
+>>> result = api.price(g, source=13, target=0)
+>>> result.path[0], result.path[-1]
+(13, 0)
+>>> all(result.payment(k) >= g.costs[k] for k in result.relays)
+True
+>>> report = api.check_truthful(g, source=13, target=0)
+>>> report.ok
+True
 """
 
 from __future__ import annotations

@@ -21,7 +21,14 @@ Subcommands:
   ``--save-trace``/``--trace`` write and reuse JSON-lines traces;
   ``--serve PORT`` exposes live telemetry over HTTP — ``/metrics``,
   ``/healthz``, ``/snapshot``, ``/flight`` — while the replay runs,
-  ``--serve-grace SECONDS`` keeps serving after it finishes).
+  ``--serve-grace SECONDS`` keeps serving after it finishes;
+  ``--checkpoint-dir DIR`` makes the engine durable — every mutation is
+  write-ahead logged there with ``--fsync`` policy and a checkpoint is
+  cut every ``--checkpoint-every`` updates — and ``--recover`` resumes
+  from that directory instead of building a fresh engine).
+* ``recover`` — inspect a checkpoint directory: list checkpoints and
+  WAL segments, flag torn/corrupt records, and (``--verify``) perform a
+  full dry-run recovery without touching the directory.
 
 Global observability flags (accepted before or after the subcommand):
 ``--log-level LEVEL`` (structured key=value logs on stderr),
@@ -272,6 +279,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="keep the telemetry server up this long after the replay "
         "finishes (for a final scrape)",
+    )
+    eng.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="make the engine durable: write-ahead log every mutation "
+        "under DIR and cut periodic checkpoints",
+    )
+    eng.add_argument(
+        "--recover",
+        action="store_true",
+        help="resume from --checkpoint-dir (checkpoint + WAL replay) "
+        "instead of building a fresh engine",
+    )
+    eng.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="N",
+        default=None,
+        help="cut a checkpoint automatically every N logged updates",
+    )
+    eng.add_argument(
+        "--fsync",
+        choices=("always", "interval", "never"),
+        default="interval",
+        help="WAL durability policy (default: interval)",
+    )
+
+    rec = sub.add_parser(
+        "recover",
+        help="inspect (and optionally verify) an engine checkpoint dir",
+    )
+    rec.add_argument("dir", help="checkpoint directory to inspect")
+    rec.add_argument(
+        "--verify",
+        action="store_true",
+        help="perform a full dry-run recovery and report the outcome",
     )
 
     for p in sub.choices.values():
@@ -530,7 +574,28 @@ def _cmd_engine(args) -> int:
         save_trace,
     )
 
-    g = generators.random_biconnected_graph(args.nodes, seed=args.seed)
+    if args.recover:
+        if args.checkpoint_dir is None:
+            raise SystemExit("--recover requires --checkpoint-dir")
+        engine = PricingEngine.open(
+            args.checkpoint_dir,
+            backend=None if args.backend == "auto" else args.backend,
+            fsync=args.fsync,
+            checkpoint_every=args.checkpoint_every,
+        )
+        assert engine.last_recovery is not None
+        print(engine.last_recovery.describe())
+        g = engine.graph
+    else:
+        g = generators.random_biconnected_graph(args.nodes, seed=args.seed)
+        engine = PricingEngine(
+            g,
+            backend=args.backend,
+            on_monopoly="inf",
+            checkpoint_dir=args.checkpoint_dir,
+            fsync=args.fsync,
+            checkpoint_every=args.checkpoint_every,
+        )
     if args.trace is not None:
         ops = load_trace(args.trace)
         print(f"loaded {len(ops)} ops from {args.trace}")
@@ -545,7 +610,6 @@ def _cmd_engine(args) -> int:
     if args.save_trace is not None:
         save_trace(ops, args.save_trace)
         print(f"wrote {len(ops)} ops to {args.save_trace}")
-    engine = PricingEngine(g, backend=args.backend, on_monopoly="inf")
     # Pay one-time costs (scipy import, first allocations) outside the
     # timed replay so the engine-vs-naive comparison is about pricing.
     from repro.graph.dijkstra import node_weighted_spt
@@ -577,6 +641,7 @@ def _cmd_engine(args) -> int:
     try:
         report = replay(engine, ops, compare=args.compare_naive)
     finally:
+        engine.close()
         if server is not None:
             if args.serve_grace > 0:
                 import time
@@ -593,6 +658,30 @@ def _cmd_engine(args) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    from repro.engine import persist
+
+    inventory = persist.scan(args.dir)
+    print(inventory.describe())
+    if not args.verify:
+        return 0 if inventory.checkpoints else 1
+    from repro.engine import PricingEngine
+
+    try:
+        engine = PricingEngine.open(args.dir, resume=False)
+    except persist.PersistError as exc:
+        print(f"verify FAILED: {exc}", file=sys.stderr)
+        return 1
+    assert engine.last_recovery is not None
+    print("-- dry-run recovery --")
+    print(engine.last_recovery.describe())
+    print(
+        f"recovered engine: {engine.n} nodes ({engine.model} model), "
+        f"graph version {engine.version}"
+    )
     return 0
 
 
@@ -613,6 +702,8 @@ def _dispatch(args) -> int:
         return _cmd_churn(args)
     if args.command == "engine":
         return _cmd_engine(args)
+    if args.command == "recover":
+        return _cmd_recover(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

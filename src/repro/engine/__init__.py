@@ -11,9 +11,19 @@ caches instead of recomputing Dijkstras from scratch.
 :mod:`repro.engine.workload` generates, saves and replays seeded
 request/update traces (the ``repro-unicast engine`` CLI command and
 ``benchmarks/bench_engine.py`` are thin wrappers over it).
+
+:mod:`repro.engine.persist` makes the service durable: a write-ahead
+log of every mutation plus periodic checkpoints, so
+:meth:`PricingEngine.open` rebuilds a bit-identical engine after a
+crash (see ``docs/engine.md`` for the operations guide).
 """
 
 from repro.engine.engine import EngineStats, PricingEngine
+from repro.engine.persist import (
+    EnginePersistence,
+    PersistError,
+    RecoveryReport,
+)
 from repro.engine.workload import (
     ReplayReport,
     WorkloadOp,
@@ -26,6 +36,9 @@ from repro.engine.workload import (
 __all__ = [
     "PricingEngine",
     "EngineStats",
+    "EnginePersistence",
+    "PersistError",
+    "RecoveryReport",
     "WorkloadOp",
     "ReplayReport",
     "generate_workload",

@@ -98,12 +98,26 @@ worker processes via :func:`repro.analysis.parallel.run_tasks`
 (``jobs=``) — bit-identical to the serial path. Living in the engine
 package keeps the layering rule intact: ``core`` never imports
 ``analysis``.
+
+Durability
+----------
+
+With ``checkpoint_dir=`` set, every applied mutation is appended to a
+checksummed write-ahead log and :meth:`PricingEngine.checkpoint`
+(manual, or automatic every ``checkpoint_every`` mutations) persists
+the full state — graph, version, warm caches — atomically.
+:meth:`PricingEngine.open` recovers a crashed engine bit-identically
+by loading the newest valid checkpoint and replaying the WAL tail
+through the very same mutation methods. The formats, fsync policies
+and corruption-fallback rules live in :mod:`repro.engine.persist`
+(and the operations guide, ``docs/engine.md``).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass
+from pathlib import Path
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -117,6 +131,7 @@ from repro.core.mechanism import (
     resolve_monopoly_policy,
     spt_backend_for,
 )
+from repro.engine import persist as _persist_mod
 from repro.errors import ReproError
 from repro.graph.dijkstra import node_weighted_spt
 from repro.graph.link_graph import LinkWeightedDigraph
@@ -148,6 +163,12 @@ class EngineStats:
     :meth:`PricingEngine.purge_stale`); ``retained`` fast-forward steps
     that carried an entry through a logged update unchanged;
     ``repairs`` cached trees incrementally patched through one.
+
+    ``wal_records``/``checkpoint_writes``/``recoveries`` count the
+    durability layer (:mod:`repro.engine.persist`): mutations appended
+    to the write-ahead log, checkpoint files written, and recoveries
+    this engine was built from (0 or 1 — it mirrors into the cumulative
+    ``engine.recoveries`` obs counter).
     """
 
     queries: int = 0
@@ -161,6 +182,9 @@ class EngineStats:
     retained: int = 0
     repairs: int = 0
     updates: int = 0
+    wal_records: int = 0
+    checkpoint_writes: int = 0
+    recoveries: int = 0
 
     def as_dict(self) -> dict:
         """Plain-dict view (for reports and ``--metrics`` output)."""
@@ -244,6 +268,21 @@ class PricingEngine:
     backend, on_monopoly:
         The uniform pricing keywords, applied to every request this
         engine serves (see :func:`repro.core.mechanism.resolve_backend`).
+    checkpoint_dir:
+        When set, the engine is *durable*: every applied mutation is
+        appended to a checksummed write-ahead log in this directory
+        and :meth:`checkpoint` persists full state atomically (see
+        :mod:`repro.engine.persist`). The directory must not already
+        hold engine state — recover that with :meth:`open` instead.
+    fsync, fsync_every:
+        WAL fsync policy: ``"always"`` (fsync per mutation — a kill -9
+        loses nothing applied), ``"interval"`` (default; fsync every
+        ``fsync_every`` records), ``"never"`` (OS page cache decides).
+    checkpoint_every:
+        Automatically :meth:`checkpoint` after this many logged
+        mutations (``None`` = manual checkpoints only).
+    retain:
+        Checkpoint generations kept for corruption fallback.
 
     Every answer is exactly what the stateless entry points would return
     on the current snapshot: :func:`repro.core.vcg_unicast_payments`
@@ -259,6 +298,11 @@ class PricingEngine:
         graph: NodeWeightedGraph | LinkWeightedDigraph,
         backend: str = "auto",
         on_monopoly: str = "raise",
+        checkpoint_dir: str | Path | None = None,
+        fsync: str = "interval",
+        fsync_every: int = 64,
+        checkpoint_every: int | None = None,
+        retain: int = 2,
     ) -> None:
         if isinstance(graph, NodeWeightedGraph):
             self._model = "node"
@@ -282,6 +326,28 @@ class PricingEngine:
         self._log: dict[int, _CostUpdate] = {}
         self._log_floor = 0
         self.stats = EngineStats()
+        #: The :class:`~repro.engine.persist.RecoveryReport` this engine
+        #: was recovered from (``None`` for fresh engines).
+        self.last_recovery: _persist_mod.RecoveryReport | None = None
+        self._checkpoint_every = (
+            int(checkpoint_every) if checkpoint_every else None
+        )
+        self._persist: _persist_mod.EnginePersistence | None = None
+        if checkpoint_dir is not None:
+            store = _persist_mod.EnginePersistence(
+                checkpoint_dir,
+                fsync=fsync,
+                fsync_every=fsync_every,
+                retain=retain,
+            )
+            if store.has_state():
+                raise _persist_mod.PersistError(
+                    f"{checkpoint_dir} already holds engine state; "
+                    "recover it with PricingEngine.open() or point at "
+                    "an empty directory"
+                )
+            self._persist = store
+            self.checkpoint()  # the durable base the WAL extends
 
     # -- introspection -------------------------------------------------------
 
@@ -334,6 +400,14 @@ class PricingEngine:
             _metrics.set_gauge("engine.spt_cache_entries", len(self._spts))
             _metrics.set_gauge("engine.pair_cache_entries", len(self._pairs))
             _metrics.set_gauge("engine.update_log_entries", len(self._log))
+            if self._persist is not None:
+                _metrics.set_gauge(
+                    "engine.wal_bytes", float(self._persist.wal_bytes)
+                )
+                _metrics.set_gauge(
+                    "engine.wal_records_since_checkpoint",
+                    float(self._persist.records_since_checkpoint),
+                )
 
     # -- SPT cache -----------------------------------------------------------
 
@@ -675,6 +749,11 @@ class PricingEngine:
             self._graph = self._graph.with_arc_weight(u, v, value)
             self._bump_update(flush_log=True)
             _flight.record("update", version=self._version)
+            self._persist_append(
+                _persist_mod.update_record(
+                    "link", (u, v), value, self._version
+                )
+            )
             self._update_gauges()
             return self._version
 
@@ -690,6 +769,9 @@ class PricingEngine:
             self._log_floor = min(self._log)
             del self._log[self._log_floor]
         _flight.record("update", version=self._version, value=float(node))
+        self._persist_append(
+            _persist_mod.update_record("node", node, value, self._version)
+        )
         self._update_gauges()
         return self._version
 
@@ -850,6 +932,9 @@ class PricingEngine:
             )
         self._bump_update(flush_log=True)
         _flight.record("topology", version=self._version, value=float(node))
+        self._persist_append(
+            _persist_mod.remove_record(node, self._version)
+        )
         self._update_gauges()
         return self._version
 
@@ -862,9 +947,11 @@ class PricingEngine:
         conservative (lazy, via the version bump).
         """
         n = self._graph.n
+        neighbors = list(neighbors)
+        arcs = list(arcs)
         if self._model == "link":
             self._graph = LinkWeightedDigraph(
-                n + 1, list(self._graph.arc_iter()) + list(arcs)
+                n + 1, list(self._graph.arc_iter()) + arcs
             )
         else:
             edges = list(self._graph.edge_iter())
@@ -873,8 +960,186 @@ class PricingEngine:
             self._graph = NodeWeightedGraph(n + 1, edges, costs)
         self._bump_update(flush_log=True)
         _flight.record("topology", version=self._version, value=float(n))
+        self._persist_append(
+            _persist_mod.add_record(
+                self._model, cost, neighbors, arcs, self._version
+            )
+        )
         self._update_gauges()
         return n
+
+    # -- durability ----------------------------------------------------------
+
+    def _persist_append(self, record: dict) -> None:
+        """Log one applied mutation to the WAL; auto-checkpoint when due."""
+        if self._persist is None:
+            return
+        self._persist.append(record)
+        self.stats.wal_records += 1
+        self._count("wal_records")
+        if (
+            self._checkpoint_every is not None
+            and self._persist.records_since_checkpoint
+            >= self._checkpoint_every
+        ):
+            self.checkpoint()
+
+    def _checkpoint_state(
+        self, include_caches: bool = True
+    ) -> _persist_mod.CheckpointState:
+        """Snapshot everything a checkpoint preserves (current-version
+        cache entries only — stale ones would be rebuilt anyway)."""
+        spts: dict[int, ShortestPathTree] = {}
+        pairs: dict[tuple[int, int], object] = {}
+        if include_caches:
+            for root, (stamp, spt) in self._spts.items():
+                if stamp == self._version:
+                    spts[root] = spt
+            for key, (stamp, res) in self._pairs.items():
+                if stamp == self._version:
+                    pairs[key] = res
+        return _persist_mod.CheckpointState(
+            graph=self._graph,
+            graph_version=self._version,
+            model=self._model,
+            backend=self._backend,
+            on_monopoly=self._on_monopoly,
+            spts=spts,
+            pairs=pairs,
+        )
+
+    def checkpoint(self, include_caches: bool = True) -> Path:
+        """Persist full engine state now; returns the checkpoint path.
+
+        Writes atomically (temp file + rename), rotates the WAL so the
+        new checkpoint starts an empty tail, and prunes generations
+        past ``retain``. ``include_caches=False`` writes a graph-only
+        checkpoint (smaller file, colder restart). Requires the engine
+        to have been built with ``checkpoint_dir=``.
+        """
+        if self._persist is None:
+            raise _persist_mod.PersistError(
+                "engine has no checkpoint_dir; pass one at construction "
+                "or recover with PricingEngine.open()"
+            )
+        path = self._persist.write_checkpoint(
+            self._checkpoint_state(include_caches)
+        )
+        self.stats.checkpoint_writes += 1
+        self._count("checkpoint_writes")
+        _flight.record(
+            "checkpoint",
+            version=self._version,
+            value=float(self._persist.seq),
+        )
+        self._update_gauges()
+        return path
+
+    @classmethod
+    def open(
+        cls,
+        checkpoint_dir: str | Path,
+        backend: str | None = None,
+        on_monopoly: str | None = None,
+        fsync: str = "interval",
+        fsync_every: int = 64,
+        checkpoint_every: int | None = None,
+        retain: int = 2,
+        resume: bool = True,
+    ) -> "PricingEngine":
+        """Recover an engine from a checkpoint directory.
+
+        Loads the newest checkpoint that validates (falling back to
+        older generations on corruption), replays the WAL tail above it
+        through the normal mutation methods — so the recovered graph,
+        version and every subsequent price are **bit-identical** to a
+        process that never crashed — and, with ``resume=True``
+        (default), re-attaches persistence and writes a fresh recovery
+        checkpoint so the recovery itself is durable and any torn WAL
+        tail is retired. ``resume=False`` gives a read-only view that
+        leaves the directory untouched (inspection, tests).
+
+        ``backend``/``on_monopoly`` default to the values the
+        checkpoint recorded. The outcome (chosen checkpoint, records
+        replayed, corruption tolerated) is ``engine.last_recovery``, a
+        :class:`~repro.engine.persist.RecoveryReport`.
+        """
+        state, records, report = _persist_mod.load_state(checkpoint_dir)
+        eng = cls(
+            state.graph,
+            backend=backend if backend is not None else state.backend,
+            on_monopoly=(
+                on_monopoly if on_monopoly is not None else state.on_monopoly
+            ),
+        )
+        eng._version = state.graph_version
+        eng._log_floor = state.graph_version
+        for root, spt in state.spts.items():
+            eng._spts[root] = (state.graph_version, spt)
+        for key, res in state.pairs.items():
+            eng._pairs[key] = (state.graph_version, res)
+        applied = 0
+        for rec in records:
+            recorded = int(rec.get("version", -1))
+            if recorded <= eng._version:
+                continue  # duplicated tail after a crash mid-rotation
+            _persist_mod.apply_record(eng, rec)
+            applied += 1
+            if eng._version != recorded:
+                report.divergence = (
+                    f"record for version {recorded} left the engine at "
+                    f"{eng._version}; replay stopped at the consistent "
+                    "prefix"
+                )
+                break
+        report.wal_records = applied
+        eng.stats.recoveries += 1
+        eng._count("recoveries")
+        eng.last_recovery = report
+        _flight.record(
+            "recover",
+            version=eng._version,
+            value=float(report.wal_records),
+        )
+        _log.info(
+            "engine recovered",
+            extra={
+                "dir": str(checkpoint_dir),
+                "version": eng._version,
+                "wal_records": report.wal_records,
+                "clean": report.clean,
+            },
+        )
+        if resume:
+            eng._checkpoint_every = (
+                int(checkpoint_every) if checkpoint_every else None
+            )
+            eng._persist = _persist_mod.EnginePersistence(
+                checkpoint_dir,
+                fsync=fsync,
+                fsync_every=fsync_every,
+                retain=retain,
+            )
+            eng.checkpoint()
+        eng._update_gauges()
+        return eng
+
+    def close(self) -> None:
+        """Flush and close the WAL (idempotent; no-op when not durable).
+
+        Buffered records are flushed on every append, so a clean
+        process exit loses nothing even without ``close()`` — this
+        exists to fsync the tail and release the file handle
+        deterministically (the context-manager form calls it).
+        """
+        if self._persist is not None:
+            self._persist.close()
+
+    def __enter__(self) -> "PricingEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- maintenance ---------------------------------------------------------
 

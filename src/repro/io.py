@@ -14,6 +14,14 @@ for the library's core objects:
 ``save_json`` / ``load_json`` wrap any of them with a format tag, so one
 loader round-trips everything. Infinities are encoded as the string
 ``"inf"`` (JSON has no inf literal); all arrays become lists.
+
+Every payload carries ``{"format": tag, "version": N}``. When an
+on-disk layout changes, bump the writer's version and register a
+migration (:func:`register_migration`) that upgrades one version step
+of one tag; loaders (:func:`from_dict`, and the engine's durable store
+in :mod:`repro.engine.persist`) chain registered steps through
+:func:`apply_migrations`, so old files keep loading instead of
+erroring. An unregistered gap still fails loudly.
 """
 
 from __future__ import annotations
@@ -39,6 +47,8 @@ __all__ = [
     "decode_as",
     "save_json",
     "load_json",
+    "register_migration",
+    "apply_migrations",
     "SerializationError",
 ]
 
@@ -47,6 +57,49 @@ FORMAT_VERSION = 1
 
 class SerializationError(ReproError):
     """Unknown format tag, bad version, or malformed payload."""
+
+
+# (tag, from_version) -> data-dict transformer producing from_version + 1.
+_MIGRATIONS: dict[tuple[str, int], Any] = {}
+
+
+def register_migration(tag: str, from_version: int, migrate) -> None:
+    """Register a one-step schema upgrade for ``tag`` payloads.
+
+    ``migrate(data)`` receives the ``data`` dict of a version
+    ``from_version`` payload and must return the ``from_version + 1``
+    shape. Steps chain: loading a version 1 payload at schema 3 runs
+    the (tag, 1) step then the (tag, 2) step. Registering the same step
+    twice replaces the previous hook (tests rely on this).
+    """
+    _MIGRATIONS[(tag, int(from_version))] = migrate
+
+
+def apply_migrations(
+    tag: str, version: int, target_version: int, data: dict
+) -> dict:
+    """Upgrade ``data`` from ``version`` to ``target_version`` via the
+    registered per-step migrations.
+
+    Raises :class:`SerializationError` when a step is missing or the
+    payload is *newer* than this build understands (downgrades are
+    never attempted).
+    """
+    if version > target_version:
+        raise SerializationError(
+            f"{tag} payload has version {version}, newer than the "
+            f"supported {target_version} — upgrade the library"
+        )
+    while version < target_version:
+        step = _MIGRATIONS.get((tag, version))
+        if step is None:
+            raise SerializationError(
+                f"no migration registered for {tag} version "
+                f"{version} -> {version + 1}"
+            )
+        data = step(data)
+        version += 1
+    return data
 
 
 def _enc_float(x: float) -> float | str:
@@ -259,9 +312,7 @@ def from_dict(payload: dict) -> Any:
     except (TypeError, KeyError) as exc:
         raise SerializationError(f"malformed payload: {exc}") from exc
     if version != FORMAT_VERSION:
-        raise SerializationError(
-            f"unsupported format version {version} (expected {FORMAT_VERSION})"
-        )
+        data = apply_migrations(tag, int(version), FORMAT_VERSION, data)
     decoder = _DECODERS.get(tag)
     if decoder is None:
         raise SerializationError(f"unknown format tag {tag!r}")

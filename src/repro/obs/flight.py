@@ -2,7 +2,8 @@
 
 Metrics tell you *how much*; the flight recorder tells you *what just
 happened*. It keeps the last ``capacity`` engine events — queries,
-updates, cache hits/misses, fast-forwards, repairs, rebuilds — as plain
+updates, cache hits/misses, fast-forwards, repairs, rebuilds, plus the
+durability layer's ``checkpoint`` and ``recover`` events — as plain
 tuples in a preallocated ring, so recording is allocation-light enough
 to stay on even in production serving paths (one small tuple per event,
 no dict, no lock). When a request dies with an unexpected error the

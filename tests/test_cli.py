@@ -120,3 +120,52 @@ class TestEngineCommand:
         # --serve implies collection for the run, then restores the
         # disabled default so telemetry never leaks into other commands.
         assert not REGISTRY.enabled
+
+
+class TestDurabilityCommands:
+    def test_engine_checkpoint_dir_then_recover(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        assert main(["engine", "--nodes", "30", "--ops", "40",
+                     "--checkpoint-dir", state,
+                     "--checkpoint-every", "3"]) == 0
+        capsys.readouterr()
+        assert main(["engine", "--recover", "--checkpoint-dir", state,
+                     "--ops", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered from checkpoint" in out
+
+    def test_recover_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit, match="checkpoint-dir"):
+            main(["engine", "--recover"])
+
+    def test_recover_subcommand_inventory_and_verify(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        assert main(["engine", "--nodes", "30", "--ops", "40",
+                     "--checkpoint-dir", state]) == 0
+        capsys.readouterr()
+        assert main(["recover", state]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint-" in out and "wal-" in out
+        assert main(["recover", state, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "dry-run recovery" in out and "graph version" in out
+
+    def test_recover_subcommand_flags_corruption(self, tmp_path, capsys):
+        from repro.engine import persist
+
+        state = tmp_path / "state"
+        assert main(["engine", "--nodes", "30", "--ops", "40",
+                     "--checkpoint-dir", str(state)]) == 0
+        capsys.readouterr()
+        wal = persist.list_wals(state)[-1]
+        with wal.open("a") as fh:
+            fh.write('{"torn"')
+        assert main(["recover", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "torn tail" in out
+
+    def test_recover_subcommand_empty_dir_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["recover", str(empty)]) == 1
+        assert main(["recover", str(empty), "--verify"]) == 1

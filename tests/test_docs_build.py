@@ -72,3 +72,65 @@ def test_missing_module_docstring_is_a_problem(tmp_path, monkeypatch):
     monkeypatch.setitem(sys.modules, "repro._docless_probe", bare)
     page, problems = build_docs.render_module("repro._docless_probe")
     assert any("missing module docstring" in p for p in problems)
+
+
+class TestLinkChecker:
+    """The markdown link/anchor checker `make docs` gates on."""
+
+    def _repo(self, tmp_path, files):
+        for rel, content in files.items():
+            p = tmp_path / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(content)
+        return tmp_path
+
+    def test_clean_tree_passes(self, tmp_path):
+        root = self._repo(tmp_path, {
+            "README.md": "[guide](docs/a.md) and [sec](docs/a.md#my-heading)",
+            "docs/a.md": "# My heading\n\nsee [readme](../README.md)\n",
+        })
+        assert build_docs.check_links(root) == []
+
+    def test_dead_file_link_reported(self, tmp_path):
+        root = self._repo(tmp_path, {
+            "README.md": "broken: [x](docs/missing.md)",
+            "docs/a.md": "# A\n",
+        })
+        problems = build_docs.check_links(root)
+        assert len(problems) == 1
+        assert "dead link" in problems[0] and "missing.md" in problems[0]
+
+    def test_dead_anchor_reported(self, tmp_path):
+        root = self._repo(tmp_path, {
+            "README.md": "[x](docs/a.md#no-such-heading)",
+            "docs/a.md": "# Real heading\n",
+        })
+        problems = build_docs.check_links(root)
+        assert len(problems) == 1 and "dead anchor" in problems[0]
+
+    def test_same_file_anchor(self, tmp_path):
+        root = self._repo(tmp_path, {
+            "docs/a.md": "# Top\n\n[down](#details)\n\n## Details\n",
+            "docs/b.md": "[bad](#nowhere)\n",
+        })
+        problems = build_docs.check_links(root)
+        assert len(problems) == 1 and "b.md" in problems[0]
+
+    def test_external_and_code_links_skipped(self, tmp_path):
+        root = self._repo(tmp_path, {
+            "docs/a.md": (
+                "# A\n\n[ext](https://example.com/x.md) "
+                "[mail](mailto:a@b.c)\n\n"
+                "```\n[not a link](nothing.md)\n```\n"
+            ),
+        })
+        assert build_docs.check_links(root) == []
+
+    def test_slugs_match_github_rules(self):
+        assert build_docs._github_slug("The facade and the engine") == \
+            "the-facade-and-the-engine"
+        assert build_docs._github_slug("`repro.engine` — WAL & CRCs!") == \
+            "reproengine--wal--crcs"
+
+    def test_committed_docs_have_no_dead_links(self):
+        assert build_docs.check_links(ROOT) == []

@@ -193,3 +193,49 @@ class TestDecodeAs:
         payload = to_dict(vcg_unicast_payments(random_graph, 5, 0))
         with pytest.raises(SerializationError, match="not FastPaymentResult"):
             decode_as(FastPaymentResult, payload)
+
+
+class TestMigrations:
+    """The schema-upgrade hook the durable engine store rides on."""
+
+    def _cleanup(self, keys):
+        from repro.io import _MIGRATIONS
+
+        for k in keys:
+            _MIGRATIONS.pop(k, None)
+
+    def test_old_payload_upgrades_through_registered_step(self, random_graph):
+        from repro.io import register_migration
+
+        payload = to_dict(random_graph)
+        payload["version"] = 0
+        payload["data"] = {"legacy": payload["data"]}  # pretend v0 shape
+        register_migration("node-graph", 0, lambda d: d["legacy"])
+        try:
+            back = from_dict(payload)
+            assert np.array_equal(back.costs, random_graph.costs)
+        finally:
+            self._cleanup([("node-graph", 0)])
+
+    def test_chained_steps_run_in_order(self):
+        from repro.io import apply_migrations, register_migration
+
+        register_migration("t", 1, lambda d: {**d, "a": 1})
+        register_migration("t", 2, lambda d: {**d, "b": d["a"] + 1})
+        try:
+            out = apply_migrations("t", 1, 3, {})
+            assert out == {"a": 1, "b": 2}
+        finally:
+            self._cleanup([("t", 1), ("t", 2)])
+
+    def test_unregistered_gap_fails_loudly(self):
+        from repro.io import apply_migrations
+
+        with pytest.raises(SerializationError, match="no migration"):
+            apply_migrations("t", 1, 2, {})
+
+    def test_newer_than_build_fails_loudly(self):
+        from repro.io import apply_migrations
+
+        with pytest.raises(SerializationError, match="newer"):
+            apply_migrations("t", 5, 1, {})

@@ -13,13 +13,20 @@ Output goes to ``docs/api/`` as one markdown file per module plus an
   ``docs/api/*.md`` files. This always runs, so the committed reference
   never depends on an optional dependency.
 
+After generating, a link checker walks every committed markdown file
+(``README.md``, ``docs/**/*.md``) and fails the build on dead
+intra-repo links — missing files and missing ``#anchors`` alike
+(anchors use GitHub's heading-slug rules). External ``http(s)://``
+links are not fetched.
+
 Exit code is non-zero on any import failure, missing module docstring,
-or (when pdoc is available) pdoc error — that is what makes ``make
-docs`` a meaningful CI gate.
+dead link, or (when pdoc is available) pdoc error — that is what makes
+``make docs`` a meaningful CI gate.
 
 Usage::
 
     python tools/build_docs.py [--out docs/api] [--no-pdoc]
+    python tools/build_docs.py --check-links   # link pass only
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ import argparse
 import importlib
 import inspect
 import pkgutil
+import re
 import sys
 from pathlib import Path
 
@@ -193,6 +201,104 @@ def run_pdoc(out: Path, modules: list[str]) -> list[str]:
     return []
 
 
+# ---------------------------------------------------------------------------
+# link checking
+# ---------------------------------------------------------------------------
+
+# [text](target) — skipping images; nested brackets in text not needed here.
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a markdown heading.
+
+    Lowercase, spaces to hyphens, drop everything that is not a word
+    character or hyphen (backticks, punctuation); keep unicode letters.
+    """
+    text = heading.strip()
+    # inline code/emphasis markers do not contribute to the slug
+    text = re.sub(r"[`*_]", "", text)
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors_of(md_path: Path) -> set[str]:
+    """All heading anchors a markdown file exposes (with GitHub's
+    ``-1``/``-2`` suffixing for duplicate headings)."""
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in md_path.read_text().splitlines():
+        if _CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = _github_slug(m.group(1))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    return anchors
+
+
+def _iter_links(md_path: Path):
+    """Yield ``(line_number, target)`` for every markdown link,
+    skipping fenced code blocks."""
+    in_fence = False
+    for lineno, line in enumerate(md_path.read_text().splitlines(), 1):
+        if _CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in _LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_links(root: Path = ROOT) -> list[str]:
+    """Validate every intra-repo markdown link under ``root``.
+
+    Checks ``README.md`` and ``docs/**/*.md``. A link target may be a
+    relative file path (resolved against the linking file), optionally
+    with a ``#anchor`` that must match a heading in the target file.
+    Absolute URLs and ``mailto:`` are skipped. Returns a list of
+    ``file:line: problem`` strings (empty = clean).
+    """
+    files = [root / "README.md"] if (root / "README.md").exists() else []
+    files += sorted((root / "docs").rglob("*.md"))
+    problems: list[str] = []
+    anchor_cache: dict[Path, set[str]] = {}
+    for md in files:
+        rel = md.relative_to(root)
+        for lineno, target in _iter_links(md):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            path_part, _, anchor = target.partition("#")
+            if not path_part:
+                dest = md  # same-file #anchor
+            else:
+                dest = (md.parent / path_part).resolve()
+            if not dest.exists():
+                problems.append(f"{rel}:{lineno}: dead link -> {target}")
+                continue
+            if anchor:
+                if dest.is_dir() or dest.suffix.lower() != ".md":
+                    continue  # anchors into non-markdown are not checked
+                if dest not in anchor_cache:
+                    anchor_cache[dest] = _anchors_of(dest)
+                if anchor.lower() not in anchor_cache[dest]:
+                    problems.append(
+                        f"{rel}:{lineno}: dead anchor -> {target}"
+                    )
+    return problems
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     ap = argparse.ArgumentParser(description=__doc__)
@@ -202,13 +308,29 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the pdoc HTML pass even when pdoc is installed",
     )
+    ap.add_argument(
+        "--check-links",
+        action="store_true",
+        help="only run the markdown link/anchor checker",
+    )
     args = ap.parse_args(argv)
     out = Path(args.out)
+
+    if args.check_links:
+        problems = check_links()
+        if problems:
+            print("DEAD LINKS:", file=sys.stderr)
+            for p in problems:
+                print(f"  - {p}", file=sys.stderr)
+            return 1
+        print("link check: all intra-repo links resolve")
+        return 0
 
     modules = discover_modules()
     problems = build_markdown(out, modules)
     if not args.no_pdoc:
         problems += run_pdoc(out, modules)
+    problems += check_links()
     print(f"documented {len(modules)} modules -> {out}")
     if problems:
         print("DOCS BUILD FAILED:", file=sys.stderr)
