@@ -142,7 +142,7 @@ def price_links(
         fast_link_vcg_payments,
     )
     from repro.core.link_vcg import link_vcg_payments
-    from repro.errors import InvalidGraphError
+    from repro.errors import InvalidGraphError, InvalidRequestError
 
     if method == "auto":
         try:
@@ -151,7 +151,7 @@ def price_links(
         except InvalidGraphError:
             method = "removal"
     if method not in ("fast", "removal"):
-        raise ValueError(
+        raise InvalidRequestError(
             f"method must be 'auto', 'fast' or 'removal', got {method!r}"
         )
     with request_scope() as rid, _tracer.span(
@@ -210,7 +210,9 @@ def price_all_pairs(
     with request_scope() as rid:
         if isinstance(graph, LinkWeightedDigraph):
             if pairs is not None or jobs not in (None, 0, 1):
-                raise ValueError(
+                from repro.errors import InvalidRequestError
+
+                raise InvalidRequestError(
                     "link-model batches price all sources toward `root`; "
                     "pairs=/jobs= are node-model options"
                 )

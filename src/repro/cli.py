@@ -29,6 +29,16 @@ Subcommands:
 * ``recover`` — inspect a checkpoint directory: list checkpoints and
   WAL segments, flag torn/corrupt records, and (``--verify``) perform a
   full dry-run recovery without touching the directory.
+* ``serve`` — run the concurrent HTTP pricing service
+  (:mod:`repro.service`): ``POST /v1/price``, ``/v1/price_many``,
+  ``/v1/update`` and ``GET /v1/graph`` on a snapshot-isolated
+  :class:`~repro.engine.PricingEngine`, plus the telemetry family
+  (``/metrics`` ``/healthz`` ``/snapshot`` ``/flight``). ``--workers``
+  / ``--queue-depth`` / ``--deadline`` tune admission control;
+  ``--checkpoint-dir`` (+ ``--recover``) makes the engine durable
+  exactly as for ``engine``; ``--duration SECONDS`` serves for a fixed
+  window, otherwise SIGINT/SIGTERM drains in-flight requests, cuts a
+  final checkpoint (durable engines) and exits cleanly.
 
 Global observability flags (accepted before or after the subcommand):
 ``--log-level LEVEL`` (structured key=value logs on stderr),
@@ -316,6 +326,95 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify",
         action="store_true",
         help="perform a full dry-run recovery and report the outcome",
+    )
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the concurrent HTTP pricing service",
+    )
+    srv.add_argument("--nodes", type=int, default=120)
+    srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port for the pricing API (0 = ephemeral port)",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="pricing worker threads draining the admission queue",
+    )
+    srv.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission queue bound; beyond it requests get HTTP 429",
+    )
+    srv.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="default per-request deadline (exceeded = HTTP 504)",
+    )
+    srv.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for /v1/price_many batches "
+        "(-1 = all cores)",
+    )
+    srv.add_argument(
+        "--backend",
+        choices=("auto", "python", "scipy", "numpy"),
+        default="auto",
+    )
+    srv.add_argument(
+        "--on-monopoly",
+        choices=("raise", "inf"),
+        default="inf",
+        help="monopolized relays: record inf payments (default) or fail "
+        "the request",
+    )
+    srv.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="make the engine durable: write-ahead log every mutation "
+        "under DIR and cut periodic checkpoints",
+    )
+    srv.add_argument(
+        "--recover",
+        action="store_true",
+        help="resume from --checkpoint-dir (checkpoint + WAL replay) "
+        "instead of building a fresh engine",
+    )
+    srv.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="N",
+        default=None,
+        help="cut a checkpoint automatically every N logged updates",
+    )
+    srv.add_argument(
+        "--fsync",
+        choices=("always", "interval", "never"),
+        default="interval",
+        help="WAL durability policy (default: interval)",
+    )
+    srv.add_argument(
+        "--duration",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="serve this long then drain and exit (default: until "
+        "SIGINT/SIGTERM)",
     )
 
     for p in sub.choices.values():
@@ -685,6 +784,88 @@ def _cmd_recover(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro import generators
+    from repro.engine import PricingEngine
+    from repro.errors import ReproError, error_code
+    from repro.service import PricingService, ServiceServer
+
+    if args.recover:
+        if args.checkpoint_dir is None:
+            raise SystemExit("--recover requires --checkpoint-dir")
+        engine = PricingEngine.open(
+            args.checkpoint_dir,
+            backend=None if args.backend == "auto" else args.backend,
+            fsync=args.fsync,
+            checkpoint_every=args.checkpoint_every,
+        )
+        assert engine.last_recovery is not None
+        print(engine.last_recovery.describe())
+    else:
+        g = generators.random_biconnected_graph(args.nodes, seed=args.seed)
+        engine = PricingEngine(
+            g,
+            backend=args.backend,
+            on_monopoly=args.on_monopoly,
+            checkpoint_dir=args.checkpoint_dir,
+            fsync=args.fsync,
+            checkpoint_every=args.checkpoint_every,
+        )
+
+    metrics_were_enabled = REGISTRY.enabled
+    REGISTRY.enable()  # /metrics with nothing collected is useless
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):  # noqa: ARG001 - signal API
+        log.info("shutdown signal", extra={"signal": signum})
+        stop.set()
+
+    try:
+        service = PricingService(
+            engine,
+            workers=args.workers,
+            max_queue=args.queue_depth,
+            deadline_s=args.deadline,
+            jobs=args.jobs,
+        )
+    except ReproError as exc:
+        print(f"error [{error_code(exc)}]: {exc}", file=sys.stderr)
+        if not metrics_were_enabled:
+            REGISTRY.disable()
+        engine.close()
+        return 1
+    server = ServiceServer(service, port=args.port, host=args.host).start()
+    print(
+        f"pricing service on {server.url} "
+        "(POST /v1/price /v1/price_many /v1/update; "
+        "GET /v1/graph /metrics /healthz); Ctrl-C to drain and exit",
+        flush=True,
+    )
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        previous[sig] = signal.signal(sig, _on_signal)
+    try:
+        stop.wait(timeout=args.duration)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        server.stop()
+        service.close()  # drain: flush WAL + final checkpoint + close
+        if not metrics_were_enabled:
+            REGISTRY.disable()
+    stats = service.stats
+    print(
+        f"drained after {stats.requests} requests, {stats.updates} updates "
+        f"({stats.coalesced} coalesced, {stats.rejected} rejected, "
+        f"{stats.timeouts} deadline-expired); final graph version "
+        f"{engine.version}"
+    )
+    return 0
+
+
 def _dispatch(args) -> int:
     if args.command == "demo":
         return _cmd_demo(args)
@@ -704,6 +885,8 @@ def _dispatch(args) -> int:
         return _cmd_engine(args)
     if args.command == "recover":
         return _cmd_recover(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

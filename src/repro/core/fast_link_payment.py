@@ -37,7 +37,6 @@ from repro.core.mechanism import (
     resolve_backend,
     resolve_monopoly_policy,
     spt_backend_for,
-    warn_renamed_kwarg,
 )
 from repro.errors import DisconnectedError, InvalidGraphError, MonopolyError
 from repro.graph.dijkstra import link_weighted_spt
@@ -70,19 +69,15 @@ def fast_link_vcg_payments(
     target: int,
     on_monopoly: str = "raise",
     backend: str = "auto",
-    monopoly: str | None = None,
 ) -> UnicastPayment:
     """All relay payments of one request in O(n log n + m), link model.
 
     Returns the same :class:`UnicastPayment` as
     :func:`~repro.core.link_vcg.link_vcg_payments` (relay-cost
-    convention), computed without per-relay Dijkstras. The pre-facade
-    keyword ``monopoly=`` is still accepted with a
-    :class:`DeprecationWarning`.
+    convention), computed without per-relay Dijkstras. (The pre-facade
+    keyword ``monopoly=`` finished its deprecation cycle and is no
+    longer accepted.)
     """
-    on_monopoly = warn_renamed_kwarg(
-        "monopoly", "on_monopoly", monopoly, on_monopoly, "raise"
-    )
     source = check_node_index(source, dg.n)
     target = check_node_index(target, dg.n)
     resolve_backend(backend)

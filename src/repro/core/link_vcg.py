@@ -36,7 +36,6 @@ from repro.core.mechanism import (
     resolve_backend,
     resolve_monopoly_policy,
     spt_backend_for,
-    warn_renamed_kwarg,
 )
 from repro.errors import DisconnectedError, MonopolyError
 from repro.graph.avoiding import (
@@ -61,7 +60,6 @@ def link_vcg_payments(
     target: int,
     on_monopoly: str = "raise",
     backend: str = "auto",
-    monopoly: str | None = None,
 ) -> UnicastPayment:
     """VCG outcome for one source in the link-cost model.
 
@@ -69,12 +67,10 @@ def link_vcg_payments(
     cost** of the route — the path weight minus the source's own first
     transmission — mirroring the node model's internal-cost convention
     (payments compensate relays; the source's own radio energy is not
-    something it pays anyone for). The pre-facade keyword ``monopoly=``
-    is still accepted with a :class:`DeprecationWarning`.
+    something it pays anyone for). (The pre-facade keyword
+    ``monopoly=`` finished its deprecation cycle and is no longer
+    accepted.)
     """
-    on_monopoly = warn_renamed_kwarg(
-        "monopoly", "on_monopoly", monopoly, on_monopoly, "raise"
-    )
     source = check_node_index(source, dg.n)
     target = check_node_index(target, dg.n)
     resolve_backend(backend)

@@ -9,7 +9,6 @@ otherwise, so ``u^k = p^k - x_k * c_k``.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Protocol, runtime_checkable
 
@@ -23,7 +22,6 @@ __all__ = [
     "resolve_backend",
     "resolve_monopoly_policy",
     "spt_backend_for",
-    "warn_renamed_kwarg",
     "BACKENDS",
     "MONOPOLY_POLICIES",
 ]
@@ -41,13 +39,16 @@ MONOPOLY_POLICIES: tuple[str, ...] = ("raise", "inf")
 def resolve_backend(backend: str) -> str:
     """Validate a ``backend=`` keyword shared by every pricing entry point.
 
-    Returns the backend unchanged; raises ``ValueError`` on anything
-    outside :data:`BACKENDS`. Centralizing the check keeps the error
-    message (and the accepted set) identical across the node and link
-    entry points.
+    Returns the backend unchanged; raises
+    :class:`~repro.errors.InvalidRequestError` (a ``ValueError``
+    subclass) on anything outside :data:`BACKENDS`. Centralizing the
+    check keeps the error message (and the accepted set) identical
+    across the node and link entry points.
     """
     if backend not in BACKENDS:
-        raise ValueError(
+        from repro.errors import InvalidRequestError
+
+        raise InvalidRequestError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
     return backend
@@ -64,36 +65,23 @@ def spt_backend_for(backend: str) -> str:
 
 
 def resolve_monopoly_policy(on_monopoly: str) -> str:
-    """Validate an ``on_monopoly=`` keyword (``"raise"`` or ``"inf"``)."""
+    """Validate an ``on_monopoly=`` keyword (``"raise"`` or ``"inf"``).
+
+    Raises :class:`~repro.errors.InvalidRequestError` (a ``ValueError``
+    subclass) on anything else.
+    """
     if on_monopoly not in MONOPOLY_POLICIES:
-        raise ValueError(
+        from repro.errors import InvalidRequestError
+
+        raise InvalidRequestError(
             f"on_monopoly must be 'raise' or 'inf', got {on_monopoly!r}"
         )
     return on_monopoly
 
 
-def warn_renamed_kwarg(old: str, new: str, value, current, default):
-    """Deprecation shim for a renamed keyword argument.
-
-    ``value`` is what the caller passed under the *old* name (``None``
-    when absent); ``current`` is what they passed under the new name and
-    ``default`` is the new keyword's default. Returns the effective
-    value. Passing both names is an error; passing the old one emits a
-    :class:`DeprecationWarning` but changes nothing else.
-    """
-    if value is None:
-        return current
-    if current != default:
-        raise TypeError(
-            f"got values for both {old!r} (deprecated) and {new!r}; "
-            f"pass only {new!r}"
-        )
-    warnings.warn(
-        f"keyword {old!r} is deprecated; use {new!r}",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    return value
+# The PR-4 ``warn_renamed_kwarg`` shim (``algorithm=``/``monopoly=``)
+# completed its deprecation cycle in PR-9 and is gone; the renamed
+# keywords now fail with a plain TypeError like any unknown kwarg.
 
 
 @runtime_checkable

@@ -27,7 +27,6 @@ from repro.core.mechanism import (
     resolve_backend,
     resolve_monopoly_policy,
     spt_backend_for,
-    warn_renamed_kwarg,
 )
 from repro.errors import DisconnectedError, MonopolyError
 from repro.graph.avoiding import avoiding_distance
@@ -46,7 +45,6 @@ def vcg_unicast_payments(
     method: str = "fast",
     backend: str = "auto",
     on_monopoly: str = "raise",
-    algorithm: str | None = None,
 ) -> UnicastPayment:
     """Full VCG outcome for one unicast request.
 
@@ -59,19 +57,22 @@ def vcg_unicast_payments(
         Endpoints; the paper's access point scenario is ``target = 0``.
     method:
         ``"fast"`` (Algorithm 1) or ``"naive"`` (per-relay Dijkstra).
-        The pre-facade name ``algorithm=`` is still accepted with a
-        :class:`DeprecationWarning`.
+        (The pre-facade spelling ``algorithm=`` finished its
+        deprecation cycle and is no longer accepted.)
     on_monopoly:
         What to do when some relay's removal disconnects the endpoints
         (excluded by the paper's biconnectivity assumption):
         ``"raise"`` raises :class:`~repro.errors.MonopolyError`,
         ``"inf"`` records an infinite payment.
     """
-    method = warn_renamed_kwarg("algorithm", "method", algorithm, method, "fast")
     source = check_node_index(source, g.n)
     target = check_node_index(target, g.n)
     if method not in ("fast", "naive"):
-        raise ValueError(f"method must be 'fast' or 'naive', got {method!r}")
+        from repro.errors import InvalidRequestError
+
+        raise InvalidRequestError(
+            f"method must be 'fast' or 'naive', got {method!r}"
+        )
     resolve_backend(backend)
     resolve_monopoly_policy(on_monopoly)
     if source == target:

@@ -16,14 +16,21 @@ request/update traces (the ``repro-unicast engine`` CLI command and
 log of every mutation plus periodic checkpoints, so
 :meth:`PricingEngine.open` rebuilds a bit-identical engine after a
 crash (see ``docs/engine.md`` for the operations guide).
+
+:mod:`repro.engine.sync` supplies the writer-preferring reader–writer
+lock behind the engine's snapshot isolation: concurrent ``price()``
+calls share the lock while mutations serialize and publish new
+versions atomically (``docs/service.md``).
 """
 
 from repro.engine.engine import EngineStats, PricingEngine
 from repro.engine.persist import (
     EnginePersistence,
     PersistError,
+    RecoveryError,
     RecoveryReport,
 )
+from repro.engine.sync import RWLock
 from repro.engine.workload import (
     ReplayReport,
     WorkloadOp,
@@ -38,7 +45,9 @@ __all__ = [
     "EngineStats",
     "EnginePersistence",
     "PersistError",
+    "RecoveryError",
     "RecoveryReport",
+    "RWLock",
     "WorkloadOp",
     "ReplayReport",
     "generate_workload",

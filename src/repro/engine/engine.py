@@ -99,6 +99,34 @@ worker processes via :func:`repro.analysis.parallel.run_tasks`
 package keeps the layering rule intact: ``core`` never imports
 ``analysis``.
 
+Concurrency and snapshot isolation
+----------------------------------
+
+The engine is safe to share across threads. A writer-preferring
+reader–writer lock (:class:`repro.engine.sync.RWLock`) enforces
+snapshot isolation: :meth:`PricingEngine.price` /
+:meth:`PricingEngine.price_many` hold the read side, so any number of
+queries run concurrently against one frozen ``(graph, version)``
+snapshot, while :meth:`PricingEngine.update_cost` /
+:meth:`PricingEngine.add_node` / :meth:`PricingEngine.remove_node` /
+:meth:`PricingEngine.checkpoint` serialize through the write side and
+publish the next version atomically. No query ever observes a
+half-applied mutation, so every answer is bit-identical to what a
+serial execution at that answer's ``graph_version`` would produce —
+:meth:`PricingEngine.price_versioned` returns the pinned version
+alongside the payment precisely so callers (the service layer, the
+stress tests) can replay the serial oracle and check.
+
+Two sharp edges follow from the design and are worth knowing:
+
+* Cache *bookkeeping* (hit/miss counters, concurrent same-key inserts)
+  is benign-racy under concurrent readers: both racers compute the
+  same bit-identical value from the same snapshot and the last insert
+  wins, so responses are exact even when counters are approximate.
+* Once closed (:meth:`PricingEngine.close`), queries and mutations
+  raise :class:`~repro.errors.EngineClosedError`; introspection
+  properties stay readable.
+
 Durability
 ----------
 
@@ -132,7 +160,8 @@ from repro.core.mechanism import (
     spt_backend_for,
 )
 from repro.engine import persist as _persist_mod
-from repro.errors import ReproError
+from repro.engine.sync import RWLock
+from repro.errors import EngineClosedError, ReproError
 from repro.graph.dijkstra import node_weighted_spt
 from repro.graph.link_graph import LinkWeightedDigraph
 from repro.graph.node_graph import NodeWeightedGraph
@@ -316,6 +345,8 @@ class PricingEngine:
         self._graph = graph
         self._backend = resolve_backend(backend)
         self._on_monopoly = resolve_monopoly_policy(on_monopoly)
+        self._rw = RWLock()
+        self._closed = False
         self._version = 0
         # root -> (version_stamp, tree); (source, target) -> (stamp, result)
         self._spts: dict[int, tuple[int, ShortestPathTree]] = {}
@@ -381,6 +412,46 @@ class PricingEngine:
         """Number of nodes in the current snapshot."""
         return self._graph.n
 
+    @property
+    def durable(self) -> bool:
+        """True when the engine persists mutations (``checkpoint_dir=``)."""
+        return self._persist is not None
+
+    @property
+    def closed(self) -> bool:
+        """True after :meth:`close`; queries and mutations then raise."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EngineClosedError(
+                "engine is closed; queries and mutations no longer apply"
+            )
+
+    def graph_snapshot(
+        self,
+    ) -> tuple[NodeWeightedGraph | LinkWeightedDigraph, int]:
+        """The current ``(graph, version)`` pair, read atomically.
+
+        Reading ``eng.graph`` and ``eng.version`` separately can
+        straddle a concurrent update; this takes the read lock once so
+        the two always correspond.
+        """
+        with self._rw.read_locked():
+            self._check_open()
+            return self._graph, self._version
+
+    def paused(self):
+        """Exclusive pause: ``with eng.paused():`` blocks every query
+        and mutation until the block exits.
+
+        Readers drain first (writer preference), then the block runs
+        alone — a quiescence point for consistent external backups, and
+        the hook the concurrency tests use to stage deterministic
+        interleavings.
+        """
+        return self._rw.write_locked()
+
     def __repr__(self) -> str:
         return (
             f"PricingEngine(model={self._model!r}, n={self.n}, "
@@ -435,7 +506,10 @@ class PricingEngine:
     ) -> ShortestPathTree | None:
         """Carry a stale tree through the logged updates, or drop it."""
         if stamp < self._log_floor or self._version - stamp > _SPT_FF_CAP:
-            del self._spts[root]
+            # pop, not del: two readers racing on the same stale root
+            # both take this branch (benign — each rebuilds the same
+            # tree from the same snapshot).
+            self._spts.pop(root, None)
             self.stats.stale_evictions += 1
             self._count("stale_evictions")
             _flight.record("evict", version=self._version, value=float(root))
@@ -470,8 +544,29 @@ class PricingEngine:
         model) and cached. Raises exactly what the stateless entry
         points raise (:class:`~repro.errors.DisconnectedError`,
         :class:`~repro.errors.MonopolyError` under
-        ``on_monopoly="raise"``).
+        ``on_monopoly="raise"``). Thread-safe: runs under the shared
+        read lock, so concurrent calls never observe a half-applied
+        update.
         """
+        with self._rw.read_locked():
+            self._check_open()
+            return self._price_locked(source, target)
+
+    def price_versioned(
+        self, source: int, target: int
+    ) -> tuple[UnicastPayment, int]:
+        """Like :meth:`price`, returning ``(payment, graph_version)``.
+
+        The version is read under the same read-lock hold that served
+        the query, so it names exactly the snapshot the payment was
+        computed against — the handle a caller needs to verify the
+        answer against a serial oracle (``docs/service.md``).
+        """
+        with self._rw.read_locked():
+            self._check_open()
+            return self._price_locked(source, target), self._version
+
+    def _price_locked(self, source: int, target: int) -> UnicastPayment:
         source = check_node_index(source, self._graph.n)
         target = check_node_index(target, self._graph.n)
         self.stats.queries += 1
@@ -541,7 +636,7 @@ class PricingEngine:
         if stamp >= self._log_floor:
             for v in range(stamp + 1, self._version + 1):
                 if not self._pair_survives(res, key, self._log[v]):
-                    del self._pairs[key]
+                    self._pairs.pop(key, None)
                     self.stats.invalidations += 1
                     self._count("invalidations")
                     _flight.record("invalidate", version=self._version)
@@ -555,7 +650,7 @@ class PricingEngine:
                 value=float(self._version - stamp),
             )
             return True
-        del self._pairs[key]
+        self._pairs.pop(key, None)
         self.stats.stale_evictions += 1
         self._count("stale_evictions")
         _flight.record("evict", version=self._version)
@@ -600,7 +695,29 @@ class PricingEngine:
         bit-identical to the serial path, like every ``jobs=`` in this
         repo). Worker processes cannot share the parent's caches, so
         parallel batches trade cache growth for wall-clock time.
+        Thread-safe: the whole batch runs under one read-lock hold, so
+        every pair in the returned dict was priced at the same version.
         """
+        with self._rw.read_locked():
+            self._check_open()
+            return self._price_many_locked(pairs, jobs)
+
+    def price_many_versioned(
+        self,
+        pairs: Iterable[tuple[int, int]],
+        jobs: int | None = None,
+    ) -> tuple[dict[tuple[int, int], UnicastPayment], int]:
+        """Like :meth:`price_many`, returning ``(payments, version)``
+        with the version pinned for the entire batch."""
+        with self._rw.read_locked():
+            self._check_open()
+            return self._price_many_locked(pairs, jobs), self._version
+
+    def _price_many_locked(
+        self,
+        pairs: Iterable[tuple[int, int]],
+        jobs: int | None = None,
+    ) -> dict[tuple[int, int], UnicastPayment]:
         from repro.analysis.parallel import resolve_jobs, run_tasks
 
         self.stats.batches += 1
@@ -741,7 +858,15 @@ class PricingEngine:
         conservatively invalidated via the version bump.
 
         A no-op change (same value) leaves version and caches untouched.
+        Thread-safe: serializes through the write lock; in-flight
+        queries finish against the old snapshot first, then the new
+        version is published atomically.
         """
+        with self._rw.write_locked():
+            self._check_open()
+            return self._update_cost_locked(node_or_edge, value)
+
+    def _update_cost_locked(self, node_or_edge, value: float) -> int:
         if self._model == "link":
             u, v = node_or_edge
             if self._graph.arc_weight(u, v) == float(value):
@@ -907,7 +1032,15 @@ class PricingEngine:
             witnessed = max(witnessed, max(res.avoiding_costs.values()))
         if not np.isfinite(witnessed):
             return False
-        return bound > witnessed
+        # Strict clearance with a relative margin. The bound is tight
+        # exactly when a witnessed avoiding path runs through ``k`` (it
+        # IS the cheapest through-``k`` path) — a common case, not a
+        # measure-zero tie — and the two sides sum the same node costs
+        # in different orders, so float noise can push ``bound`` a few
+        # ULPs above ``witnessed``. Any genuine clearance under
+        # continuous costs dwarfs 1e-9; a near-tie must drop the entry
+        # (conservative: it just recomputes).
+        return bound > witnessed + 1e-9 * max(1.0, abs(witnessed))
 
     def remove_node(self, node: int) -> int:
         """Drop every edge/arc incident to ``node``; returns the new version.
@@ -917,7 +1050,13 @@ class PricingEngine:
         as an isolated vertex; pricing to or from it raises
         :class:`~repro.errors.DisconnectedError`. Invalidation is
         conservative: the version bump lazily evicts every cache entry.
+        Thread-safe (write lock).
         """
+        with self._rw.write_locked():
+            self._check_open()
+            return self._remove_node_locked(node)
+
+    def _remove_node_locked(self, node: int) -> int:
         node = check_node_index(node, self._graph.n)
         if self._model == "link":
             self._graph = self._graph.with_node_removed(node)
@@ -944,8 +1083,14 @@ class PricingEngine:
         Node model: the node joins with declared ``cost`` and undirected
         edges to ``neighbors``. Link model: ``arcs`` are ``(u, v, w)``
         triples incident to the new node (id ``n``). Invalidation is
-        conservative (lazy, via the version bump).
+        conservative (lazy, via the version bump). Thread-safe (write
+        lock).
         """
+        with self._rw.write_locked():
+            self._check_open()
+            return self._add_node_locked(cost, neighbors, arcs)
+
+    def _add_node_locked(self, cost: float, neighbors, arcs) -> int:
         n = self._graph.n
         neighbors = list(neighbors)
         arcs = list(arcs)
@@ -1015,25 +1160,30 @@ class PricingEngine:
         new checkpoint starts an empty tail, and prunes generations
         past ``retain``. ``include_caches=False`` writes a graph-only
         checkpoint (smaller file, colder restart). Requires the engine
-        to have been built with ``checkpoint_dir=``.
+        to have been built with ``checkpoint_dir=``. Thread-safe: takes
+        the write lock (reentrantly when an automatic checkpoint fires
+        inside a mutation), so the persisted state is a quiescent
+        snapshot.
         """
         if self._persist is None:
             raise _persist_mod.PersistError(
                 "engine has no checkpoint_dir; pass one at construction "
                 "or recover with PricingEngine.open()"
             )
-        path = self._persist.write_checkpoint(
-            self._checkpoint_state(include_caches)
-        )
-        self.stats.checkpoint_writes += 1
-        self._count("checkpoint_writes")
-        _flight.record(
-            "checkpoint",
-            version=self._version,
-            value=float(self._persist.seq),
-        )
-        self._update_gauges()
-        return path
+        with self._rw.write_locked():
+            self._check_open()
+            path = self._persist.write_checkpoint(
+                self._checkpoint_state(include_caches)
+            )
+            self.stats.checkpoint_writes += 1
+            self._count("checkpoint_writes")
+            _flight.record(
+                "checkpoint",
+                version=self._version,
+                value=float(self._persist.seq),
+            )
+            self._update_gauges()
+            return path
 
     @classmethod
     def open(
@@ -1125,15 +1275,25 @@ class PricingEngine:
         return eng
 
     def close(self) -> None:
-        """Flush and close the WAL (idempotent; no-op when not durable).
+        """Retire the engine: flush and close the WAL, then refuse
+        further queries and mutations with
+        :class:`~repro.errors.EngineClosedError`.
 
-        Buffered records are flushed on every append, so a clean
-        process exit loses nothing even without ``close()`` — this
-        exists to fsync the tail and release the file handle
+        Idempotent. Takes the write lock, so in-flight queries finish
+        first and nothing is ever half-served. Buffered WAL records are
+        flushed on every append, so a clean process exit loses nothing
+        even without ``close()`` — this exists to fsync the tail,
+        release the file handle, and mark the handoff point
         deterministically (the context-manager form calls it).
+        Introspection (``version``, ``graph``, ``stats``) stays
+        readable on a closed engine.
         """
-        if self._persist is not None:
-            self._persist.close()
+        with self._rw.write_locked():
+            if self._closed:
+                return
+            self._closed = True
+            if self._persist is not None:
+                self._persist.close()
 
     def __enter__(self) -> "PricingEngine":
         return self
@@ -1151,22 +1311,25 @@ class PricingEngine:
         """Drop every version-mismatched entry now; returns the count.
 
         Lazy eviction only reclaims a key when it is queried again; call
-        this after heavy churn to bound memory.
+        this after heavy churn to bound memory. Thread-safe (write
+        lock).
         """
-        dropped = 0
-        for root, (stamp, _) in list(self._spts.items()):
-            if stamp != self._version:
-                del self._spts[root]
-                dropped += 1
-        for key, (stamp, _) in list(self._pairs.items()):
-            if stamp != self._version:
-                del self._pairs[key]
-                dropped += 1
-        if dropped:
-            self.stats.stale_evictions += dropped
-            self._count("stale_evictions", dropped)
-            _flight.record(
-                "evict", version=self._version, value=float(dropped)
-            )
-        self._update_gauges()
-        return dropped
+        with self._rw.write_locked():
+            self._check_open()
+            dropped = 0
+            for root, (stamp, _) in list(self._spts.items()):
+                if stamp != self._version:
+                    del self._spts[root]
+                    dropped += 1
+            for key, (stamp, _) in list(self._pairs.items()):
+                if stamp != self._version:
+                    del self._pairs[key]
+                    dropped += 1
+            if dropped:
+                self.stats.stale_evictions += dropped
+                self._count("stale_evictions", dropped)
+                _flight.record(
+                    "evict", version=self._version, value=float(dropped)
+                )
+            self._update_gauges()
+            return dropped

@@ -100,7 +100,7 @@ from typing import IO, Any
 import numpy as np
 
 from repro import io as repro_io
-from repro.errors import ReproError
+from repro.errors import PersistError, RecoveryError
 from repro.graph.link_graph import LinkWeightedDigraph
 from repro.graph.node_graph import NodeWeightedGraph
 from repro.graph.spt import ShortestPathTree
@@ -109,6 +109,7 @@ from repro.obs import logging as obs_logging
 
 __all__ = [
     "PersistError",
+    "RecoveryError",
     "FSYNC_POLICIES",
     "WAL_FORMAT",
     "WAL_SCHEMA_VERSION",
@@ -142,10 +143,9 @@ _CKPT_GLOB = "checkpoint-*.json"
 _WAL_GLOB = "wal-*.jsonl"
 
 
-class PersistError(ReproError):
-    """Unusable checkpoint directory, bad fsync policy, or a recovery
-    that found no valid checkpoint at all."""
-
+# PersistError / RecoveryError live in the shared taxonomy
+# (repro.errors) so the service layer can map them to HTTP statuses;
+# re-exported here because this module is where they are raised.
 
 def _resolve_fsync(policy: str) -> str:
     if policy not in FSYNC_POLICIES:
@@ -636,7 +636,7 @@ def load_state(
     root = Path(root)
     ckpts = list_checkpoints(root)
     if not ckpts:
-        raise PersistError(f"no checkpoints in {root}")
+        raise RecoveryError(f"no checkpoints in {root}")
     skipped: list[str] = []
     for path in reversed(ckpts):
         try:
@@ -671,7 +671,7 @@ def load_state(
             skipped_checkpoints=tuple(skipped),
         )
         return state, records, report
-    raise PersistError(
+    raise RecoveryError(
         f"no valid checkpoint in {root}: " + "; ".join(skipped)
     )
 

@@ -4,7 +4,24 @@ Every error raised by the library derives from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while
 still distinguishing the common failure families (bad input graphs,
 monopolies that make VCG payments undefined, protocol violations detected
-by the secure distributed algorithm, ...).
+by the secure distributed algorithm, an overloaded serving layer, ...).
+
+Stable machine-readable codes
+-----------------------------
+
+Every class carries a ``code`` attribute — a stable, dotted,
+machine-readable identifier (``"graph.disconnected"``,
+``"service.overloaded"``, ...). Codes are the *wire contract*: the HTTP
+service (:mod:`repro.service`) puts them in error envelopes, the CLI
+prints them, and :data:`HTTP_STATUS` maps each code to exactly one HTTP
+status so every surface agrees on what a failure means. Renaming a
+class is invisible to clients as long as its code survives; codes are
+append-only.
+
+:func:`error_code` and :func:`http_status` resolve an *instance*
+(walking the MRO, so subclasses inherit their family's code unless they
+override it); non-:class:`ReproError` exceptions map to
+``"internal"`` / 500.
 """
 
 from __future__ import annotations
@@ -17,18 +34,36 @@ __all__ = [
     "DisconnectedError",
     "MonopolyError",
     "MechanismError",
+    "InvalidRequestError",
+    "SerializationError",
     "ProtocolError",
     "CheatingDetectedError",
     "ExperimentError",
+    "EngineError",
+    "EngineClosedError",
+    "PersistError",
+    "RecoveryError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
+    "DeadlineExceededError",
+    "HTTP_STATUS",
+    "error_code",
+    "http_status",
 ]
 
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
 
+    #: Stable machine-readable identifier (see the module docstring).
+    code = "repro.error"
+
 
 class GraphError(ReproError):
     """Base class for errors related to graph construction or queries."""
+
+    code = "graph.error"
 
 
 class InvalidGraphError(GraphError, ValueError):
@@ -38,9 +73,13 @@ class InvalidGraphError(GraphError, ValueError):
     of mismatched lengths, duplicate edges where they are forbidden.
     """
 
+    code = "graph.invalid"
+
 
 class NodeNotFoundError(GraphError, KeyError):
     """A node index was out of range for the graph it was used with."""
+
+    code = "graph.node_not_found"
 
     def __init__(self, node: int, n: int) -> None:
         super().__init__(f"node {node} out of range for graph with {n} nodes")
@@ -55,6 +94,8 @@ class DisconnectedError(GraphError):
     experiment drivers when a generated topology fails the reachability
     requirements of the mechanism.
     """
+
+    code = "graph.disconnected"
 
     def __init__(self, source: int, target: int, context: str = "") -> None:
         detail = f" ({context})" if context else ""
@@ -72,6 +113,8 @@ class MonopolyError(DisconnectedError):
     for the collusion-resistant schemes of Section III.E.
     """
 
+    code = "mechanism.monopoly"
+
     def __init__(self, source: int, target: int, removed: object) -> None:
         DisconnectedError.__init__(
             self, source, target, context=f"after removing {removed!r}"
@@ -82,9 +125,35 @@ class MonopolyError(DisconnectedError):
 class MechanismError(ReproError):
     """A pricing-mechanism computation could not be carried out."""
 
+    code = "mechanism.error"
+
+
+class InvalidRequestError(ReproError, ValueError):
+    """A request carried an invalid option or malformed parameters.
+
+    The typed replacement for the bare ``ValueError`` the entry points
+    used to raise on a bad ``method=``/``backend=``/``on_monopoly=``
+    value — still a ``ValueError`` subclass, so pre-taxonomy ``except``
+    clauses keep working.
+    """
+
+    code = "request.invalid"
+
+
+class SerializationError(ReproError):
+    """Unknown format tag, bad schema version, or malformed payload.
+
+    Raised by :mod:`repro.io` (and therefore by everything layered on
+    it: the engine's durable store, the service's wire envelopes).
+    """
+
+    code = "io.serialization"
+
 
 class ProtocolError(ReproError):
     """A distributed protocol reached an invalid state."""
+
+    code = "protocol.error"
 
 
 class CheatingDetectedError(ProtocolError):
@@ -94,6 +163,8 @@ class CheatingDetectedError(ProtocolError):
     detected the inconsistency, mirroring the paper's "notifies v_j and
     other nodes; v_j will then be punished accordingly".
     """
+
+    code = "protocol.cheating"
 
     def __init__(self, cheater: int, witness: int, reason: str) -> None:
         super().__init__(
@@ -106,3 +177,109 @@ class CheatingDetectedError(ProtocolError):
 
 class ExperimentError(ReproError):
     """An experiment specification was invalid or a run failed."""
+
+    code = "experiment.error"
+
+
+class EngineError(ReproError):
+    """Base class for :class:`~repro.engine.PricingEngine` failures."""
+
+    code = "engine.error"
+
+
+class EngineClosedError(EngineError):
+    """The engine was closed; no further queries or mutations apply."""
+
+    code = "engine.closed"
+
+
+class PersistError(EngineError):
+    """Unusable checkpoint directory or bad durability configuration."""
+
+    code = "engine.persist"
+
+
+class RecoveryError(PersistError):
+    """Recovery found no usable state (e.g. no checkpoint validates)."""
+
+    code = "engine.recovery"
+
+
+class ServiceError(ReproError):
+    """Base class for :mod:`repro.service` serving-layer failures."""
+
+    code = "service.error"
+
+
+class ServiceOverloadedError(ServiceError):
+    """The admission queue is full; the request was rejected (HTTP 429)."""
+
+    code = "service.overloaded"
+
+
+class ServiceClosedError(ServiceError):
+    """The service is draining or closed; no new requests are admitted."""
+
+    code = "service.closed"
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline expired before an answer was served."""
+
+    code = "service.deadline"
+
+
+#: The one shared code → HTTP status table (the service's handlers and
+#: the CLI both resolve through it — see :func:`http_status`). 4xx are
+#: the caller's fault (bad envelope, unknown node, domain refusals),
+#: 429/503/504 are serving-layer pushback, 5xx are our bugs.
+HTTP_STATUS: dict[str, int] = {
+    "repro.error": 500,
+    "graph.error": 400,
+    "graph.invalid": 400,
+    "graph.node_not_found": 404,
+    "graph.disconnected": 422,
+    "mechanism.monopoly": 422,
+    "mechanism.error": 422,
+    "request.invalid": 400,
+    "io.serialization": 400,
+    "protocol.error": 500,
+    "protocol.cheating": 500,
+    "experiment.error": 500,
+    "engine.error": 500,
+    "engine.closed": 503,
+    "engine.persist": 500,
+    "engine.recovery": 500,
+    "service.error": 500,
+    "service.overloaded": 429,
+    "service.closed": 503,
+    "service.deadline": 504,
+    "internal": 500,
+}
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable code for an exception instance.
+
+    :class:`ReproError` subclasses report their own (or their nearest
+    ancestor's) ``code``; anything else is ``"internal"``.
+    """
+    code = getattr(exc, "code", None)
+    return code if isinstance(code, str) else "internal"
+
+
+def http_status(exc: BaseException) -> int:
+    """The HTTP status an exception maps to (via :data:`HTTP_STATUS`).
+
+    Unknown codes fall back up the exception's MRO so a subclass added
+    without a table entry inherits its family's status, and ultimately
+    to 500.
+    """
+    status = HTTP_STATUS.get(error_code(exc))
+    if status is not None:
+        return status
+    for base in type(exc).__mro__:
+        code = base.__dict__.get("code")
+        if isinstance(code, str) and code in HTTP_STATUS:
+            return HTTP_STATUS[code]
+    return 500

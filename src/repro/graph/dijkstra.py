@@ -171,25 +171,29 @@ def _node_spt_python(
 
 
 def _node_spt_scipy(g: NodeWeightedGraph, root: int) -> ShortestPathTree:
+    from scipy.sparse import csr_matrix
     from scipy.sparse.csgraph import dijkstra as sp_dijkstra
 
     mat = g.to_tailcost_matrix()
     # The source relays its own packet for free (Section II.C): nudge its
-    # outgoing arcs to ~0 (an exact 0 would read as a missing arc). Patch
-    # the cached matrix in place and restore afterwards — only the root's
-    # row is touched, so no O(m) copy or per-call CSR validation.
+    # outgoing arcs to ~0 (an exact 0 would read as a missing arc). The
+    # cached matrix is shared — the engine's read lock admits concurrent
+    # builders for different roots, and a concurrent batched solve reads
+    # it too — so it must never be patched in place: clone the data
+    # vector, patch the clone, and wrap it with the shared index arrays
+    # (``copy=False``). The clone is O(m) floats, far below the solve.
     lo, hi = int(mat.indptr[root]), int(mat.indptr[root + 1])
-    saved = mat.data[lo:hi].copy()
-    mat.data[lo:hi] = 1e-300
-    try:
-        dist, pred = sp_dijkstra(
-            mat,
-            directed=True,
-            indices=root,
-            return_predecessors=True,
-        )
-    finally:
-        mat.data[lo:hi] = saved
+    data = mat.data.copy()
+    data[lo:hi] = 1e-300
+    patched = csr_matrix(
+        (data, mat.indices, mat.indptr), shape=mat.shape, copy=False
+    )
+    dist, pred = sp_dijkstra(
+        patched,
+        directed=True,
+        indices=root,
+        return_predecessors=True,
+    )
     dist = np.where(np.isfinite(dist), dist, np.inf)
     # Clip the zero-cost nudges back to exact zeros.
     dist[dist < 1e-250] = 0.0

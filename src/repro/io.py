@@ -22,11 +22,29 @@ of one tag; loaders (:func:`from_dict`, and the engine's durable store
 in :mod:`repro.engine.persist`) chain registered steps through
 :func:`apply_migrations`, so old files keep loading instead of
 erroring. An unregistered gap still fails loudly.
+
+Wire envelopes
+--------------
+
+The HTTP pricing service (:mod:`repro.service`) speaks the same
+machinery rather than hand-rolled handler dicts. Its request/response
+shapes are small frozen dataclasses defined here —
+:class:`PriceRequest`, :class:`PriceManyRequest`, :class:`UpdateRequest`,
+:class:`PriceResponse`, :class:`PriceManyResponse`,
+:class:`UpdateResponse`, :class:`GraphResponse`, :class:`ErrorResponse`
+— registered in the same encoder/decoder tables, so one
+:func:`to_wire` / :func:`from_wire` pair round-trips every message.
+On the wire the version key is spelled ``schema_version``
+(``{"format": tag, "schema_version": N, "data": {...}}``); decoding
+normalizes it and runs the exact same :func:`apply_migrations` chain,
+so evolving an endpoint's schema means bumping the version and
+registering a migration — identical to evolving an on-disk format.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
@@ -35,7 +53,11 @@ import numpy as np
 from repro.core.fast_payment import FastPaymentResult
 from repro.core.link_vcg import LinkPaymentTable
 from repro.core.mechanism import UnicastPayment
-from repro.errors import ReproError
+from repro.errors import (
+    InvalidRequestError,
+    ReproError,
+    SerializationError,
+)
 from repro.graph.link_graph import LinkWeightedDigraph
 from repro.graph.node_graph import NodeWeightedGraph
 from repro.wireless.deployment import Deployment
@@ -50,13 +72,23 @@ __all__ = [
     "register_migration",
     "apply_migrations",
     "SerializationError",
+    "to_wire",
+    "from_wire",
+    "PriceRequest",
+    "PriceManyRequest",
+    "UpdateRequest",
+    "PriceResponse",
+    "PriceManyResponse",
+    "UpdateResponse",
+    "GraphResponse",
+    "ErrorResponse",
 ]
 
 FORMAT_VERSION = 1
 
-
-class SerializationError(ReproError):
-    """Unknown format tag, bad version, or malformed payload."""
+# SerializationError itself lives in repro.errors (code
+# "io.serialization") so the service's status table covers it; it is
+# re-exported here because this module is its historical home.
 
 
 # (tag, from_version) -> data-dict transformer producing from_version + 1.
@@ -265,6 +297,308 @@ def _link_table_from_dict(d: dict) -> LinkPaymentTable:
     )
 
 
+# ---------------------------------------------------------------------------
+# service wire envelopes (requests/responses of repro.service)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PriceRequest:
+    """``POST /v1/price`` body: one ``(source, target)`` query.
+
+    ``deadline_s`` overrides the service's default per-request deadline
+    (must be positive when given).
+    """
+
+    source: int
+    target: int
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "source", int(self.source))
+        object.__setattr__(self, "target", int(self.target))
+        if self.deadline_s is not None:
+            object.__setattr__(self, "deadline_s", float(self.deadline_s))
+            if self.deadline_s <= 0:
+                raise InvalidRequestError(
+                    f"deadline_s must be positive, got {self.deadline_s}"
+                )
+
+
+@dataclass(frozen=True)
+class PriceManyRequest:
+    """``POST /v1/price_many`` body: a batch of ordered pairs."""
+
+    pairs: tuple[tuple[int, int], ...]
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        pairs = tuple(
+            (int(s), int(t)) for s, t in self.pairs
+        )
+        if not pairs:
+            raise InvalidRequestError("pairs must be non-empty")
+        object.__setattr__(self, "pairs", pairs)
+        if self.deadline_s is not None:
+            object.__setattr__(self, "deadline_s", float(self.deadline_s))
+            if self.deadline_s <= 0:
+                raise InvalidRequestError(
+                    f"deadline_s must be positive, got {self.deadline_s}"
+                )
+
+
+#: The mutations ``POST /v1/update`` accepts (engine method per op).
+UPDATE_OPS = ("cost", "add_node", "remove_node")
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """``POST /v1/update`` body: one topology/cost mutation.
+
+    ``op="cost"`` re-declares a cost — ``node`` + ``value`` in the node
+    model, ``edge=[u, v]`` + ``value`` in the link model (exactly one of
+    ``node``/``edge`` given). ``op="remove_node"`` takes ``node``;
+    ``op="add_node"`` takes ``cost`` + ``neighbors`` (node model) or
+    ``arcs`` (link model), mirroring
+    :meth:`repro.engine.PricingEngine.add_node`.
+    """
+
+    op: str
+    node: int | None = None
+    value: float | None = None
+    edge: tuple[int, int] | None = None
+    cost: float = 0.0
+    neighbors: tuple[int, ...] = ()
+    arcs: tuple[tuple[int, int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.op not in UPDATE_OPS:
+            raise InvalidRequestError(
+                f"op must be one of {UPDATE_OPS}, got {self.op!r}"
+            )
+        if self.node is not None:
+            object.__setattr__(self, "node", int(self.node))
+        if self.edge is not None:
+            u, v = self.edge
+            object.__setattr__(self, "edge", (int(u), int(v)))
+        object.__setattr__(
+            self, "neighbors", tuple(int(v) for v in self.neighbors)
+        )
+        object.__setattr__(
+            self,
+            "arcs",
+            tuple((int(u), int(v), float(w)) for u, v, w in self.arcs),
+        )
+        if self.op == "cost":
+            if self.value is None:
+                raise InvalidRequestError("op='cost' requires value")
+            object.__setattr__(self, "value", _dec_float(self.value))
+            if (self.node is None) == (self.edge is None):
+                raise InvalidRequestError(
+                    "op='cost' takes exactly one of node= (node model) "
+                    "or edge= (link model)"
+                )
+        elif self.op == "remove_node" and self.node is None:
+            raise InvalidRequestError("op='remove_node' requires node")
+
+
+@dataclass(frozen=True)
+class PriceResponse:
+    """One priced request: the payment plus the snapshot version it was
+    computed at (the serial-oracle handle) and the serving request id."""
+
+    payment: UnicastPayment
+    graph_version: int
+    request_id: str
+    coalesced: bool = False
+
+
+@dataclass(frozen=True)
+class PriceManyResponse:
+    """A priced batch; every payment was computed at ``graph_version``
+    (each :class:`~repro.core.mechanism.UnicastPayment` carries its own
+    ``source``/``target``)."""
+
+    payments: tuple[UnicastPayment, ...]
+    graph_version: int
+    request_id: str
+
+
+@dataclass(frozen=True)
+class UpdateResponse:
+    """An applied mutation: the published version (and, for
+    ``add_node``, the new node's id)."""
+
+    graph_version: int
+    request_id: str
+    node: int | None = None
+
+
+@dataclass(frozen=True)
+class GraphResponse:
+    """``GET /v1/graph``: the current snapshot, version, and model."""
+
+    graph: NodeWeightedGraph | LinkWeightedDigraph
+    graph_version: int
+    model: str
+    request_id: str
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """Error envelope: the taxonomy code (:mod:`repro.errors`), the
+    HTTP status it mapped to, and a human-readable message."""
+
+    code: str
+    message: str
+    request_id: str
+    status: int
+
+
+def _price_request_to_dict(r: PriceRequest) -> dict:
+    return {
+        "source": r.source,
+        "target": r.target,
+        "deadline_s": r.deadline_s,
+    }
+
+
+def _price_request_from_dict(d: dict) -> PriceRequest:
+    return PriceRequest(
+        source=d["source"],
+        target=d["target"],
+        deadline_s=d.get("deadline_s"),
+    )
+
+
+def _price_many_request_to_dict(r: PriceManyRequest) -> dict:
+    return {
+        "pairs": [[s, t] for s, t in r.pairs],
+        "deadline_s": r.deadline_s,
+    }
+
+
+def _price_many_request_from_dict(d: dict) -> PriceManyRequest:
+    return PriceManyRequest(
+        pairs=tuple(tuple(p) for p in d["pairs"]),
+        deadline_s=d.get("deadline_s"),
+    )
+
+
+def _update_request_to_dict(r: UpdateRequest) -> dict:
+    return {
+        "op": r.op,
+        "node": r.node,
+        "value": None if r.value is None else _enc_float(r.value),
+        "edge": None if r.edge is None else list(r.edge),
+        "cost": float(r.cost),
+        "neighbors": list(r.neighbors),
+        "arcs": [[u, v, w] for u, v, w in r.arcs],
+    }
+
+
+def _update_request_from_dict(d: dict) -> UpdateRequest:
+    edge = d.get("edge")
+    return UpdateRequest(
+        op=d["op"],
+        node=d.get("node"),
+        value=d.get("value"),
+        edge=None if edge is None else tuple(edge),
+        cost=float(d.get("cost", 0.0)),
+        neighbors=tuple(d.get("neighbors", ())),
+        arcs=tuple(tuple(a) for a in d.get("arcs", ())),
+    )
+
+
+def _price_response_to_dict(r: PriceResponse) -> dict:
+    return {
+        "payment": _payment_to_dict(r.payment),
+        "graph_version": int(r.graph_version),
+        "request_id": r.request_id,
+        "coalesced": bool(r.coalesced),
+    }
+
+
+def _price_response_from_dict(d: dict) -> PriceResponse:
+    return PriceResponse(
+        payment=_payment_from_dict(d["payment"]),
+        graph_version=int(d["graph_version"]),
+        request_id=str(d["request_id"]),
+        coalesced=bool(d.get("coalesced", False)),
+    )
+
+
+def _price_many_response_to_dict(r: PriceManyResponse) -> dict:
+    return {
+        "payments": [_payment_to_dict(p) for p in r.payments],
+        "graph_version": int(r.graph_version),
+        "request_id": r.request_id,
+    }
+
+
+def _price_many_response_from_dict(d: dict) -> PriceManyResponse:
+    return PriceManyResponse(
+        payments=tuple(_payment_from_dict(p) for p in d["payments"]),
+        graph_version=int(d["graph_version"]),
+        request_id=str(d["request_id"]),
+    )
+
+
+def _update_response_to_dict(r: UpdateResponse) -> dict:
+    return {
+        "graph_version": int(r.graph_version),
+        "request_id": r.request_id,
+        "node": r.node,
+    }
+
+
+def _update_response_from_dict(d: dict) -> UpdateResponse:
+    node = d.get("node")
+    return UpdateResponse(
+        graph_version=int(d["graph_version"]),
+        request_id=str(d["request_id"]),
+        node=None if node is None else int(node),
+    )
+
+
+def _graph_response_to_dict(r: GraphResponse) -> dict:
+    # The graph rides as a nested tagged envelope, so graph-format
+    # migrations apply inside service responses too.
+    return {
+        "graph": to_dict(r.graph),
+        "graph_version": int(r.graph_version),
+        "model": r.model,
+        "request_id": r.request_id,
+    }
+
+
+def _graph_response_from_dict(d: dict) -> GraphResponse:
+    return GraphResponse(
+        graph=from_dict(d["graph"]),
+        graph_version=int(d["graph_version"]),
+        model=str(d["model"]),
+        request_id=str(d["request_id"]),
+    )
+
+
+def _error_response_to_dict(r: ErrorResponse) -> dict:
+    return {
+        "code": r.code,
+        "message": r.message,
+        "request_id": r.request_id,
+        "status": int(r.status),
+    }
+
+
+def _error_response_from_dict(d: dict) -> ErrorResponse:
+    return ErrorResponse(
+        code=str(d["code"]),
+        message=str(d["message"]),
+        request_id=str(d["request_id"]),
+        status=int(d["status"]),
+    )
+
+
 _ENCODERS = {
     NodeWeightedGraph: ("node-graph", _node_graph_to_dict),
     LinkWeightedDigraph: ("link-digraph", _digraph_to_dict),
@@ -272,6 +606,14 @@ _ENCODERS = {
     UnicastPayment: ("unicast-payment", _payment_to_dict),
     FastPaymentResult: ("fast-payment-result", _fast_result_to_dict),
     LinkPaymentTable: ("link-payment-table", _link_table_to_dict),
+    PriceRequest: ("price-request", _price_request_to_dict),
+    PriceManyRequest: ("price-many-request", _price_many_request_to_dict),
+    UpdateRequest: ("update-request", _update_request_to_dict),
+    PriceResponse: ("price-response", _price_response_to_dict),
+    PriceManyResponse: ("price-many-response", _price_many_response_to_dict),
+    UpdateResponse: ("update-response", _update_response_to_dict),
+    GraphResponse: ("graph-response", _graph_response_to_dict),
+    ErrorResponse: ("error-response", _error_response_to_dict),
 }
 
 _DECODERS = {
@@ -281,6 +623,14 @@ _DECODERS = {
     "unicast-payment": _payment_from_dict,
     "fast-payment-result": _fast_result_from_dict,
     "link-payment-table": _link_table_from_dict,
+    "price-request": _price_request_from_dict,
+    "price-many-request": _price_many_request_from_dict,
+    "update-request": _update_request_from_dict,
+    "price-response": _price_response_from_dict,
+    "price-many-response": _price_many_response_from_dict,
+    "update-response": _update_response_from_dict,
+    "graph-response": _graph_response_from_dict,
+    "error-response": _error_response_from_dict,
 }
 
 
@@ -319,6 +669,11 @@ def from_dict(payload: dict) -> Any:
     try:
         return decoder(data)
     except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, ReproError):
+            # Already typed (e.g. InvalidRequestError from an envelope's
+            # own validation) — keep the precise code, don't relabel it
+            # a serialization failure.
+            raise
         raise SerializationError(f"malformed {tag} payload: {exc}") from exc
 
 
@@ -336,6 +691,45 @@ def decode_as(cls: type, payload: dict) -> Any:
             f"payload decodes to {type(obj).__name__}, not {cls.__name__}"
         )
     return obj
+
+
+def to_wire(obj: Any) -> dict:
+    """Encode a supported object as a service wire message.
+
+    Identical to :func:`to_dict` except the version key is spelled
+    ``schema_version`` — the explicit name the HTTP contract promises
+    (``docs/service.md``). The envelope types above and every
+    :func:`to_dict`-supported object encode alike, so a graph can ride
+    the wire directly.
+    """
+    d = to_dict(obj)
+    return {
+        "format": d["format"],
+        "schema_version": d["version"],
+        "data": d["data"],
+    }
+
+
+def from_wire(payload: Any) -> Any:
+    """Decode a wire message produced by :func:`to_wire`.
+
+    Accepts ``schema_version`` (canonical on the wire) or ``version``
+    (the on-disk spelling) and routes through :func:`from_dict`, so the
+    :func:`register_migration` chain upgrades old clients' payloads
+    exactly like old files.
+    """
+    if not isinstance(payload, dict):
+        raise SerializationError(
+            f"wire payload must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    if "schema_version" in payload:
+        payload = {
+            "format": payload.get("format"),
+            "version": payload["schema_version"],
+            "data": payload.get("data"),
+        }
+    return from_dict(payload)
 
 
 def save_json(obj: Any, path) -> None:

@@ -1,0 +1,40 @@
+"""The concurrent pricing service: admission control + HTTP API.
+
+The paper's setting is inherently online — nodes keep declaring costs,
+sources keep asking for truthful unicast prices — and the ROADMAP's
+north star is a system that serves that traffic concurrently. This
+package is the serving layer in front of the snapshot-isolated
+:class:`~repro.engine.PricingEngine`:
+
+* :class:`PricingService` (:mod:`repro.service.service`) — worker
+  pool behind a bounded admission queue with backpressure (429),
+  per-request deadlines (504), duplicate-request coalescing, and a
+  graceful drain that finishes queued work, checkpoints, and closes
+  the engine.
+* :class:`ServiceServer` (:mod:`repro.service.http`) — the stdlib
+  HTTP JSON API: ``POST /v1/price`` / ``/v1/price_many`` /
+  ``/v1/update``, ``GET /v1/graph``, plus the telemetry family
+  (``/metrics``, ``/healthz``, ...) on the same port. Messages are the
+  versioned wire envelopes of :mod:`repro.io`; failures map to HTTP
+  statuses through the one shared table in :mod:`repro.errors`.
+
+``python -m repro.cli serve`` boots the whole stack; the contract —
+endpoints, error codes, backpressure tuning, drain semantics — is
+documented in ``docs/service.md``.
+"""
+
+from repro.service.http import ServiceServer
+from repro.service.service import (
+    BatchAnswer,
+    PricedAnswer,
+    PricingService,
+    ServiceStats,
+)
+
+__all__ = [
+    "PricingService",
+    "ServiceServer",
+    "ServiceStats",
+    "PricedAnswer",
+    "BatchAnswer",
+]

@@ -1,0 +1,428 @@
+"""The HTTP JSON API over :class:`~repro.service.PricingService`.
+
+:class:`ServiceServer` extends the telemetry-server scaffolding
+(:mod:`repro.obs.server`) from inspection-only into a pricing API:
+
+``POST /v1/price``
+    Body: a ``price-request`` wire envelope (:mod:`repro.io`).
+    Response: ``price-response`` — the payment, its ``graph_version``,
+    the serving request id, and whether the call coalesced.
+``POST /v1/price_many``
+    Body: ``price-many-request``; response: ``price-many-response``.
+``POST /v1/update``
+    Body: ``update-request`` (``op`` = ``cost`` | ``add_node`` |
+    ``remove_node``); response: ``update-response`` with the published
+    version.
+``GET /v1/graph``
+    The current snapshot as a ``graph-response`` envelope (the nested
+    graph payload round-trips through :func:`repro.io.from_wire`).
+``GET /metrics``, ``/healthz``, ``/snapshot``, ``/flight``
+    The telemetry family, unchanged — one port serves both planes.
+    ``/healthz`` additionally reports the engine version/model and the
+    service's queue depth and drain state.
+
+Every request runs inside :func:`repro.obs.context.request_scope`: the
+minted id is returned both as the ``X-Request-Id`` response header and
+inside the response envelope, and it joins the PR-5 tracing
+contextvars so spans and flight-recorder events correlate with the
+wire. Failures become ``error-response`` envelopes; the status comes
+from the one shared table in :mod:`repro.errors` (429 queue-full,
+504 deadline, 404 unknown node, 422 disconnected/monopoly, 400
+malformed envelope, 503 draining).
+
+The server itself stays deliberately stdlib:
+:class:`~http.server.ThreadingHTTPServer` gives one thread per
+connection, and the admission queue inside
+:class:`~repro.service.PricingService` — not the socket listener — is
+the concurrency limiter that matters.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro import io as repro_io
+from repro.errors import (
+    InvalidRequestError,
+    SerializationError,
+    error_code,
+    http_status,
+)
+from repro.obs import logging as obs_logging
+from repro.obs.context import current_request_id, request_scope
+from repro.obs.export import snapshot_to_json, to_prometheus_text
+from repro.obs.flight import FLIGHT, FlightRecorder
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.tracing import TRACER
+from repro.service.service import PricingService
+
+__all__ = ["ServiceServer", "ENDPOINTS"]
+
+_log = obs_logging.get_logger("service.http")
+
+#: The routes ``/`` advertises (path -> one-line description).
+ENDPOINTS = {
+    "POST /v1/price": "price one (source, target) request",
+    "POST /v1/price_many": "price a batch of ordered pairs",
+    "POST /v1/update": "apply a cost/topology mutation",
+    "GET /v1/graph": "current graph snapshot + version",
+    "GET /metrics": "Prometheus text exposition of the metrics registry",
+    "GET /healthz": "liveness + engine/service status JSON",
+    "GET /snapshot": "full metrics snapshot as JSON",
+    "GET /flight": "flight-recorder ring (recent engine events) as JSON",
+}
+
+#: Reject request bodies past this size before parsing (a pricing
+#: request is tiny; a batch of every pair in a 10k-node graph still
+#: fits comfortably).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class ServiceServer:
+    """Background HTTP server speaking the ``/v1`` pricing API.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.service.PricingService` to front. The server
+        never closes it — lifecycle stays with the caller (the CLI
+        stops the listener first, then drains the service).
+    port, host:
+        Bind address; ``port=0`` picks an ephemeral port (tests).
+    registry, recorder:
+        Telemetry collectors for the ``/metrics`` family (default: the
+        process-wide ones).
+    """
+
+    def __init__(
+        self,
+        service: PricingService,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: MetricsRegistry | None = None,
+        recorder: FlightRecorder | None = None,
+        prefix: str = "repro",
+    ) -> None:
+        self.service = service
+        self._host = host
+        self._requested_port = int(port)
+        self.registry = registry if registry is not None else REGISTRY
+        self.recorder = recorder if recorder is not None else FLIGHT
+        self.prefix = prefix
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._started_at = 0.0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "ServiceServer":
+        """Bind and serve on a daemon thread; returns ``self``."""
+        if self._httpd is not None:
+            raise RuntimeError("ServiceServer is already running")
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer(
+            (self._host, self._requested_port), handler
+        )
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._thread.start()
+        _log.info(
+            "service server started",
+            extra={"host": self._host, "port": self.port},
+        )
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting connections and join the listener (idempotent).
+
+        Does *not* drain the service — call
+        :meth:`PricingService.close` after this for the full graceful
+        shutdown (listener first, so no new requests race the drain).
+        """
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "ServiceServer":
+        if self._httpd is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the real one)."""
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    def uptime(self) -> float:
+        """Seconds since :meth:`start` (0.0 before it)."""
+        if self._httpd is None:
+            return 0.0
+        return time.monotonic() - self._started_at
+
+    # -- endpoint payloads (also callable directly, e.g. from tests) --------
+
+    def healthz(self) -> dict:
+        eng = self.service.engine
+        return {
+            "status": "draining" if self.service.closed else "ok",
+            "uptime_s": round(self.uptime(), 3),
+            "engine_version": eng.version,
+            "model": eng.model,
+            "nodes": eng.n,
+            "durable": eng.durable,
+            "queue_depth": self.service.queue_depth,
+            "max_queue": self.service.max_queue,
+            "service": self.service.stats.as_dict(),
+            "metrics_enabled": self.registry.enabled,
+            "tracing_enabled": TRACER.enabled,
+        }
+
+    # -- API handlers (one per POST/GET route; return a wire envelope) ------
+
+    def handle_price(self, req: repro_io.PriceRequest) -> dict:
+        answer = self.service.price(
+            req.source, req.target, deadline_s=req.deadline_s
+        )
+        return repro_io.to_wire(
+            repro_io.PriceResponse(
+                payment=answer.payment,
+                graph_version=answer.graph_version,
+                request_id=current_request_id() or "",
+                coalesced=answer.coalesced,
+            )
+        )
+
+    def handle_price_many(self, req: repro_io.PriceManyRequest) -> dict:
+        answer = self.service.price_many(
+            req.pairs, deadline_s=req.deadline_s
+        )
+        # Deterministic wire order: request order, duplicates collapsed
+        # (the engine prices each distinct pair once).
+        seen: set[tuple[int, int]] = set()
+        payments = []
+        for pair in req.pairs:
+            if pair not in seen:
+                seen.add(pair)
+                payments.append(answer.payments[pair])
+        return repro_io.to_wire(
+            repro_io.PriceManyResponse(
+                payments=tuple(payments),
+                graph_version=answer.graph_version,
+                request_id=current_request_id() or "",
+            )
+        )
+
+    def handle_update(self, req: repro_io.UpdateRequest) -> dict:
+        node: int | None = None
+        if req.op == "cost":
+            target = req.node if req.node is not None else req.edge
+            version = self.service.update_cost(target, req.value)
+        elif req.op == "remove_node":
+            version = self.service.remove_node(req.node)
+        else:  # "add_node" (op already validated by the envelope)
+            node = self.service.add_node(
+                cost=req.cost, neighbors=req.neighbors, arcs=req.arcs
+            )
+            version = self.service.engine.version
+        return repro_io.to_wire(
+            repro_io.UpdateResponse(
+                graph_version=version,
+                request_id=current_request_id() or "",
+                node=node,
+            )
+        )
+
+    def handle_graph(self) -> dict:
+        graph, version = self.service.graph()
+        return repro_io.to_wire(
+            repro_io.GraphResponse(
+                graph=graph,
+                graph_version=version,
+                model=self.service.engine.model,
+                request_id=current_request_id() or "",
+            )
+        )
+
+
+def _make_handler(server: ServiceServer) -> type:
+    """A request-handler class closed over one :class:`ServiceServer`."""
+
+    posts = {
+        "/v1/price": (server.handle_price, repro_io.PriceRequest),
+        "/v1/price_many": (
+            server.handle_price_many,
+            repro_io.PriceManyRequest,
+        ),
+        "/v1/update": (server.handle_update, repro_io.UpdateRequest),
+    }
+
+    class Handler(BaseHTTPRequestHandler):
+        # Silenced default stderr chatter; requests log at DEBUG instead.
+        def log_message(self, fmt, *args):  # noqa: N802 (stdlib name)
+            _log.debug("service request", extra={"line": fmt % args})
+
+        def _send(
+            self,
+            body: str,
+            content_type: str,
+            status: int = 200,
+            request_id: str | None = None,
+        ) -> None:
+            payload = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            if request_id:
+                self.send_header("X-Request-Id", request_id)
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def _send_json(
+            self, doc, status: int = 200, request_id: str | None = None
+        ) -> None:
+            self._send(
+                json.dumps(doc, indent=2) + "\n",
+                "application/json; charset=utf-8",
+                status,
+                request_id=request_id,
+            )
+
+        def _send_error(self, exc: BaseException, rid: str) -> None:
+            status = http_status(exc)
+            doc = repro_io.to_wire(
+                repro_io.ErrorResponse(
+                    code=error_code(exc),
+                    message=str(exc),
+                    request_id=rid,
+                    status=status,
+                )
+            )
+            self._send_json(doc, status=status, request_id=rid)
+
+        def _read_body(self):
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > MAX_BODY_BYTES:
+                raise InvalidRequestError(
+                    f"request body of {length} bytes exceeds the "
+                    f"{MAX_BODY_BYTES}-byte limit"
+                )
+            raw = self.rfile.read(length) if length else b""
+            try:
+                return json.loads(raw.decode("utf-8") or "null")
+            except (UnicodeDecodeError, json.JSONDecodeError) as e:
+                raise SerializationError(f"request body is not JSON: {e}")
+
+        def do_POST(self) -> None:  # noqa: N802 (stdlib name)
+            path = self.path.split("?", 1)[0].rstrip("/")
+            route = posts.get(path)
+            t0 = time.perf_counter()
+            with request_scope(fresh=True) as rid:
+                try:
+                    if route is None:
+                        self._send_json(
+                            {
+                                "error": f"no POST handler at {path!r}",
+                                "endpoints": sorted(ENDPOINTS),
+                            },
+                            status=404,
+                            request_id=rid,
+                        )
+                        return
+                    handler, envelope = route
+                    payload = repro_io.from_wire(self._read_body())
+                    if not isinstance(payload, envelope):
+                        raise InvalidRequestError(
+                            f"{path} expects a {envelope.__name__} "
+                            f"envelope, got {type(payload).__name__}"
+                        )
+                    doc = handler(payload)
+                    self._send_json(doc, request_id=rid)
+                except BrokenPipeError:  # client went away mid-response
+                    pass
+                except Exception as exc:
+                    try:
+                        self._send_error(exc, rid)
+                    except OSError:
+                        pass
+                finally:
+                    if server.registry.enabled:
+                        server.registry.observe(
+                            f"service.http{path.replace('/', '.')}_time"
+                            if route is not None
+                            else "service.http.unknown_time",
+                            time.perf_counter() - t0,
+                        )
+
+        def do_GET(self) -> None:  # noqa: N802 (stdlib name)
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            with request_scope(fresh=True) as rid:
+                try:
+                    if path == "/v1/graph":
+                        self._send_json(server.handle_graph(), request_id=rid)
+                    elif path == "/metrics":
+                        self._send(
+                            to_prometheus_text(
+                                server.registry.snapshot(),
+                                prefix=server.prefix,
+                            ),
+                            "text/plain; version=0.0.4; charset=utf-8",
+                        )
+                    elif path == "/healthz":
+                        self._send_json(server.healthz(), request_id=rid)
+                    elif path == "/snapshot":
+                        self._send(
+                            snapshot_to_json(
+                                server.registry.snapshot(), indent=2
+                            )
+                            + "\n",
+                            "application/json; charset=utf-8",
+                        )
+                    elif path == "/flight":
+                        self._send_json(server.recorder.snapshot())
+                    elif path == "/":
+                        self._send_json({"endpoints": ENDPOINTS})
+                    else:
+                        self._send_json(
+                            {
+                                "error": f"unknown path {path!r}",
+                                "endpoints": sorted(ENDPOINTS),
+                            },
+                            status=404,
+                            request_id=rid,
+                        )
+                except BrokenPipeError:
+                    pass
+                except Exception as exc:
+                    try:
+                        self._send_error(exc, rid)
+                    except OSError:
+                        pass
+
+    return Handler

@@ -148,37 +148,43 @@ class TestReExports:
             assert name in repro.__all__
 
 
-class TestDeprecationShims:
-    def test_algorithm_kwarg_warns_and_matches(self, random_graph):
-        want = vcg_unicast_payments(random_graph, 5, 0, method="naive")
-        with pytest.warns(DeprecationWarning, match="algorithm"):
-            got = vcg_unicast_payments(random_graph, 5, 0, algorithm="naive")
-        assert same_payment(got, want)
+class TestShimRemoval:
+    """The PR-4 ``algorithm=``/``monopoly=`` deprecation cycle is over:
+    after five PRs of DeprecationWarnings the old spellings now fail
+    like any unknown keyword (README/docs record the removal)."""
 
-    def test_monopoly_kwarg_warns_on_link_vcg(self, random_digraph):
-        want = link_vcg_payments(random_digraph, 7, 0, on_monopoly="inf")
-        with pytest.warns(DeprecationWarning, match="monopoly"):
-            got = link_vcg_payments(random_digraph, 7, 0, monopoly="inf")
-        assert same_payment(got, want)
+    def test_algorithm_kwarg_is_gone(self, random_graph):
+        with pytest.raises(TypeError, match="algorithm"):
+            vcg_unicast_payments(random_graph, 5, 0, algorithm="naive")
 
-    def test_monopoly_kwarg_warns_on_fast_link(self):
+    def test_monopoly_kwarg_is_gone_on_link_vcg(self, random_digraph):
+        with pytest.raises(TypeError, match="monopoly"):
+            link_vcg_payments(random_digraph, 7, 0, monopoly="inf")
+
+    def test_monopoly_kwarg_is_gone_on_fast_link(self):
         sym = symmetric_instance(14, 0.3, 3)
-        want = fast_link_vcg_payments(sym, 7, 0, on_monopoly="inf")
-        with pytest.warns(DeprecationWarning, match="monopoly"):
-            got = fast_link_vcg_payments(sym, 7, 0, monopoly="inf")
-        assert same_payment(got, want)
+        with pytest.raises(TypeError, match="monopoly"):
+            fast_link_vcg_payments(sym, 7, 0, monopoly="inf")
 
-    def test_both_spellings_is_an_error(self, random_graph, random_digraph):
-        with pytest.raises(TypeError, match="both"):
-            vcg_unicast_payments(
-                random_graph, 5, 0, method="naive", algorithm="naive"
-            )
-        with pytest.raises(TypeError, match="both"):
-            link_vcg_payments(
-                random_digraph, 7, 0, on_monopoly="inf", monopoly="inf"
-            )
+    def test_shim_helper_is_gone(self):
+        from repro.core import mechanism
 
-    def test_new_spelling_does_not_warn(self, random_graph):
+        assert not hasattr(mechanism, "warn_renamed_kwarg")
+        assert "warn_renamed_kwarg" not in mechanism.__all__
+
+    def test_new_spellings_do_not_warn(self, random_graph, random_digraph):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             vcg_unicast_payments(random_graph, 5, 0, method="fast")
+            link_vcg_payments(random_digraph, 7, 0, on_monopoly="inf")
+
+    def test_bad_options_raise_typed_invalid_request(self, random_graph):
+        from repro.errors import InvalidRequestError
+
+        with pytest.raises(InvalidRequestError):
+            vcg_unicast_payments(random_graph, 5, 0, method="bogus")
+        with pytest.raises(InvalidRequestError):
+            api.price(random_graph, 5, 0, backend="cuda")
+        # InvalidRequestError subclasses ValueError, so pre-taxonomy
+        # except clauses keep working.
+        assert issubclass(InvalidRequestError, ValueError)

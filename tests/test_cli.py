@@ -169,3 +169,73 @@ class TestDurabilityCommands:
         empty.mkdir()
         assert main(["recover", str(empty)]) == 1
         assert main(["recover", str(empty), "--verify"]) == 1
+
+
+class TestServeCommand:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 0 and args.workers == 4
+        assert args.queue_depth == 64 and args.deadline == 30.0
+        assert args.on_monopoly == "inf" and args.duration is None
+
+    def test_serve_recover_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit, match="checkpoint-dir"):
+            main(["serve", "--recover", "--duration", "0.1"])
+
+    def test_serve_end_to_end_over_http(self, tmp_path):
+        """Boot the real subprocess (signal handlers need a main
+        thread), price over HTTP, drain with SIGINT, assert rc 0."""
+        import json
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        import urllib.request
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--nodes", "30", "--seed", "3", "--port", "0",
+             "--duration", "60",
+             "--checkpoint-dir", str(tmp_path / "state")],
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            # the banner line carries the ephemeral port
+            banner = proc.stdout.readline()
+            assert "pricing service on http://" in banner
+            url = banner.split()[3]
+            body = json.dumps({
+                "format": "price-request", "schema_version": 1,
+                "data": {"source": 7, "target": 0},
+            }).encode()
+            req = urllib.request.Request(
+                f"{url}/v1/price", data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            deadline = time.monotonic() + 20
+            while True:
+                try:
+                    with urllib.request.urlopen(req, timeout=5) as resp:
+                        doc = json.load(resp)
+                    break
+                except OSError:
+                    if time.monotonic() > deadline:
+                        raise
+                    time.sleep(0.2)
+            assert doc["format"] == "price-response"
+            assert doc["data"]["payment"]["source"] == 7
+        finally:
+            proc.send_signal(signal.SIGINT)
+            out, _ = proc.communicate(timeout=30)
+        assert proc.returncode == 0, out
+        assert "drained after 1 requests" in out
+        # the drain cut a final checkpoint
+        assert list((tmp_path / "state").glob("checkpoint-*"))

@@ -263,3 +263,53 @@ class TestNodeWeightedSptMany:
             REGISTRY.reset()
         assert snap.counters["dijkstra.batched_runs"] == 1
         assert snap.counters["dijkstra.batched_sources"] == 3
+
+
+class TestConcurrentSciPyBuilds:
+    """The cached tail-cost CSR is shared across threads (the pricing
+    engine's read lock admits concurrent builders), so per-root patching
+    must never mutate it: a thread solving root A while another patches
+    root B would see B's outgoing arcs zeroed and return trees cheaper
+    than any real path."""
+
+    def test_cached_matrix_stays_immutable_across_builds(self):
+        g = gen.random_biconnected_graph(200, seed=17)
+        mat = g.to_tailcost_matrix()
+        before = mat.data.copy()
+        for root in (0, 5, 9):
+            node_weighted_spt(g, root, backend="scipy")
+        assert np.array_equal(mat.data, before)
+
+    def test_concurrent_builds_bit_identical_to_serial(self):
+        import threading
+
+        g = gen.random_biconnected_graph(200, seed=23)
+        g.to_tailcost_matrix()  # build the shared CSR once up front
+        roots = list(range(16))
+        serial = {r: node_weighted_spt(g, r, backend="scipy") for r in roots}
+
+        failures = []
+        barrier = threading.Barrier(len(roots), timeout=30)
+
+        def build(root):
+            try:
+                barrier.wait()
+                for _ in range(20):
+                    spt = node_weighted_spt(g, root, backend="scipy")
+                    if not (
+                        np.array_equal(spt.dist, serial[root].dist)
+                        and np.array_equal(spt.parent, serial[root].parent)
+                    ):
+                        failures.append(root)
+                        return
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=build, args=(r,)) for r in roots
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not failures, failures

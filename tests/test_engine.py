@@ -369,3 +369,50 @@ class TestMetricsMirror:
         assert snap["engine.queries"] == 2
         assert snap["engine.cache_hits"] == 1
         assert snap["engine.cache_misses"] == 1
+
+
+class TestPairSurvivalMargin:
+    """The pair-survival certificate compares a through-``k`` lower
+    bound against the witnessed maximum. The bound is *tight* precisely
+    when a witnessed avoiding path runs through ``k`` — and the two
+    sides sum the same node costs in different orders, so float noise
+    can leave the bound a single ULP above the witnessed value. A
+    near-tie must drop the entry (the avoiding path may use ``k``)."""
+
+    @staticmethod
+    def _engine_and_update(old, new):
+        from repro.engine.engine import _CostUpdate
+        from repro.graph.spt import ShortestPathTree
+
+        g = gen.random_biconnected_graph(6, seed=3)
+        eng = PricingEngine(g, on_monopoly="inf")
+        dist = np.full(g.n, np.inf)
+        dist[0], dist[1] = 0.1, 0.3  # d_k(s), d_k(t)
+        witness = ShortestPathTree(2, dist, np.full(g.n, -1, dtype=np.int64))
+        return eng, _CostUpdate(2, old, new, g, witness=witness)
+
+    @staticmethod
+    def _result(lcp):
+        from repro.core.fast_payment import FastPaymentResult
+
+        return FastPaymentResult(
+            0, 1, (0, 3, 1), lcp, {}, {}, np.full(6, -1, dtype=np.int64)
+        )
+
+    def test_one_ulp_clearance_drops_the_entry(self):
+        # bound = (0.1 + 0.2) + 0.3 is exactly one ULP above the same
+        # mathematical sum taken in path order, (0.3 + 0.2) + 0.1.
+        eng, upd = self._engine_and_update(old=0.2, new=5.0)
+        witnessed = (0.3 + 0.2) + 0.1
+        bound = (0.1 + upd.old) + 0.3
+        assert bound > witnessed  # the raw strict test would survive
+        assert not eng._pair_survives(self._result(witnessed), (0, 1), upd)
+
+    def test_genuine_clearance_survives(self):
+        eng, upd = self._engine_and_update(old=0.2, new=5.0)
+        assert eng._pair_survives(self._result(0.25), (0, 1), upd)
+
+    def test_endpoint_updates_always_survive(self):
+        eng, upd = self._engine_and_update(old=0.2, new=5.0)
+        upd.node = 0
+        assert eng._pair_survives(self._result(0.6), (0, 1), upd)

@@ -3,15 +3,29 @@
 import pytest
 
 from repro.errors import (
+    HTTP_STATUS,
     CheatingDetectedError,
+    DeadlineExceededError,
     DisconnectedError,
+    EngineClosedError,
+    EngineError,
+    ExperimentError,
     GraphError,
     InvalidGraphError,
+    InvalidRequestError,
     MechanismError,
     MonopolyError,
     NodeNotFoundError,
+    PersistError,
     ProtocolError,
+    RecoveryError,
     ReproError,
+    SerializationError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    error_code,
+    http_status,
 )
 
 
@@ -72,3 +86,86 @@ class TestPayloads:
         e = CheatingDetectedError(5, 2, "mismatched entry")
         assert e.cheater == 5 and e.witness == 2
         assert "mismatched entry" in str(e)
+
+
+class TestCodes:
+    """Every taxonomy class carries a stable machine-readable code."""
+
+    ALL = [
+        ReproError,
+        GraphError,
+        InvalidGraphError,
+        NodeNotFoundError,
+        DisconnectedError,
+        MonopolyError,
+        MechanismError,
+        InvalidRequestError,
+        SerializationError,
+        ProtocolError,
+        CheatingDetectedError,
+        ExperimentError,
+        EngineError,
+        EngineClosedError,
+        PersistError,
+        RecoveryError,
+        ServiceError,
+        ServiceOverloadedError,
+        ServiceClosedError,
+        DeadlineExceededError,
+    ]
+
+    def test_every_class_has_a_code(self):
+        for exc in self.ALL:
+            assert isinstance(exc.code, str) and "." in exc.code, exc
+
+    def test_codes_are_unique_across_concrete_classes(self):
+        codes = [exc.code for exc in self.ALL]
+        assert len(codes) == len(set(codes))
+
+    def test_every_code_has_an_http_status(self):
+        for exc in self.ALL:
+            assert exc.code in HTTP_STATUS, exc.code
+        assert "internal" in HTTP_STATUS
+
+    def test_error_code_reads_the_instance(self):
+        assert error_code(NodeNotFoundError(3, 2)) == "graph.node_not_found"
+        assert error_code(ValueError("x")) == "internal"
+
+    def test_http_status_mapping(self):
+        assert http_status(NodeNotFoundError(3, 2)) == 404
+        assert http_status(DisconnectedError(0, 5)) == 422
+        assert http_status(MonopolyError(0, 5, 2)) == 422
+        assert http_status(ServiceOverloadedError("full")) == 429
+        assert http_status(DeadlineExceededError("late")) == 504
+        assert http_status(ServiceClosedError("draining")) == 503
+        assert http_status(EngineClosedError("closed")) == 503
+        assert http_status(InvalidRequestError("bad")) == 400
+        assert http_status(SerializationError("bad json")) == 400
+        assert http_status(ValueError("untyped")) == 500
+
+    def test_subclass_without_own_code_inherits_parent_status(self):
+        class CustomServiceError(ServiceError):
+            pass
+
+        assert http_status(CustomServiceError("x")) == HTTP_STATUS[
+            ServiceError.code
+        ]
+
+    def test_compat_aliases_subclass_stdlib_types(self):
+        # Pre-taxonomy except clauses keep working.
+        assert issubclass(InvalidRequestError, ValueError)
+        assert issubclass(InvalidGraphError, ValueError)
+        assert issubclass(NodeNotFoundError, KeyError)
+
+    def test_service_errors_derive_from_repro_error(self):
+        for exc in (
+            ServiceError,
+            ServiceOverloadedError,
+            ServiceClosedError,
+            DeadlineExceededError,
+            EngineError,
+            EngineClosedError,
+            PersistError,
+            RecoveryError,
+        ):
+            assert issubclass(exc, ReproError)

@@ -239,3 +239,129 @@ class TestMigrations:
 
         with pytest.raises(SerializationError, match="newer"):
             apply_migrations("t", 5, 1, {})
+
+
+class TestWireEnvelopes:
+    """The service wire contract: ``schema_version`` spelling, request
+    validation, and round-trips of every ``/v1`` message type."""
+
+    def test_to_wire_spells_schema_version(self, random_graph):
+        from repro.io import to_wire
+
+        doc = to_wire(random_graph)
+        assert "schema_version" in doc and "version" not in doc
+        assert doc["format"] == "node-graph"
+        json.dumps(doc)  # wire messages are genuine JSON
+
+    def test_from_wire_accepts_both_spellings(self, random_graph):
+        from repro.io import from_wire, to_dict, to_wire
+
+        assert from_wire(to_wire(random_graph)) == random_graph
+        assert from_wire(to_dict(random_graph)) == random_graph
+
+    def test_from_wire_rejects_non_object(self):
+        from repro.io import from_wire
+
+        with pytest.raises(SerializationError, match="JSON object"):
+            from_wire([1, 2, 3])
+
+    def test_price_request_round_trip(self):
+        from repro.io import PriceRequest, from_wire, to_wire
+
+        req = PriceRequest(source=7, target=0, deadline_s=2.5)
+        back = from_wire(json.loads(json.dumps(to_wire(req))))
+        assert back == req
+
+    def test_price_request_validation(self):
+        from repro.errors import InvalidRequestError
+        from repro.io import PriceManyRequest, PriceRequest
+
+        with pytest.raises(InvalidRequestError):
+            PriceRequest(1, 0, deadline_s=-3.0)
+        with pytest.raises(InvalidRequestError):
+            PriceManyRequest(())
+
+    def test_invalid_request_code_survives_decoding(self):
+        """A malformed-but-well-formed envelope keeps its taxonomy code
+        (request.invalid, HTTP 400) instead of degrading into a
+        generic serialization failure."""
+        from repro.errors import InvalidRequestError, error_code
+        from repro.io import PriceRequest, from_wire, to_wire
+
+        doc = to_wire(PriceRequest(1, 0))
+        doc["data"]["deadline_s"] = -1.0
+        with pytest.raises(InvalidRequestError) as info:
+            from_wire(doc)
+        assert error_code(info.value) == "request.invalid"
+
+    def test_update_request_round_trip_and_validation(self):
+        from repro.errors import InvalidRequestError
+        from repro.io import UpdateRequest, from_wire, to_wire
+
+        for req in (
+            UpdateRequest(op="cost", node=3, value=7.5),
+            UpdateRequest(op="cost", edge=(1, 2), value=4.0),
+            UpdateRequest(op="remove_node", node=5),
+            UpdateRequest(op="add_node", cost=1.0, neighbors=(0, 1)),
+            UpdateRequest(op="add_node", arcs=((0, 9, 2.0), (9, 0, 2.0))),
+        ):
+            assert from_wire(to_wire(req)) == req
+        with pytest.raises(InvalidRequestError, match="op"):
+            UpdateRequest(op="explode")
+        with pytest.raises(InvalidRequestError):
+            UpdateRequest(op="cost", node=1)  # missing value
+        with pytest.raises(InvalidRequestError):
+            UpdateRequest(op="cost", node=1, edge=(1, 2), value=3.0)
+        with pytest.raises(InvalidRequestError):
+            UpdateRequest(op="remove_node")
+
+    def test_response_round_trips(self, random_graph):
+        from repro.io import (
+            ErrorResponse,
+            GraphResponse,
+            PriceManyResponse,
+            PriceResponse,
+            UpdateResponse,
+            from_wire,
+            to_wire,
+        )
+
+        payment = vcg_unicast_payments(random_graph, 5, 0)
+        for resp in (
+            PriceResponse(payment, graph_version=3, request_id="r1-1",
+                          coalesced=True),
+            PriceManyResponse((payment,), graph_version=3, request_id="r1-2"),
+            UpdateResponse(graph_version=4, request_id="r1-3", node=7),
+            GraphResponse(random_graph, graph_version=4, model="node",
+                          request_id="r1-4"),
+            ErrorResponse(code="service.overloaded", message="queue full",
+                          request_id="r1-5", status=429),
+        ):
+            doc = json.loads(json.dumps(to_wire(resp)))
+            back = from_wire(doc)
+            assert type(back) is type(resp)
+            if hasattr(resp, "graph_version"):
+                assert back.graph_version == resp.graph_version
+            assert back.request_id == resp.request_id
+        back = from_wire(json.loads(json.dumps(to_wire(
+            PriceResponse(payment, 0, "r")
+        ))))
+        assert back.payment.path == payment.path
+        assert dict(back.payment.payments) == pytest.approx(
+            dict(payment.payments)
+        )
+
+    def test_wire_migration_chain_applies(self, random_graph):
+        """Old clients' payloads upgrade through register_migration
+        exactly like old files."""
+        from repro.io import from_wire, register_migration, to_wire
+
+        doc = to_wire(random_graph)
+        doc["schema_version"] = 0
+        doc["data"] = {"legacy": doc["data"]}
+        register_migration("node-graph", 0, lambda d: d["legacy"])
+        try:
+            back = from_wire(doc)
+            assert np.array_equal(back.costs, random_graph.costs)
+        finally:
+            TestMigrations._cleanup(TestMigrations(), [("node-graph", 0)])
