@@ -38,7 +38,16 @@ Subcommands:
   ``--checkpoint-dir`` (+ ``--recover``) makes the engine durable
   exactly as for ``engine``; ``--duration SECONDS`` serves for a fixed
   window, otherwise SIGINT/SIGTERM drains in-flight requests, cuts a
-  final checkpoint (durable engines) and exits cleanly.
+  final checkpoint (durable engines) and exits cleanly. ``--chaos
+  PLAN`` (or the ``REPRO_CHAOS`` env var) attaches a seeded
+  fault-injection plan, ``--degrade`` enables degraded-mode serving
+  (stale-but-stamped answers under overload/recovery).
+* ``client`` — drive a running service through the resilient
+  :class:`~repro.service.PricingClient` (seeded retries with full
+  jitter, circuit breaker, deadline propagation, idempotency keys):
+  a seeded read/write workload against ``--url``, with ``--verify``
+  replaying the recorded update history through a serial oracle and
+  exiting nonzero on any payment mismatch.
 
 Global observability flags (accepted before or after the subcommand):
 ``--log-level LEVEL`` (structured key=value logs on stderr),
@@ -416,6 +425,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve this long then drain and exit (default: until "
         "SIGINT/SIGTERM)",
     )
+    srv.add_argument(
+        "--chaos",
+        metavar="PLAN",
+        default=None,
+        help="attach a seeded fault-injection plan: inline JSON or a "
+        "path to a JSON file (default: the REPRO_CHAOS env var; "
+        "unset = no injection, byte-identical responses)",
+    )
+    srv.add_argument(
+        "--degrade",
+        action="store_true",
+        help="enable degraded-mode serving: under queue saturation or "
+        "mid-recovery, /v1/price may return the last-committed "
+        "answer stamped degraded=true instead of a blind 429",
+    )
+
+    cli_client = sub.add_parser(
+        "client",
+        help="drive a pricing service through the resilient client",
+    )
+    cli_client.add_argument(
+        "--url",
+        required=True,
+        help="base URL of a running service (e.g. http://127.0.0.1:8080)",
+    )
+    cli_client.add_argument("--requests", type=int, default=200)
+    cli_client.add_argument("--seed", type=int, default=0)
+    cli_client.add_argument(
+        "--update-frac",
+        type=float,
+        default=0.1,
+        metavar="P",
+        help="fraction of operations that are cost re-declarations",
+    )
+    cli_client.add_argument(
+        "--deadline",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="total per-call budget (attempts + backoff sleeps)",
+    )
+    cli_client.add_argument(
+        "--max-retries",
+        type=int,
+        default=4,
+        metavar="N",
+        help="retry attempts after the first (capped exponential "
+        "backoff with seeded full jitter)",
+    )
+    cli_client.add_argument(
+        "--backoff-base", type=float, default=0.05, metavar="SECONDS"
+    )
+    cli_client.add_argument(
+        "--backoff-cap", type=float, default=2.0, metavar="SECONDS"
+    )
+    cli_client.add_argument(
+        "--no-breaker",
+        action="store_true",
+        help="disable the client-side circuit breaker",
+    )
+    cli_client.add_argument(
+        "--verify",
+        action="store_true",
+        help="replay the recorded update history through a serial "
+        "oracle and fail on any payment mismatch (assumes this "
+        "client is the only writer)",
+    )
 
     for p in sub.choices.values():
         _add_obs_flags(p, suppress=True)
@@ -791,7 +867,22 @@ def _cmd_serve(args) -> int:
     from repro import generators
     from repro.engine import PricingEngine
     from repro.errors import ReproError, error_code
-    from repro.service import PricingService, ServiceServer
+    from repro.service import (
+        ChaosPlan,
+        DegradePolicy,
+        PricingService,
+        ServiceServer,
+    )
+
+    try:
+        chaos = (
+            ChaosPlan.from_spec(args.chaos)
+            if args.chaos is not None
+            else ChaosPlan.from_env()
+        )
+    except ReproError as exc:
+        print(f"error [{error_code(exc)}]: {exc}", file=sys.stderr)
+        return 1
 
     if args.recover:
         if args.checkpoint_dir is None:
@@ -830,6 +921,7 @@ def _cmd_serve(args) -> int:
             max_queue=args.queue_depth,
             deadline_s=args.deadline,
             jobs=args.jobs,
+            degrade=DegradePolicy() if args.degrade else None,
         )
     except ReproError as exc:
         print(f"error [{error_code(exc)}]: {exc}", file=sys.stderr)
@@ -837,11 +929,20 @@ def _cmd_serve(args) -> int:
             REGISTRY.disable()
         engine.close()
         return 1
-    server = ServiceServer(service, port=args.port, host=args.host).start()
+    server = ServiceServer(
+        service, port=args.port, host=args.host, chaos=chaos
+    ).start()
+    notes = []
+    if chaos is not None and not chaos.is_null:
+        notes.append(f"CHAOS plan active (seed {chaos.seed})")
+    if args.degrade:
+        notes.append("degraded-mode serving enabled")
+    suffix = ("; " + "; ".join(notes)) if notes else ""
     print(
         f"pricing service on {server.url} "
         "(POST /v1/price /v1/price_many /v1/update; "
-        "GET /v1/graph /metrics /healthz); Ctrl-C to drain and exit",
+        "GET /v1/graph /metrics /healthz /readyz); "
+        f"Ctrl-C to drain and exit{suffix}",
         flush=True,
     )
     previous = {}
@@ -866,6 +967,122 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_client(args) -> int:
+    import time
+
+    from repro.core.vcg_unicast import vcg_unicast_payments
+    from repro.errors import ReproError, error_code
+    from repro.service import BackoffPolicy, CircuitBreaker, PricingClient
+
+    retry = BackoffPolicy(
+        max_retries=args.max_retries,
+        base_s=args.backoff_base,
+        cap_s=args.backoff_cap,
+    )
+    breaker = None if args.no_breaker else CircuitBreaker()
+    client = PricingClient(
+        args.url,
+        deadline_s=args.deadline,
+        retry=retry,
+        breaker=breaker,
+        seed=args.seed,
+    )
+    try:
+        head = client.graph()
+    except ReproError as exc:
+        print(f"error [{error_code(exc)}]: {exc}", file=sys.stderr)
+        client.close()
+        return 1
+    g0, v0 = head.graph, head.graph_version
+    n = g0.n
+    can_write = head.model == "node" and args.update_frac > 0
+    if args.update_frac > 0 and not can_write:
+        print(
+            "note: server runs the link model; running a read-only "
+            "workload (cost updates need node ids)"
+        )
+
+    rng = np.random.default_rng(args.seed)
+    records = []  # (s, t, version, payment, degraded)
+    updates = []  # (version, node, value)
+    failures = 0
+    t0 = time.perf_counter()
+    for _ in range(args.requests):
+        try:
+            if can_write and rng.random() < args.update_frac:
+                node = int(rng.integers(0, n))
+                value = float(rng.uniform(1.0, 10.0))
+                resp = client.update_cost(node, value)
+                updates.append((resp.graph_version, node, value))
+            else:
+                s = int(rng.integers(1, n))
+                resp = client.price(s, 0)
+                records.append(
+                    (s, 0, resp.graph_version, resp.payment, resp.degraded)
+                )
+        except ReproError as exc:
+            failures += 1
+            log.warning(
+                "client call failed",
+                extra={"code": error_code(exc), "error": str(exc)},
+            )
+    elapsed = time.perf_counter() - t0
+    stats = client.stats
+    client.close()
+
+    degraded = sum(1 for r in records if r[4])
+    done = len(records) + len(updates)
+    print(
+        f"{done}/{args.requests} calls ok in {elapsed:.2f}s "
+        f"({done / elapsed:.0f} req/s): {len(records)} priced "
+        f"({degraded} degraded), {len(updates)} updates, "
+        f"{failures} failed"
+    )
+    print(
+        f"client: {stats.retries} retries, "
+        f"{stats.transport_failures} transport failures, "
+        f"{stats.server_errors} server 5xx, "
+        f"{stats.short_circuits} breaker short-circuits, "
+        f"{stats.idempotent_replays} idempotent replays"
+    )
+    if failures:
+        return 1
+    if not args.verify:
+        return 0
+
+    # Serial oracle replay (sole-writer assumption): rebuild the graph
+    # at every version this client observed, recompute each distinct
+    # (version, source, target) from scratch, demand bit-identity.
+    def answer_key(p):
+        return (p.path, p.lcp_cost, tuple(sorted(p.payments.items())))
+
+    graph_at = {v0: g0}
+    current = g0
+    for version, node, value in sorted(set(updates)):
+        current = current.with_declaration(node, value)
+        graph_at[version] = current
+    oracle = {}
+    mismatches = unverifiable = 0
+    for s, t, version, payment, _deg in records:
+        if version not in graph_at:
+            unverifiable += 1
+            continue
+        key = (version, s, t)
+        if key not in oracle:
+            want = vcg_unicast_payments(
+                graph_at[version], s, t, method="fast", on_monopoly="inf"
+            )
+            oracle[key] = answer_key(want)
+        if answer_key(payment) != oracle[key]:
+            mismatches += 1
+    print(
+        f"verify: {len(oracle)} distinct (version, pair) keys, "
+        f"{mismatches} mismatches, {unverifiable} unverifiable "
+        "(version outside this client's history)"
+    )
+    return 0 if mismatches == 0 and unverifiable == 0 else 1
+
+
 def _dispatch(args) -> int:
     if args.command == "demo":
         return _cmd_demo(args)
@@ -887,6 +1104,8 @@ def _dispatch(args) -> int:
         return _cmd_recover(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "client":
+        return _cmd_client(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

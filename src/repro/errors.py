@@ -47,9 +47,16 @@ __all__ = [
     "ServiceOverloadedError",
     "ServiceClosedError",
     "DeadlineExceededError",
+    "ClientError",
+    "CircuitOpenError",
+    "RetryExhaustedError",
+    "SupervisorError",
     "HTTP_STATUS",
+    "RETRY_AFTER_S",
     "error_code",
     "http_status",
+    "retry_after_s",
+    "error_for_code",
 ]
 
 
@@ -229,6 +236,51 @@ class DeadlineExceededError(ServiceError):
     code = "service.deadline"
 
 
+class ClientError(ReproError):
+    """Base class for :class:`~repro.service.PricingClient` failures.
+
+    Raised on the *caller's* side of the wire: the request never
+    produced a usable answer (every retry failed, the breaker refused
+    to try, ...). Server-side failures decoded from error envelopes are
+    re-raised as their original taxonomy class instead (see
+    :func:`error_for_code`).
+    """
+
+    code = "client.error"
+
+
+class CircuitOpenError(ClientError):
+    """The client's circuit breaker is open; the call was not attempted.
+
+    Fail-fast pushback: the recent failure rate against this host
+    crossed the breaker's threshold, so the client refuses to add load
+    until the cooldown elapses and a half-open probe succeeds.
+    """
+
+    code = "client.circuit_open"
+
+
+class RetryExhaustedError(ClientError):
+    """Every retry attempt failed; carries the last failure as cause.
+
+    ``__cause__`` (and the ``last`` attribute) hold the final
+    attempt's exception so callers can still dispatch on the
+    underlying failure family.
+    """
+
+    code = "client.retry_exhausted"
+
+    def __init__(self, message: str, last: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.last = last
+
+
+class SupervisorError(ReproError):
+    """The supervised server child could not be started or restarted."""
+
+    code = "supervisor.error"
+
+
 #: The one shared code → HTTP status table (the service's handlers and
 #: the CLI both resolve through it — see :func:`http_status`). 4xx are
 #: the caller's fault (bad envelope, unknown node, domain refusals),
@@ -254,8 +306,17 @@ HTTP_STATUS: dict[str, int] = {
     "service.overloaded": 429,
     "service.closed": 503,
     "service.deadline": 504,
+    "client.error": 500,
+    "client.circuit_open": 503,
+    "client.retry_exhausted": 503,
+    "supervisor.error": 500,
     "internal": 500,
 }
+
+#: Default ``Retry-After`` hint (seconds) per retryable HTTP status.
+#: 429 means "the queue is momentarily full" — retry almost
+#: immediately; 503 means "draining or recovering" — back off longer.
+RETRY_AFTER_S: dict[int, float] = {429: 0.05, 503: 1.0}
 
 
 def error_code(exc: BaseException) -> str:
@@ -283,3 +344,59 @@ def http_status(exc: BaseException) -> int:
         if isinstance(code, str) and code in HTTP_STATUS:
             return HTTP_STATUS[code]
     return 500
+
+
+def retry_after_s(exc: BaseException) -> float | None:
+    """The ``Retry-After`` hint (seconds) for an exception, if any.
+
+    An instance may carry an explicit ``retry_after_s`` attribute;
+    otherwise the default for its HTTP status applies
+    (:data:`RETRY_AFTER_S`). ``None`` means the status is not a
+    back-off-and-retry condition.
+    """
+    explicit = getattr(exc, "retry_after_s", None)
+    if isinstance(explicit, (int, float)):
+        return float(explicit)
+    return RETRY_AFTER_S.get(http_status(exc))
+
+
+def _code_registry() -> dict[str, type[ReproError]]:
+    """Map every taxonomy code to the class that *declares* it."""
+    registry: dict[str, type[ReproError]] = {}
+    stack: list[type[ReproError]] = [ReproError]
+    while stack:
+        cls = stack.pop()
+        code = cls.__dict__.get("code")
+        if isinstance(code, str) and code not in registry:
+            registry[code] = cls
+        stack.extend(cls.__subclasses__())
+    return registry
+
+
+def error_for_code(code: str, message: str) -> ReproError:
+    """Rebuild a typed exception from a wire error envelope.
+
+    The client uses this to re-raise server-side failures as the same
+    taxonomy class the server raised, so ``except DisconnectedError:``
+    works identically in-process and over HTTP. Classes with structured
+    constructors (``NodeNotFoundError(node, n)``, ...) cannot be
+    rebuilt from a message alone; those — and unknown codes — fall back
+    to a generic :class:`ReproError` (or :class:`ClientError` for
+    ``client.*`` codes) carrying the original ``code`` on the instance.
+    """
+    cls = _code_registry().get(code)
+    if cls is not None:
+        try:
+            exc = cls(message)
+        except (TypeError, ValueError):
+            exc = None
+        else:
+            # A constructor that swallows the message (or mangles it)
+            # is not a faithful rebuild; fall back to the generic path.
+            if error_code(exc) == code:
+                return exc
+    fallback: ReproError = (
+        ClientError(message) if code.startswith("client.") else ReproError(message)
+    )
+    fallback.code = code  # type: ignore[misc]  # shadow class attr per-instance
+    return fallback

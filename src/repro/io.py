@@ -411,6 +411,11 @@ class PriceResponse:
     graph_version: int
     request_id: str
     coalesced: bool = False
+    #: True when the answer was served from the degraded-mode cache of
+    #: last-committed answers (queue saturated / engine recovering)
+    #: instead of a fresh snapshot read; ``graph_version`` then names
+    #: the possibly-stale snapshot the payment was computed at.
+    degraded: bool = False
 
 
 @dataclass(frozen=True)
@@ -511,12 +516,17 @@ def _update_request_from_dict(d: dict) -> UpdateRequest:
 
 
 def _price_response_to_dict(r: PriceResponse) -> dict:
-    return {
+    out = {
         "payment": _payment_to_dict(r.payment),
         "graph_version": int(r.graph_version),
         "request_id": r.request_id,
         "coalesced": bool(r.coalesced),
     }
+    # Emitted only when set: fresh answers keep the exact pre-degraded
+    # wire bytes (the serving layer's byte-identity contract).
+    if r.degraded:
+        out["degraded"] = True
+    return out
 
 
 def _price_response_from_dict(d: dict) -> PriceResponse:
@@ -525,6 +535,7 @@ def _price_response_from_dict(d: dict) -> PriceResponse:
         graph_version=int(d["graph_version"]),
         request_id=str(d["request_id"]),
         coalesced=bool(d.get("coalesced", False)),
+        degraded=bool(d.get("degraded", False)),
     )
 
 

@@ -18,18 +18,43 @@ package is the serving layer in front of the snapshot-isolated
   versioned wire envelopes of :mod:`repro.io`; failures map to HTTP
   statuses through the one shared table in :mod:`repro.errors`.
 
-``python -m repro.cli serve`` boots the whole stack; the contract —
-endpoints, error codes, backpressure tuning, drain semantics — is
-documented in ``docs/service.md``.
+The availability layer on top (this PR's *resilience* family):
+
+* :class:`PricingClient` (:mod:`repro.service.resilience`) — the
+  retrying, breaker-guarded HTTP client: capped exponential backoff
+  with seeded full jitter, ``Retry-After`` honoring, deadline
+  propagation (``X-Deadline-S``), idempotency keys for mutations.
+* :class:`ChaosPlan` (:mod:`repro.service.chaos`) — seeded
+  server-side fault injection (latency, 5xx, resets, torn responses);
+  off ⇒ byte-identical responses.
+* :class:`DegradePolicy` (:mod:`repro.service.service`) — explicit
+  stale-but-stamped answers when the queue saturates or the engine is
+  mid-recovery.
+* :class:`Supervisor` (:mod:`repro.service.supervisor`) — child-
+  process supervision with ``/healthz`` probes and WAL-recovery
+  restarts.
+
+``python -m repro.cli serve`` boots the whole stack (``client`` drives
+it); the contract — endpoints, error codes, backpressure tuning, drain
+semantics, failure handling — is documented in ``docs/service.md``.
 """
 
+from repro.service.chaos import ChaosPlan, ChaosRule
 from repro.service.http import ServiceServer
+from repro.service.resilience import (
+    BackoffPolicy,
+    CircuitBreaker,
+    ClientStats,
+    PricingClient,
+)
 from repro.service.service import (
     BatchAnswer,
+    DegradePolicy,
     PricedAnswer,
     PricingService,
     ServiceStats,
 )
+from repro.service.supervisor import Supervisor, SupervisorEvent
 
 __all__ = [
     "PricingService",
@@ -37,4 +62,13 @@ __all__ = [
     "ServiceStats",
     "PricedAnswer",
     "BatchAnswer",
+    "DegradePolicy",
+    "PricingClient",
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "ClientStats",
+    "ChaosPlan",
+    "ChaosRule",
+    "Supervisor",
+    "SupervisorEvent",
 ]

@@ -20,6 +20,29 @@
     The telemetry family, unchanged — one port serves both planes.
     ``/healthz`` additionally reports the engine version/model and the
     service's queue depth and drain state.
+``GET /readyz``
+    Readiness, split from liveness: 503 with the blocking reasons
+    (``draining``, ``recovering``, ...) while the server should not
+    receive traffic, 200 otherwise. Load balancers and the CI smoke
+    gate on this; ``/healthz`` stays 200 through a drain so
+    supervisors don't kill a process that is shutting down cleanly.
+
+Failure-handling headers (see ``docs/service.md``):
+
+* 429/503 error responses carry ``Retry-After`` (decimal seconds,
+  from :data:`repro.errors.RETRY_AFTER_S`) so well-behaved clients
+  back off by the server's own estimate.
+* ``X-Deadline-S`` on a request caps the admission deadline at the
+  caller's remaining budget — work the caller has already abandoned
+  is dropped in the queue instead of computed.
+* ``Idempotency-Key`` on ``POST /v1/update`` makes retried mutations
+  safe: the first successful response is cached per key and replayed
+  (with ``Idempotency-Replay: true``) for duplicates.
+
+A seeded :class:`~repro.service.chaos.ChaosPlan` may be attached to
+inject faults (latency, 5xx, connection resets, torn responses) for
+resilience testing; with no plan attached the request path — and every
+wire byte — is identical to a chaos-free build.
 
 Every request runs inside :func:`repro.obs.context.request_scope`: the
 minted id is returned both as the ``X-Request-Id`` response header and
@@ -39,9 +62,13 @@ the concurrency limiter that matters.
 
 from __future__ import annotations
 
+import io
 import json
+import socket
+import struct
 import threading
 import time
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro import io as repro_io
@@ -50,6 +77,7 @@ from repro.errors import (
     SerializationError,
     error_code,
     http_status,
+    retry_after_s,
 )
 from repro.obs import logging as obs_logging
 from repro.obs.context import current_request_id, request_scope
@@ -57,6 +85,7 @@ from repro.obs.export import snapshot_to_json, to_prometheus_text
 from repro.obs.flight import FLIGHT, FlightRecorder
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.obs.tracing import TRACER
+from repro.service.chaos import ChaosPlan
 from repro.service.service import PricingService
 
 __all__ = ["ServiceServer", "ENDPOINTS"]
@@ -71,6 +100,7 @@ ENDPOINTS = {
     "GET /v1/graph": "current graph snapshot + version",
     "GET /metrics": "Prometheus text exposition of the metrics registry",
     "GET /healthz": "liveness + engine/service status JSON",
+    "GET /readyz": "readiness (503 + reasons while draining/recovering)",
     "GET /snapshot": "full metrics snapshot as JSON",
     "GET /flight": "flight-recorder ring (recent engine events) as JSON",
 }
@@ -95,6 +125,12 @@ class ServiceServer:
     registry, recorder:
         Telemetry collectors for the ``/metrics`` family (default: the
         process-wide ones).
+    chaos:
+        An optional seeded :class:`~repro.service.chaos.ChaosPlan`.
+        ``None`` (default) leaves the request path untouched.
+    idempotency_cap:
+        Entries kept in the ``Idempotency-Key`` replay cache for
+        ``POST /v1/update`` (LRU beyond that).
     """
 
     def __init__(
@@ -105,6 +141,8 @@ class ServiceServer:
         registry: MetricsRegistry | None = None,
         recorder: FlightRecorder | None = None,
         prefix: str = "repro",
+        chaos: ChaosPlan | None = None,
+        idempotency_cap: int = 1024,
     ) -> None:
         self.service = service
         self._host = host
@@ -112,6 +150,14 @@ class ServiceServer:
         self.registry = registry if registry is not None else REGISTRY
         self.recorder = recorder if recorder is not None else FLIGHT
         self.prefix = prefix
+        self.chaos = chaos
+        #: Optional hook returning extra not-ready reasons (strings) —
+        #: lets an embedding process (supervisor, shared breaker, ...)
+        #: take itself out of rotation via ``/readyz``.
+        self.ready_hook = None
+        self._idem_cap = int(idempotency_cap)
+        self._idem: OrderedDict[str, dict] = OrderedDict()
+        self._idem_mu = threading.Lock()
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self._started_at = 0.0
@@ -197,6 +243,7 @@ class ServiceServer:
             "model": eng.model,
             "nodes": eng.n,
             "durable": eng.durable,
+            "recovering": self.service.recovering,
             "queue_depth": self.service.queue_depth,
             "max_queue": self.service.max_queue,
             "service": self.service.stats.as_dict(),
@@ -204,11 +251,57 @@ class ServiceServer:
             "tracing_enabled": TRACER.enabled,
         }
 
+    def readyz(self) -> dict:
+        """Readiness payload: ``ready`` plus the blocking reasons.
+
+        Liveness (``/healthz``) answers "is the process up"; this
+        answers "should it receive traffic". It goes false while the
+        service drains, while the engine is flagged mid-recovery, and
+        for whatever extra reasons :attr:`ready_hook` reports.
+        """
+        reasons: list[str] = []
+        if self.service.closed:
+            reasons.append("draining")
+        if self.service.recovering:
+            reasons.append("recovering")
+        hook = self.ready_hook
+        if hook is not None:
+            try:
+                reasons.extend(str(r) for r in hook())
+            except Exception as exc:  # a broken hook must not mask readiness
+                reasons.append(f"ready_hook error: {exc}")
+        return {
+            "ready": not reasons,
+            "reasons": reasons,
+            "engine_version": self.service.engine.version,
+            "queue_depth": self.service.queue_depth,
+        }
+
+    # -- idempotency replay cache (POST /v1/update) --------------------------
+
+    def _idem_get(self, key: str) -> dict | None:
+        with self._idem_mu:
+            doc = self._idem.get(key)
+            if doc is not None:
+                self._idem.move_to_end(key)
+            return doc
+
+    def _idem_put(self, key: str, doc: dict) -> None:
+        with self._idem_mu:
+            self._idem[key] = doc
+            self._idem.move_to_end(key)
+            while len(self._idem) > self._idem_cap:
+                self._idem.popitem(last=False)
+
     # -- API handlers (one per POST/GET route; return a wire envelope) ------
 
-    def handle_price(self, req: repro_io.PriceRequest) -> dict:
+    def handle_price(
+        self, req: repro_io.PriceRequest, deadline_s: float | None = None
+    ) -> dict:
         answer = self.service.price(
-            req.source, req.target, deadline_s=req.deadline_s
+            req.source,
+            req.target,
+            deadline_s=_effective_deadline(req.deadline_s, deadline_s),
         )
         return repro_io.to_wire(
             repro_io.PriceResponse(
@@ -216,12 +309,16 @@ class ServiceServer:
                 graph_version=answer.graph_version,
                 request_id=current_request_id() or "",
                 coalesced=answer.coalesced,
+                degraded=answer.degraded,
             )
         )
 
-    def handle_price_many(self, req: repro_io.PriceManyRequest) -> dict:
+    def handle_price_many(
+        self, req: repro_io.PriceManyRequest, deadline_s: float | None = None
+    ) -> dict:
         answer = self.service.price_many(
-            req.pairs, deadline_s=req.deadline_s
+            req.pairs,
+            deadline_s=_effective_deadline(req.deadline_s, deadline_s),
         )
         # Deterministic wire order: request order, duplicates collapsed
         # (the engine prices each distinct pair once).
@@ -271,16 +368,29 @@ class ServiceServer:
         )
 
 
+def _effective_deadline(
+    envelope_s: float | None, header_s: float | None
+) -> float | None:
+    """The tighter of the envelope's and the ``X-Deadline-S`` budgets."""
+    if envelope_s is None:
+        return header_s
+    if header_s is None:
+        return envelope_s
+    return min(envelope_s, header_s)
+
+
 def _make_handler(server: ServiceServer) -> type:
     """A request-handler class closed over one :class:`ServiceServer`."""
 
+    # path -> (handler, envelope class, handler takes deadline_s=).
     posts = {
-        "/v1/price": (server.handle_price, repro_io.PriceRequest),
+        "/v1/price": (server.handle_price, repro_io.PriceRequest, True),
         "/v1/price_many": (
             server.handle_price_many,
             repro_io.PriceManyRequest,
+            True,
         ),
-        "/v1/update": (server.handle_update, repro_io.UpdateRequest),
+        "/v1/update": (server.handle_update, repro_io.UpdateRequest, False),
     }
 
     class Handler(BaseHTTPRequestHandler):
@@ -294,6 +404,7 @@ def _make_handler(server: ServiceServer) -> type:
             content_type: str,
             status: int = 200,
             request_id: str | None = None,
+            extra_headers: dict[str, str] | None = None,
         ) -> None:
             payload = body.encode("utf-8")
             self.send_response(status)
@@ -301,17 +412,38 @@ def _make_handler(server: ServiceServer) -> type:
             self.send_header("Content-Length", str(len(payload)))
             if request_id:
                 self.send_header("X-Request-Id", request_id)
+            if extra_headers:
+                for name, value in extra_headers.items():
+                    self.send_header(name, value)
             self.end_headers()
+            if getattr(self, "_chaos_torn", False):
+                # Injected torn response: the headers promised the full
+                # Content-Length, but only half the body goes out
+                # before the connection is destroyed — the client must
+                # treat this as a transport failure, never parse it.
+                self._chaos_torn = False
+                self.wfile.write(payload[: max(1, len(payload) // 2)])
+                try:
+                    self.wfile.flush()
+                except OSError:
+                    pass
+                self._abort_connection()
+                return
             self.wfile.write(payload)
 
         def _send_json(
-            self, doc, status: int = 200, request_id: str | None = None
+            self,
+            doc,
+            status: int = 200,
+            request_id: str | None = None,
+            extra_headers: dict[str, str] | None = None,
         ) -> None:
             self._send(
                 json.dumps(doc, indent=2) + "\n",
                 "application/json; charset=utf-8",
                 status,
                 request_id=request_id,
+                extra_headers=extra_headers,
             )
 
         def _send_error(self, exc: BaseException, rid: str) -> None:
@@ -324,7 +456,68 @@ def _make_handler(server: ServiceServer) -> type:
                     status=status,
                 )
             )
-            self._send_json(doc, status=status, request_id=rid)
+            extra: dict[str, str] | None = None
+            if status in (429, 503):
+                hint = retry_after_s(exc)
+                if hint is not None:
+                    # Decimal seconds: finer-grained than the RFC's
+                    # integer (integral hints round-trip unchanged).
+                    extra = {"Retry-After": f"{hint:g}"}
+            self._send_json(doc, status=status, request_id=rid, extra_headers=extra)
+
+        def _abort_connection(self) -> None:
+            """Destroy the connection with an RST (chaos reset/torn).
+
+            ``SO_LINGER`` with a zero timeout turns ``close()`` into an
+            abortive close, so the peer sees ``ECONNRESET`` rather than
+            a clean EOF. The buffered writer is detached first so the
+            handler's ``finish()`` doesn't trip over the dead socket.
+            """
+            self.close_connection = True
+            try:
+                self.connection.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+                self.connection.close()
+            except OSError:
+                pass
+            self.wfile = io.BytesIO()
+
+        def _apply_chaos(self, path: str, rid: str) -> bool:
+            """Inject the plan's faults; True = request fully handled."""
+            plan = server.chaos
+            if plan is None:
+                return False
+            decision = plan.decide(path)
+            if decision is None:
+                return False
+            if decision.latency_s > 0.0:
+                time.sleep(decision.latency_s)
+            if decision.action == "reset":
+                self._abort_connection()
+                return True
+            if decision.action == "torn":
+                self._chaos_torn = True  # _send truncates the real body
+                return False
+            if decision.action == "error":
+                doc = repro_io.to_wire(
+                    repro_io.ErrorResponse(
+                        code="internal",
+                        message="chaos: injected server error",
+                        request_id=rid,
+                        status=decision.status,
+                    )
+                )
+                # Drain the unread request body first so keep-alive
+                # framing can't misparse it as the next request.
+                length = int(self.headers.get("Content-Length") or 0)
+                if 0 < length <= MAX_BODY_BYTES:
+                    self.rfile.read(length)
+                self._send_json(doc, status=decision.status, request_id=rid)
+                return True
+            return False
 
         def _read_body(self):
             length = int(self.headers.get("Content-Length") or 0)
@@ -338,6 +531,22 @@ def _make_handler(server: ServiceServer) -> type:
                 return json.loads(raw.decode("utf-8") or "null")
             except (UnicodeDecodeError, json.JSONDecodeError) as e:
                 raise SerializationError(f"request body is not JSON: {e}")
+
+        def _header_deadline(self) -> float | None:
+            raw = self.headers.get("X-Deadline-S")
+            if raw is None:
+                return None
+            try:
+                budget = float(raw)
+            except ValueError:
+                raise InvalidRequestError(
+                    f"X-Deadline-S must be a number, got {raw!r}"
+                ) from None
+            if budget <= 0:
+                raise InvalidRequestError(
+                    f"X-Deadline-S must be positive, got {budget}"
+                )
+            return budget
 
         def do_POST(self) -> None:  # noqa: N802 (stdlib name)
             path = self.path.split("?", 1)[0].rstrip("/")
@@ -355,14 +564,43 @@ def _make_handler(server: ServiceServer) -> type:
                             request_id=rid,
                         )
                         return
-                    handler, envelope = route
+                    if self._apply_chaos(path, rid):
+                        return
+                    handler, envelope, takes_deadline = route
+                    deadline_s = self._header_deadline()
                     payload = repro_io.from_wire(self._read_body())
                     if not isinstance(payload, envelope):
                         raise InvalidRequestError(
                             f"{path} expects a {envelope.__name__} "
                             f"envelope, got {type(payload).__name__}"
                         )
-                    doc = handler(payload)
+                    # Body fully read (keep-alive framing safe): a
+                    # retried update with a known key replays the
+                    # cached first response instead of re-applying.
+                    idem_key = None
+                    if path == "/v1/update":
+                        idem_key = self.headers.get("Idempotency-Key")
+                        if idem_key:
+                            cached = server._idem_get(idem_key)
+                            if cached is not None:
+                                if server.registry.enabled:
+                                    server.registry.add(
+                                        "service.idempotent_replays"
+                                    )
+                                self._send_json(
+                                    cached,
+                                    request_id=rid,
+                                    extra_headers={
+                                        "Idempotency-Replay": "true"
+                                    },
+                                )
+                                return
+                    if takes_deadline:
+                        doc = handler(payload, deadline_s=deadline_s)
+                    else:
+                        doc = handler(payload)
+                    if idem_key:
+                        server._idem_put(idem_key, doc)
                     self._send_json(doc, request_id=rid)
                 except BrokenPipeError:  # client went away mid-response
                     pass
@@ -384,8 +622,17 @@ def _make_handler(server: ServiceServer) -> type:
             path = self.path.split("?", 1)[0].rstrip("/") or "/"
             with request_scope(fresh=True) as rid:
                 try:
+                    if self._apply_chaos(path, rid):
+                        return
                     if path == "/v1/graph":
                         self._send_json(server.handle_graph(), request_id=rid)
+                    elif path == "/readyz":
+                        doc = server.readyz()
+                        self._send_json(
+                            doc,
+                            status=200 if doc["ready"] else 503,
+                            request_id=rid,
+                        )
                     elif path == "/metrics":
                         self._send(
                             to_prometheus_text(

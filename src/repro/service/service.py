@@ -49,6 +49,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from typing import Iterable, NamedTuple
 
@@ -60,10 +61,17 @@ from repro.errors import (
     ServiceOverloadedError,
 )
 from repro.obs import logging as obs_logging
-from repro.obs.context import request_scope
+from repro.obs.context import current_request_id, request_scope
+from repro.obs.flight import FLIGHT
 from repro.obs.metrics import REGISTRY as _metrics
 
-__all__ = ["PricingService", "ServiceStats", "PricedAnswer", "BatchAnswer"]
+__all__ = [
+    "PricingService",
+    "ServiceStats",
+    "PricedAnswer",
+    "BatchAnswer",
+    "DegradePolicy",
+]
 
 _log = obs_logging.get_logger("service")
 
@@ -78,7 +86,10 @@ class ServiceStats:
     requests served by attaching to an already-in-flight duplicate,
     ``rejected`` queue-full rejections (the 429s), ``timeouts``
     deadline expiries (the 504s — waiter gave up or the ticket expired
-    in queue), ``updates`` applied mutations.
+    in queue), ``updates`` applied mutations, ``degraded`` answers
+    served from the last-committed cache instead of a fresh snapshot
+    read, ``expired`` tickets a worker skipped because their deadline
+    passed while they sat in the admission queue.
     """
 
     requests: int = 0
@@ -87,19 +98,56 @@ class ServiceStats:
     rejected: int = 0
     timeouts: int = 0
     updates: int = 0
+    degraded: int = 0
+    expired: int = 0
 
     def as_dict(self) -> dict:
         """Plain-dict view (reports, ``/healthz``)."""
         return asdict(self)
 
 
+@dataclass(frozen=True)
+class DegradePolicy:
+    """When may :meth:`PricingService.price` serve a stale cached answer?
+
+    Degraded mode trades freshness for availability: instead of a
+    blind 429 (queue saturated) or 503 (engine mid-recovery), a pair
+    that has been answered before may be served its **last-committed**
+    answer, stamped ``degraded=True`` and carrying the (possibly
+    stale) ``graph_version`` it was originally computed at — explicit,
+    verifiable staleness, never a silently wrong price.
+
+    ``on_overload`` / ``while_recovering`` gate the two triggers;
+    ``max_age_s`` bounds how stale a cached answer may be (``None`` =
+    any age); ``max_entries`` caps the LRU cache of last answers.
+    The default policy is what you get from ``DegradePolicy()``;
+    passing ``degrade=None`` to the service disables degraded mode
+    entirely (the pre-existing strict behavior).
+    """
+
+    on_overload: bool = True
+    while_recovering: bool = True
+    max_age_s: float | None = None
+    max_entries: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 1:
+            raise InvalidRequestError("max_entries must be >= 1")
+        if self.max_age_s is not None and self.max_age_s <= 0:
+            raise InvalidRequestError("max_age_s must be positive or None")
+
+
 class PricedAnswer(NamedTuple):
     """One served query: the payment, the engine version it was priced
-    at, and whether this caller coalesced onto another's ticket."""
+    at, whether this caller coalesced onto another's ticket, and
+    whether the answer came from the degraded-mode cache (in which
+    case ``graph_version`` names the stale snapshot it was computed
+    at, not the engine's current version)."""
 
     payment: object
     graph_version: int
     coalesced: bool
+    degraded: bool = False
 
 
 class BatchAnswer(NamedTuple):
@@ -151,6 +199,11 @@ class PricingService:
     jobs:
         ``jobs=`` forwarded to :meth:`PricingEngine.price_many` for
         batch requests (``None`` = serial in-process).
+    degrade:
+        A :class:`DegradePolicy` enabling degraded-mode serving
+        (stale-but-stamped answers when the queue is saturated or the
+        engine is mid-recovery); ``None`` (default) keeps the strict
+        429/503 behavior.
     """
 
     def __init__(
@@ -160,6 +213,7 @@ class PricingService:
         max_queue: int = 64,
         deadline_s: float = 30.0,
         jobs: int | None = None,
+        degrade: DegradePolicy | None = None,
     ) -> None:
         if workers < 1:
             raise InvalidRequestError(f"workers must be >= 1, got {workers}")
@@ -182,6 +236,14 @@ class PricingService:
         self._inflight: dict[tuple[int, int], _Ticket] = {}
         self._mu = threading.Lock()
         self._closed = False
+        self._degrade = degrade
+        self._recovering = False
+        # (source, target) -> (payment, version, monotonic commit time);
+        # the degraded-mode LRU of last-committed answers (guarded by
+        # _mu, maintained only when a policy is set).
+        self._last_good: OrderedDict[
+            tuple[int, int], tuple[object, int, float]
+        ] = OrderedDict()
         self.stats = ServiceStats()
         self._workers = [
             threading.Thread(
@@ -221,6 +283,28 @@ class PricingService:
         """Deadline applied when a request does not carry its own."""
         return self._deadline_s
 
+    @property
+    def degrade_policy(self) -> DegradePolicy | None:
+        """The degraded-mode policy, or ``None`` when disabled."""
+        return self._degrade
+
+    @property
+    def recovering(self) -> bool:
+        """True while the engine is flagged as mid-recovery."""
+        return self._recovering
+
+    def set_recovering(self, flag: bool) -> None:
+        """Flag the engine as (not) mid-recovery.
+
+        While set, ``/readyz`` reports not-ready and — with a
+        :class:`DegradePolicy` whose ``while_recovering`` is on —
+        :meth:`price` serves cached last-committed answers instead of
+        queueing fresh work.
+        """
+        self._recovering = bool(flag)
+        if _metrics.enabled:
+            _metrics.set_gauge("service.recovering", 1.0 if flag else 0.0)
+
     def __repr__(self) -> str:
         return (
             f"PricingService(workers={len(self._workers)}, "
@@ -245,6 +329,49 @@ class PricingService:
             )
         return time.monotonic() + budget
 
+    # -- degraded mode -------------------------------------------------------
+
+    def _degraded_answer_locked(
+        self, key: tuple[int, int]
+    ) -> PricedAnswer | None:
+        """The cached last-committed answer for ``key`` (caller holds _mu).
+
+        Returns ``None`` when nothing usable is cached — the caller
+        then falls through to the strict path (queue or reject).
+        """
+        policy = self._degrade
+        entry = self._last_good.get(key)
+        if policy is None or entry is None:
+            return None
+        payment, version, committed_at = entry
+        if (
+            policy.max_age_s is not None
+            and time.monotonic() - committed_at > policy.max_age_s
+        ):
+            return None
+        self._last_good.move_to_end(key)
+        self.stats.degraded += 1
+        self._count("degraded")
+        FLIGHT.record(
+            "service.degraded",
+            request_id=current_request_id(),
+            version=version,
+        )
+        return PricedAnswer(
+            payment, version, coalesced=False, degraded=True
+        )
+
+    def _record_last_good_locked(
+        self, key: tuple[int, int], payment: object, version: int
+    ) -> None:
+        policy = self._degrade
+        if policy is None:
+            return
+        self._last_good[key] = (payment, version, time.monotonic())
+        self._last_good.move_to_end(key)
+        while len(self._last_good) > policy.max_entries:
+            self._last_good.popitem(last=False)
+
     # -- queries -------------------------------------------------------------
 
     def price(
@@ -266,6 +393,15 @@ class PricingService:
                 raise ServiceClosedError(
                     "service is draining; request not admitted"
                 )
+            policy = self._degrade
+            if (
+                self._recovering
+                and policy is not None
+                and policy.while_recovering
+            ):
+                stale = self._degraded_answer_locked(key)
+                if stale is not None:
+                    return stale
             ticket = self._inflight.get(key)
             coalesced = ticket is not None
             if coalesced:
@@ -280,6 +416,10 @@ class PricingService:
                 try:
                     self._queue.put_nowait(ticket)
                 except queue.Full:
+                    if policy is not None and policy.on_overload:
+                        stale = self._degraded_answer_locked(key)
+                        if stale is not None:
+                            return stale
                     self.stats.rejected += 1
                     self._count("rejected")
                     raise ServiceOverloadedError(
@@ -408,6 +548,9 @@ class PricingService:
             # answer nobody is waiting for. The waiter already raised
             # (and counted) its own timeout; setting the error keeps
             # late coalescers honest too.
+            self.stats.expired += 1
+            self._count("expired_in_queue")
+            FLIGHT.record("service.expired_in_queue")
             ticket.error = DeadlineExceededError(
                 "request expired in the admission queue"
             )
@@ -428,10 +571,15 @@ class PricingService:
                 ticket.error = exc
         # Unregister before waking waiters: a waiter that immediately
         # re-submits the same key must start a fresh ticket, not
-        # re-attach to this finished one.
+        # re-attach to this finished one. Committed answers also feed
+        # the degraded-mode cache under the same lock hold.
         if ticket.key is not None:
             with self._mu:
                 self._inflight.pop(ticket.key, None)
+                if ticket.error is None:
+                    self._record_last_good_locked(
+                        ticket.key, ticket.result, ticket.version
+                    )
         ticket.done.set()
         if _metrics.enabled:
             name = (

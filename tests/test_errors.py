@@ -4,7 +4,10 @@ import pytest
 
 from repro.errors import (
     HTTP_STATUS,
+    RETRY_AFTER_S,
     CheatingDetectedError,
+    CircuitOpenError,
+    ClientError,
     DeadlineExceededError,
     DisconnectedError,
     EngineClosedError,
@@ -20,12 +23,16 @@ from repro.errors import (
     ProtocolError,
     RecoveryError,
     ReproError,
+    RetryExhaustedError,
     SerializationError,
     ServiceClosedError,
     ServiceError,
     ServiceOverloadedError,
+    SupervisorError,
     error_code,
+    error_for_code,
     http_status,
+    retry_after_s,
 )
 
 
@@ -112,6 +119,10 @@ class TestCodes:
         ServiceOverloadedError,
         ServiceClosedError,
         DeadlineExceededError,
+        ClientError,
+        CircuitOpenError,
+        RetryExhaustedError,
+        SupervisorError,
     ]
 
     def test_every_class_has_a_code(self):
@@ -169,3 +180,58 @@ class TestCodes:
             RecoveryError,
         ):
             assert issubclass(exc, ReproError)
+
+
+class TestResilienceCodes:
+    """The client/supervisor additions to the taxonomy."""
+
+    def test_client_errors_derive_from_repro_error(self):
+        for exc in (ClientError, CircuitOpenError, RetryExhaustedError):
+            assert issubclass(exc, ReproError)
+        assert issubclass(CircuitOpenError, ClientError)
+        assert issubclass(RetryExhaustedError, ClientError)
+        assert issubclass(SupervisorError, ReproError)
+
+    def test_statuses(self):
+        assert http_status(CircuitOpenError("open")) == 503
+        assert http_status(RetryExhaustedError("spent")) == 503
+        assert http_status(ClientError("bad")) == 500
+        assert http_status(SupervisorError("dead")) == 500
+
+    def test_retry_exhausted_carries_last_error(self):
+        last = ServiceClosedError("draining")
+        exc = RetryExhaustedError("3 attempts failed", last=last)
+        assert exc.last is last
+
+    def test_retry_after_table(self):
+        assert RETRY_AFTER_S[429] > 0
+        assert RETRY_AFTER_S[503] > 0
+        assert retry_after_s(ServiceOverloadedError("full")) == RETRY_AFTER_S[429]
+        assert retry_after_s(ServiceClosedError("draining")) == RETRY_AFTER_S[503]
+        # Non-backpressure statuses carry no hint.
+        assert retry_after_s(InvalidRequestError("bad")) is None
+
+    def test_retry_after_instance_override(self):
+        exc = ServiceOverloadedError("full")
+        exc.retry_after_s = 7.5
+        assert retry_after_s(exc) == 7.5
+
+    def test_error_for_code_reconstructs_taxonomy_class(self):
+        exc = error_for_code("service.closed", "draining")
+        assert isinstance(exc, ServiceClosedError)
+        exc = error_for_code("request.invalid", "bad")
+        assert isinstance(exc, InvalidRequestError)
+        exc = error_for_code("client.circuit_open", "open")
+        assert isinstance(exc, CircuitOpenError)
+
+    def test_error_for_code_falls_back_but_keeps_the_code(self):
+        # Codes whose class needs structured args (or unknown codes)
+        # decode to a generic carrier that still reports the code.
+        exc = error_for_code("graph.disconnected", "no path")
+        assert isinstance(exc, ReproError)
+        assert error_code(exc) == "graph.disconnected"
+        exc = error_for_code("client.no_such_code", "???")
+        assert isinstance(exc, ClientError)
+        assert error_code(exc) == "client.no_such_code"
+        exc = error_for_code("totally.unknown", "???")
+        assert error_code(exc) == "totally.unknown"

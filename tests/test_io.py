@@ -365,3 +365,27 @@ class TestWireEnvelopes:
             assert np.array_equal(back.costs, random_graph.costs)
         finally:
             TestMigrations._cleanup(TestMigrations(), [("node-graph", 0)])
+
+
+class TestDegradedStamp:
+    """The ``degraded`` wire key: present iff True (byte-identity)."""
+
+    def test_round_trip_and_absent_key_default(self, random_graph):
+        from repro.io import PriceResponse, from_wire, to_wire
+
+        payment = vcg_unicast_payments(random_graph, 5, 0)
+        fresh = PriceResponse(payment, graph_version=2, request_id="r1")
+        doc = to_wire(fresh)
+        # Fresh answers never carry the key: the serialized bytes are
+        # indistinguishable from a build that predates degraded mode.
+        assert "degraded" not in doc["data"]
+        assert from_wire(json.loads(json.dumps(doc))).degraded is False
+
+        stale = PriceResponse(
+            payment, graph_version=2, request_id="r2", degraded=True
+        )
+        doc = to_wire(stale)
+        assert doc["data"]["degraded"] is True
+        back = from_wire(json.loads(json.dumps(doc)))
+        assert back.degraded is True
+        assert back.graph_version == 2

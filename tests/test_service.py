@@ -28,7 +28,7 @@ from repro.errors import (
     ServiceOverloadedError,
 )
 from repro.graph import generators as gen
-from repro.service import PricingService, ServiceServer
+from repro.service import DegradePolicy, PricingService, ServiceServer
 
 
 def wait_until(predicate, timeout=5.0, interval=0.005):
@@ -336,19 +336,83 @@ class TestBackpressure:
             time.sleep(0.1)
         blocker_thread.join(timeout=10)
         assert blocker["error"] is None
+        # The worker observed the expiry (skip path), counted it, and
+        # never priced the abandoned key.
+        wait_until(lambda: svc.stats.expired == 1)
         # A later request for the expired key starts fresh and succeeds.
         answer = svc.price(2, 0)
         assert answer.payment is not None
+        assert not answer.degraded
         svc.close()
+
+    def test_expired_ticket_error_reaches_late_coalescers(self):
+        """A waiter that attached to a ticket which then expired in the
+        queue gets the worker's DeadlineExceededError, not a hang."""
+        g = gen.random_biconnected_graph(24, seed=16)
+        eng = PricingEngine(g, on_monopoly="inf")
+        svc = PricingService(eng, workers=1, max_queue=4, deadline_s=10.0)
+        with eng.paused():
+            blocker_thread, blocker = _submit_async(svc, 1, 0)
+            wait_until(lambda: svc.queue_depth == 0 and svc.stats.requests == 1)
+            # Queue a short-deadline ticket, then coalesce a second
+            # waiter onto the same key with the same short deadline:
+            # both expire in the queue while the worker is stuck.
+            t2, box2 = _submit_async_deadline(svc, 2, 0, deadline_s=0.2)
+            wait_until(lambda: svc.stats.requests == 2)
+            t3, box3 = _submit_async_deadline(svc, 2, 0, deadline_s=0.2)
+            wait_until(lambda: svc.stats.coalesced == 1)
+            time.sleep(0.5)  # both expire while the worker is stuck
+        blocker_thread.join(timeout=10)
+        for th, box in ((t2, box2), (t3, box3)):
+            th.join(timeout=10)
+            assert isinstance(box["error"], DeadlineExceededError)
+        assert blocker["error"] is None
+        wait_until(lambda: svc.stats.expired == 1)
+        svc.close()
+
+    def test_close_racing_inflight_coalesced_burst(self):
+        """close() must drain a burst of coalesced waiters cleanly:
+        every waiter that was admitted before the drain gets the one
+        shared answer, and none deadlocks against the drain."""
+        g = gen.random_biconnected_graph(24, seed=17)
+        eng = PricingEngine(g, on_monopoly="inf")
+        svc = PricingService(eng, workers=2, max_queue=16, deadline_s=30.0)
+        k = 12
+        with eng.paused():
+            waiters = [_submit_async(svc, 5, 0) for _ in range(k)]
+            wait_until(lambda: svc.stats.requests == k)
+            assert svc.stats.coalesced == k - 1
+            # Start the drain while every waiter is still in flight;
+            # it blocks on the stuck worker until the pause lifts.
+            closer = threading.Thread(target=svc.close)
+            closer.start()
+            wait_until(lambda: svc.closed)
+            # New work is refused the moment the drain starts ...
+            with pytest.raises(ServiceClosedError):
+                svc.price(7, 0)
+        # ... but the burst admitted before it completes normally.
+        closer.join(timeout=30)
+        assert not closer.is_alive()
+        keys = set()
+        for thread, box in waiters:
+            thread.join(timeout=10)
+            assert box["error"] is None
+            keys.add(answer_key(box["answer"].payment))
+        assert len(keys) == 1
+        assert svc.engine.closed
 
 
 def _submit_async(svc, s, t):
     """Fire ``svc.price(s, t)`` on a thread; returns (thread, result box)."""
+    return _submit_async_deadline(svc, s, t, deadline_s=None)
+
+
+def _submit_async_deadline(svc, s, t, deadline_s):
     box = {"answer": None, "error": None}
 
     def run():
         try:
-            box["answer"] = svc.price(s, t)
+            box["answer"] = svc.price(s, t, deadline_s=deadline_s)
         except BaseException as exc:
             box["error"] = exc
 
@@ -649,9 +713,10 @@ class TestHTTP:
         assert doc["engine_version"] == 0
         assert doc["model"] == "node"
         assert doc["max_queue"] == 16
+        assert doc["recovering"] is False
         assert set(doc["service"]) == {
             "requests", "batches", "coalesced", "rejected",
-            "timeouts", "updates",
+            "timeouts", "updates", "degraded", "expired",
         }
 
     def test_unknown_path_404_lists_endpoints(self, http_server):
@@ -662,3 +727,195 @@ class TestHTTP:
             assert err.code == 404
             doc = json.load(err)
             assert "endpoints" in doc
+
+
+class TestRetryAfter:
+    def test_503_draining_carries_retry_after(self, http_server):
+        http_server.service.close()
+        try:
+            _post(
+                f"{http_server.url}/v1/price", repro_io.PriceRequest(5, 0)
+            )
+            pytest.fail("expected HTTP 503")
+        except urllib.error.HTTPError as err:
+            assert err.code == 503
+            assert float(err.headers["Retry-After"]) == 1.0
+            doc = json.load(err)
+            assert repro_io.from_wire(doc).code == "service.closed"
+
+    def test_429_queue_full_carries_retry_after(self):
+        g = gen.random_biconnected_graph(24, seed=31)
+        eng = PricingEngine(g, on_monopoly="inf")
+        svc = PricingService(eng, workers=1, max_queue=1, deadline_s=30.0)
+        server = ServiceServer(svc, port=0).start()
+        try:
+            with eng.paused():
+                # Wedge the worker, then fill the one queue slot.
+                _submit_async(svc, 1, 0)
+                wait_until(
+                    lambda: svc.queue_depth == 0 and svc.stats.requests == 1
+                )
+                _submit_async(svc, 2, 0)
+                wait_until(lambda: svc.queue_depth == 1)
+                try:
+                    _post(
+                        f"{server.url}/v1/price", repro_io.PriceRequest(3, 0)
+                    )
+                    pytest.fail("expected HTTP 429")
+                except urllib.error.HTTPError as err:
+                    assert err.code == 429
+                    retry_after = float(err.headers["Retry-After"])
+                    assert retry_after > 0.0
+                    doc = json.load(err)
+                    assert repro_io.from_wire(doc).code == "service.overloaded"
+        finally:
+            server.stop()
+            svc.close()
+
+
+class TestReadyz:
+    def test_ready_when_serving(self, http_server):
+        with urllib.request.urlopen(
+            f"{http_server.url}/readyz", timeout=10
+        ) as r:
+            assert r.status == 200
+            doc = json.load(r)
+        assert doc["ready"] is True
+        assert doc["reasons"] == []
+
+    def test_not_ready_while_recovering(self, http_server):
+        http_server.service.set_recovering(True)
+        try:
+            try:
+                urllib.request.urlopen(f"{http_server.url}/readyz", timeout=10)
+                pytest.fail("expected HTTP 503")
+            except urllib.error.HTTPError as err:
+                assert err.code == 503
+                doc = json.load(err)
+            assert doc["ready"] is False
+            assert doc["reasons"] == ["recovering"]
+            # Liveness is unaffected: don't kill a recovering process.
+            with urllib.request.urlopen(
+                f"{http_server.url}/healthz", timeout=10
+            ) as r:
+                assert r.status == 200
+                assert json.load(r)["recovering"] is True
+        finally:
+            http_server.service.set_recovering(False)
+
+    def test_not_ready_while_draining(self, http_server):
+        http_server.service.close()
+        try:
+            urllib.request.urlopen(f"{http_server.url}/readyz", timeout=10)
+            pytest.fail("expected HTTP 503")
+        except urllib.error.HTTPError as err:
+            assert err.code == 503
+            assert json.load(err)["reasons"] == ["draining"]
+        # /healthz still answers (load balancers can watch the drain).
+        with urllib.request.urlopen(
+            f"{http_server.url}/healthz", timeout=10
+        ) as r:
+            assert json.load(r)["status"] == "draining"
+
+    def test_ready_hook_reasons_surface(self, http_server):
+        http_server.ready_hook = lambda: ["breaker-open"]
+        try:
+            urllib.request.urlopen(f"{http_server.url}/readyz", timeout=10)
+            pytest.fail("expected HTTP 503")
+        except urllib.error.HTTPError as err:
+            assert err.code == 503
+            assert json.load(err)["reasons"] == ["breaker-open"]
+        http_server.ready_hook = None
+
+
+class TestDegradedMode:
+    def _degradable(self, policy=None):
+        g = gen.random_biconnected_graph(24, seed=33)
+        eng = PricingEngine(g, on_monopoly="inf")
+        svc = PricingService(
+            eng,
+            workers=1,
+            max_queue=1,
+            deadline_s=30.0,
+            degrade=policy or DegradePolicy(),
+        )
+        return g, eng, svc
+
+    def test_overload_serves_stamped_stale_answer(self):
+        g, eng, svc = self._degradable()
+        fresh = svc.price(5, 0)  # warm the last-committed cache
+        assert not fresh.degraded
+        with eng.paused():
+            _submit_async(svc, 1, 0)
+            wait_until(
+                lambda: svc.queue_depth == 0 and svc.stats.requests == 2
+            )
+            _submit_async(svc, 2, 0)
+            wait_until(lambda: svc.queue_depth == 1)
+            # Saturated: the cached pair degrades instead of 429...
+            stale = svc.price(5, 0)
+            assert stale.degraded
+            assert stale.graph_version == fresh.graph_version
+            assert answer_key(stale.payment) == answer_key(fresh.payment)
+            assert svc.stats.degraded == 1
+            # ... while an unknown pair still gets the honest 429.
+            with pytest.raises(ServiceOverloadedError):
+                svc.price(7, 0)
+        svc.close()
+
+    def test_recovering_serves_from_cache_without_queueing(self):
+        g, eng, svc = self._degradable()
+        fresh = svc.price(5, 0)
+        svc.set_recovering(True)
+        stale = svc.price(5, 0)
+        assert stale.degraded
+        assert answer_key(stale.payment) == answer_key(fresh.payment)
+        # Unknown keys fall through to the normal (live) path.
+        live = svc.price(9, 0)
+        assert not live.degraded
+        svc.set_recovering(False)
+        svc.close()
+
+    def test_max_age_bounds_staleness(self):
+        g, eng, svc = self._degradable(
+            DegradePolicy(max_age_s=0.05, max_entries=64)
+        )
+        svc.price(5, 0)
+        time.sleep(0.1)  # cache entry ages past the bound
+        with eng.paused():
+            _submit_async(svc, 1, 0)
+            wait_until(
+                lambda: svc.queue_depth == 0 and svc.stats.requests == 2
+            )
+            _submit_async(svc, 2, 0)
+            wait_until(lambda: svc.queue_depth == 1)
+            with pytest.raises(ServiceOverloadedError):
+                svc.price(5, 0)
+        svc.close()
+
+    def test_degraded_stamp_on_the_wire_and_absent_when_fresh(self):
+        g = gen.random_biconnected_graph(24, seed=34)
+        eng = PricingEngine(g, on_monopoly="inf")
+        svc = PricingService(
+            eng, workers=1, max_queue=1, deadline_s=30.0,
+            degrade=DegradePolicy(),
+        )
+        server = ServiceServer(svc, port=0).start()
+        try:
+            _, _, fresh_doc = _post(
+                f"{server.url}/v1/price", repro_io.PriceRequest(5, 0)
+            )
+            # Fresh answers never carry the key at all — the wire bytes
+            # match a build that predates degraded mode.
+            assert "degraded" not in fresh_doc["data"]
+            svc.set_recovering(True)
+            _, _, stale_doc = _post(
+                f"{server.url}/v1/price", repro_io.PriceRequest(5, 0)
+            )
+            assert stale_doc["data"]["degraded"] is True
+            resp = repro_io.from_wire(stale_doc)
+            assert resp.degraded
+        finally:
+            svc.set_recovering(False)
+            server.stop()
+            svc.close()
